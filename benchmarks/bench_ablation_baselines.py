@@ -1,0 +1,42 @@
+"""A5 — the paper's mechanism vs the §2 prior art, head to head.
+
+compensation (this paper) vs greedy offloading [8] vs reservation-based
+reliable serving [10], on the case-study workload, busy and idle
+servers.  Reproduces the paper's positioning claims as measurements.
+"""
+
+import pytest
+
+from repro.experiments.baselines_comparison import (
+    format_comparison,
+    run_baseline_comparison,
+)
+
+
+@pytest.mark.benchmark(group="ablation-baselines")
+def test_bench_baseline_comparison(once):
+    comparison = once(run_baseline_comparison, seed=0, horizon=10.0)
+
+    print()
+    print(format_comparison(comparison))
+
+    # the paper's mechanism: hard guarantee on any server
+    for scenario in comparison.outcomes:
+        assert comparison.get(scenario, "compensation").deadline_misses == 0
+
+    # greedy [8]: unsafe exactly when the server is contended
+    assert comparison.get("busy", "greedy").deadline_misses > 0
+    assert comparison.get("idle", "greedy").deadline_misses == 0
+
+    # reservation [10]: safe everywhere, but wastes the idle server —
+    # the compensation mechanism extracts strictly more benefit there
+    for scenario in comparison.outcomes:
+        assert comparison.get(scenario, "reservation").deadline_misses == 0
+    assert (
+        comparison.get("idle", "compensation").useful_benefit
+        > comparison.get("idle", "reservation").useful_benefit
+    )
+    assert (
+        comparison.get("idle", "compensation").useful_benefit
+        > comparison.get("idle", "greedy").useful_benefit
+    )

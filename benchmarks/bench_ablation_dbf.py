@@ -1,0 +1,36 @@
+"""A3 — schedulability-test pessimism (Theorem 3 vs exact demand).
+
+Counts, over random offloading configurations, how often the paper's
+linear Theorem 3 bound and the exact (step-dbf, line-capped) processor
+demand test accept — and DES-validates that every exact-accepted
+configuration indeed meets all deadlines under worst-case conditions.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_pessimism_ablation
+
+
+@pytest.mark.benchmark(group="ablation-dbf")
+def test_bench_test_pessimism(once):
+    result = once(
+        run_pessimism_ablation,
+        num_configurations=40,
+        num_tasks=5,
+        utilization_range=(0.5, 0.95),
+        validate_with_des=True,
+        seed=0,
+    )
+
+    print()
+    print("A3: schedulability-test pessimism")
+    print(f"configurations:      {result.configurations}")
+    print(f"Theorem 3 accepts:   {result.theorem3_accepts}")
+    print(f"exact dbf accepts:   {result.exact_accepts}")
+    print(f"exact-only accepts:  {result.exact_only}")
+    print(f"unsound (DES miss):  {result.unsound}")
+
+    # dominance: exact accepts a superset of Theorem 3's acceptances
+    assert result.exact_accepts >= result.theorem3_accepts
+    # soundness: no exact-accepted configuration missed a deadline
+    assert result.unsound == 0

@@ -1,0 +1,67 @@
+"""A2 — MCKP solver trade-offs (paper §5.2 adopts DP + HEU-OE).
+
+Compares solution quality (vs the exact branch-and-bound optimum) and
+runtime of the pseudo-polynomial DP, the HEU-OE heuristic and
+branch-and-bound on random instances, plus timing on the paper's two
+actual instance families (4-task case study, 30-task simulation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.odm import build_mckp
+from repro.experiments.ablations import run_solver_ablation
+from repro.knapsack import solve_dp, solve_heu_oe
+from repro.vision.tasks import table1_task_set
+from repro.workloads.generator import paper_simulation_task_set
+
+
+@pytest.mark.benchmark(group="ablation-solvers")
+def test_bench_solver_quality(once):
+    result = once(
+        run_solver_ablation,
+        num_instances=15,
+        num_classes=12,
+        items_per_class=6,
+        seed=0,
+    )
+
+    print()
+    print("A2: MCKP solver quality (vs exact) and mean runtime")
+    for name in result.solvers:
+        print(
+            f"{name:>12}: quality={result.quality[name]:.4f}  "
+            f"runtime={result.runtime_seconds[name] * 1000:8.2f} ms"
+        )
+
+    assert result.quality["branch_bound"] == pytest.approx(1.0)
+    assert result.quality["dp"] >= 0.999  # quantization sliver at most
+    assert result.quality["heu_oe"] >= 0.93  # near-optimal on average
+
+
+@pytest.mark.benchmark(group="ablation-solvers")
+def test_bench_dp_on_paper_simulation_instance(benchmark):
+    """DP runtime on the actual 30-task §6.2 instance."""
+    tasks = paper_simulation_task_set(np.random.default_rng(0))
+    instance = build_mckp(tasks)
+    selection = benchmark(solve_dp, instance)
+    assert selection is not None and selection.is_feasible
+    print(
+        f"\n30-task instance: {instance.num_items} items, "
+        f"DP value={selection.total_value:.3f}"
+    )
+
+
+@pytest.mark.benchmark(group="ablation-solvers")
+def test_bench_heu_on_paper_simulation_instance(benchmark):
+    tasks = paper_simulation_task_set(np.random.default_rng(0))
+    instance = build_mckp(tasks)
+    selection = benchmark(solve_heu_oe, instance)
+    assert selection is not None and selection.is_feasible
+
+
+@pytest.mark.benchmark(group="ablation-solvers")
+def test_bench_dp_on_case_study_instance(benchmark):
+    instance = build_mckp(table1_task_set())
+    selection = benchmark(solve_dp, instance)
+    assert selection is not None

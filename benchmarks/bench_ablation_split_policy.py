@@ -1,0 +1,42 @@
+"""A4 — deadline-split policy comparison (§5.1's design choice).
+
+The paper assigns sub-job deadlines "proportionally to their
+computation times".  This ablation quantifies that choice against three
+alternatives on identical random configurations in the contested
+schedulability region.
+"""
+
+import pytest
+
+from repro.experiments.split_policies import run_split_policy_ablation
+
+
+@pytest.mark.benchmark(group="ablation-split-policy")
+def test_bench_split_policy_comparison(once):
+    result = once(
+        run_split_policy_ablation,
+        num_configurations=30,
+        seed=0,
+        validate_with_des=True,
+    )
+
+    print()
+    print("A4: acceptance by deadline-split policy "
+          f"({result.configurations} configurations)")
+    for policy in sorted(result.accepts):
+        print(
+            f"{policy:>14}: accepts={result.accepts[policy]:3d} "
+            f"({result.acceptance_ratio(policy):6.1%})  "
+            f"unsound={result.unsound[policy]}"
+        )
+
+    prop = result.accepts["proportional"]
+    # the paper's rule dominates the naive alternatives...
+    assert prop > result.accepts["equal_slack"]
+    assert prop > result.accepts["setup_minimal"]
+    # ...and is statistically indistinguishable from the density-sum
+    # optimum (neither dominates the other pointwise; the two rules
+    # coincide when C1 == C2 and differ mildly otherwise)
+    assert abs(prop - result.accepts["sqrt"]) <= 3
+    # soundness everywhere
+    assert all(v == 0 for v in result.unsound.values())

@@ -1,0 +1,46 @@
+"""Extension — the §3.2 estimation-percentile trade-off, measured.
+
+"If the response time estimation is too pessimistic, the offloading
+option will not be taken.  On the other hand, if the response time
+estimation is too optimistic, ... the local compensation is frequently
+adopted."  This bench turns that paragraph into numbers: the same
+measured distributions, ``r_{i,j}`` chosen at different percentiles,
+full decide-and-run at each.
+"""
+
+import pytest
+
+from repro.experiments.sensitivity import percentile_tradeoff
+
+
+@pytest.mark.benchmark(group="extension-percentile")
+def test_bench_percentile_tradeoff(once):
+    sweep = once(
+        percentile_tradeoff,
+        percentiles=(50.0, 75.0, 90.0, 99.0),
+        scenario="not_busy",
+        samples_per_level=60,
+        horizon=10.0,
+        seed=1,
+    )
+
+    print()
+    print("estimation percentile trade-off (not_busy server, 10 s):")
+    print(f"{'pctl':>5} {'offloaded':>22} {'returned':>9} "
+          f"{'compensated':>12} {'benefit':>9} {'misses':>7}")
+    for p in sweep:
+        offloaded = ",".join(p.offloaded_tasks) or "-"
+        print(
+            f"{p.percentile:>4.0f} {offloaded:>22} {p.return_rate:>8.0%} "
+            f"{p.compensation_rate:>11.0%} {p.realized_benefit:>9.0f} "
+            f"{p.deadline_misses:>7}"
+        )
+
+    # the guarantee is percentile-independent
+    assert all(p.deadline_misses == 0 for p in sweep)
+    # pessimism shrinks the offloaded set monotonically
+    counts = [len(p.offloaded_tasks) for p in sweep]
+    assert counts == sorted(counts, reverse=True)
+    # extreme pessimism costs real benefit vs the best setting
+    best = max(p.realized_benefit for p in sweep)
+    assert sweep[-1].realized_benefit < best

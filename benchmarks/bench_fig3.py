@@ -1,0 +1,66 @@
+"""E3 — the simulation study of Figure 3 (paper §6.2).
+
+30 random tasks per set, estimation accuracy ratio swept −40 %…+40 %,
+DP vs HEU-OE, normalized to DP at perfect estimation.
+
+Reproduction contract:
+* peak at x = 0 (normalized 1.0 by construction for DP);
+* monotone-ish degradation away from 0 on both sides;
+* DP ≥ HEU-OE at perfect estimation; HEU-OE within a few percent
+  everywhere.
+"""
+
+import pytest
+
+from repro.experiments.fig3 import format_fig3, run_fig3, run_fig3_des
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_bench_fig3_accuracy_sweep(once):
+    result = once(run_fig3, num_task_sets=20, num_tasks=30, seed=0)
+
+    print()
+    print(format_fig3(result))
+
+    dp = result.normalized["dp"]
+    heu = result.normalized["heu_oe"]
+    zero = result.ratios.index(0.0)
+
+    assert result.peak_ratio("dp") == 0.0
+    assert dp[zero] == pytest.approx(1.0)
+    assert dp[zero] >= heu[zero] - 1e-9
+
+    # strict degradation toward the extremes (paper's curve shape)
+    assert dp[0] < dp[zero] and dp[-1] < dp[zero]
+    assert dp[0] <= dp[1] + 0.02  # -40% no better than -30%
+    assert dp[-1] <= dp[-2] + 0.02  # +40% no better than +30%
+
+    # the heuristic tracks the exact solver closely
+    for d, h in zip(dp, heu):
+        assert abs(d - h) < 0.05
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_bench_fig3_des_validated(once):
+    """The same sweep, but *measured* on the discrete-event simulation:
+    decisions run against a server whose latency distribution is the
+    true probability staircase, and the score counts actual timely
+    returns.  The analytic curve's shape must survive contact with the
+    simulator (peak at 0, degradation both ways, zero misses)."""
+    result = once(
+        run_fig3_des,
+        accuracy_ratios=(-0.4, -0.2, 0.0, 0.2, 0.4),
+        num_task_sets=5,
+        horizon=60.0,
+        seed=0,
+    )
+
+    print()
+    print(format_fig3(result))
+
+    des = result.normalized["dp_des"]
+    zero = result.ratios.index(0.0)
+    assert des[zero] == pytest.approx(1.0)
+    # measured degradation on both sides (binomial noise tolerated)
+    assert des[0] < 0.98
+    assert des[-1] < 0.98

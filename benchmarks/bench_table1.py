@@ -1,0 +1,50 @@
+"""E1 — regenerate Table 1 (paper §6.1.2).
+
+Prints measured-vs-published benefit rows for the four vision tasks.
+The reproduction contract: response times increase with level, PSNR
+increases with level, the full-resolution level is the capped 99 dB,
+and measured response times share the published order of magnitude.
+"""
+
+import pytest
+
+from repro.experiments.table1 import format_table1, regenerate_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1_regeneration(once):
+    result = once(
+        regenerate_table1, scenario="idle", samples_per_level=60, seed=0
+    )
+
+    print()
+    print(format_table1(result))
+
+    for task_id, rows in result.rows.items():
+        rs = [r for r, _ in rows]
+        gs = [g for _, g in rows]
+        assert rs == sorted(rs), f"{task_id}: response times not monotone"
+        assert gs == sorted(gs), f"{task_id}: benefits not monotone"
+        assert gs[-1] == pytest.approx(99.0), f"{task_id}: top level not 99"
+        assert all(0.01 < r < 5.0 for r in rs if r > 0)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1_busy_scenario_shifts_right(once):
+    """On a contended server the measured r_{i,j} grow — the estimator
+    sees and reports the contention."""
+    from repro.experiments.table1 import regenerate_table1 as regen
+
+    busy = once(regen, scenario="busy", samples_per_level=40, seed=0)
+    idle = regen(scenario="idle", samples_per_level=40, seed=0)
+
+    slower = 0
+    total = 0
+    for task_id in busy.rows:
+        for (rb, _), (ri, _) in zip(busy.rows[task_id][1:],
+                                    idle.rows[task_id][1:]):
+            total += 1
+            if rb > ri:
+                slower += 1
+    print(f"\nbusy-vs-idle: {slower}/{total} levels measurably slower")
+    assert slower / total > 0.6

@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper artifact (table/figure/ablation)
+and prints the same rows/series the paper reports, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the full
+reproduction run.  Timing uses single-round pedantic mode — the
+artifacts are seconds-long end-to-end experiments, not microbenchmarks.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _runner

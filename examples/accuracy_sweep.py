@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Estimation-accuracy sensitivity (the paper's Figure 3, §6.2).
+
+Sweeps the response-time estimation error from −40 % to +40 %, decides
+with both the exact DP and the HEU-OE heuristic on the *believed*
+benefit functions, scores against the *true* ones, and renders the two
+curves as an ASCII chart.
+
+Run:  python examples/accuracy_sweep.py
+"""
+
+from repro.experiments.fig3 import format_fig3, run_fig3
+
+
+def ascii_chart(
+    ratios, series_a, series_b, label_a="dp", label_b="heu", height=12
+):
+    """Two overlaid line series as ASCII art."""
+    lo = min(min(series_a), min(series_b))
+    hi = max(max(series_a), max(series_b))
+    span = hi - lo or 1.0
+    rows = []
+    for level in range(height, -1, -1):
+        threshold = lo + span * level / height
+        cells = []
+        for a, b in zip(series_a, series_b):
+            near_a = abs(a - threshold) <= span / (2 * height)
+            near_b = abs(b - threshold) <= span / (2 * height)
+            if near_a and near_b:
+                cells.append("*")
+            elif near_a:
+                cells.append("D")
+            elif near_b:
+                cells.append("h")
+            else:
+                cells.append(" ")
+        rows.append(f"{threshold:6.3f} |" + "   ".join(cells))
+    axis = "        " + "   ".join(f"{int(r * 100):+3d}" for r in ratios)
+    return "\n".join(rows) + "\n" + axis + "  (%)\n" \
+        + f"   D = {label_a}, h = {label_b}, * = both"
+
+
+def main() -> None:
+    print("running the Figure 3 sweep (20 task sets x 9 ratios x 2 "
+          "solvers)...\n")
+    result = run_fig3(num_task_sets=20, num_tasks=30, seed=0)
+
+    print(format_fig3(result))
+    print()
+    print(
+        ascii_chart(
+            result.ratios,
+            result.normalized["dp"],
+            result.normalized["heu_oe"],
+        )
+    )
+    print(
+        "\nBoth solvers peak at perfect estimation (x = 0) and degrade "
+        "in both directions:\nunder-estimated response times "
+        "over-promise the server; over-estimated ones\nleave benefit on "
+        "the table. The heuristic tracks the exact DP closely."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""The hard real-time guarantee, stress-tested.
+
+Demonstrates the property the whole mechanism exists for: with a server
+that NEVER answers and every phase running at its full WCET, a
+Theorem-3-feasible configuration still meets every deadline through
+local compensation — under the paper's split-deadline EDF.  The naive
+baseline (setup shares the job's full deadline) misses under the same
+conditions, reproducing §5.1's "this performs poorly" remark.
+
+Run:  python examples/dead_server_guarantee.py
+"""
+
+from repro.core.schedulability import OffloadAssignment, theorem3_test
+from repro.core.task import Task, TaskSet
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.task import OffloadableTask
+from repro.sched.offload_scheduler import OffloadingScheduler
+from repro.sched.transport import NeverRespondsTransport
+from repro.sim.engine import Simulator
+
+
+def build_tasks() -> TaskSet:
+    offload = OffloadableTask(
+        task_id="offload",
+        wcet=0.25,
+        period=1.0,
+        setup_time=0.05,
+        compensation_time=0.25,
+        benefit=BenefitFunction(
+            [BenefitPoint(0.0, 1.0), BenefitPoint(0.6, 10.0)]
+        ),
+    )
+    return TaskSet([offload, Task("local", 0.2, 0.85)])
+
+
+def run(mode: str) -> None:
+    tasks = build_tasks()
+    sim = Simulator()
+    scheduler = OffloadingScheduler(
+        sim,
+        tasks,
+        response_times={"offload": 0.6},
+        transport=NeverRespondsTransport(),
+        deadline_mode=mode,
+    )
+    trace = scheduler.run(8.0)
+    comp = trace.compensation_rate()
+    print(f"  [{mode:>5}] jobs={len(trace.jobs)}  "
+          f"compensation rate={comp:.0%}  "
+          f"deadline misses={trace.deadline_miss_count}")
+    if trace.misses:
+        worst = max(trace.misses, key=lambda m: m.lateness)
+        print(f"          worst miss: {worst.task_id}#{worst.job_id} "
+              f"late by {worst.lateness * 1000:.0f} ms")
+    print(trace.gantt(width=70, horizon=3.0))
+
+
+def main() -> None:
+    tasks = build_tasks()
+    check = theorem3_test(tasks, [OffloadAssignment("offload", 0.6)])
+    print(
+        f"Theorem 3 demand rate: {check.total_demand_rate:.3f} "
+        f"(feasible: {check.feasible})\n"
+    )
+    print("server: NEVER returns a result; all phases run at WCET\n")
+    run("split")
+    print()
+    run("naive")
+    print(
+        "\nSame tasks, same decisions, same dead server: the paper's "
+        "proportional deadline\nsplit runs setup early enough that the "
+        "compensation always fits; naive EDF\ndelays setup behind the "
+        "local task and blows the deadline."
+    )
+
+
+if __name__ == "__main__":
+    main()

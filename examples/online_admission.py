@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Online admission control: tasks joining a running system.
+
+The paper decides offloading once, offline.  This extension example
+shows mode changes: new tasks request admission one by one, and the
+controller answers — *incrementally* when the newcomer fits next to the
+frozen existing decisions, by *re-planning* when the knapsack must be
+reshuffled, or with *rejection* when the processor simply cannot hold
+the union.
+
+Run:  python examples/online_admission.py
+"""
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.odm import OffloadingDecisionManager
+from repro.core.task import OffloadableTask, Task, TaskSet
+from repro.runtime.admission import AdmissionController
+
+
+def main() -> None:
+    base = TaskSet(
+        [
+            OffloadableTask(
+                task_id="vision",
+                wcet=0.25,
+                period=1.0,
+                setup_time=0.03,
+                compensation_time=0.25,
+                benefit=BenefitFunction(
+                    [BenefitPoint(0.0, 1.0), BenefitPoint(0.3, 6.0)]
+                ),
+            ),
+            Task("control", 0.1, 0.5),
+        ]
+    )
+    decision = OffloadingDecisionManager("dp").decide(base)
+    controller = AdmissionController(base, decision)
+    print("initial decision:", dict(decision.response_times))
+    print(f"demand rate: {decision.total_demand_rate:.3f}\n")
+
+    newcomers = [
+        Task("telemetry", 0.05, 1.0),
+        OffloadableTask(
+            task_id="mapping",
+            wcet=0.2,
+            period=2.0,
+            setup_time=0.02,
+            compensation_time=0.2,
+            benefit=BenefitFunction(
+                [BenefitPoint(0.0, 1.0), BenefitPoint(0.5, 4.0)]
+            ),
+        ),
+        Task("logging", 0.35, 1.0),   # big: forces a re-plan
+        Task("diagnostics", 0.5, 1.0),  # too big: rejected
+    ]
+
+    for task in newcomers:
+        verdict = controller.try_admit(task)
+        if not verdict.admitted:
+            print(f"{task.task_id:>12}: REJECTED (does not fit at all)")
+            continue
+        changes = (
+            f", re-planned {list(verdict.changed_tasks)}"
+            if verdict.changed_tasks
+            else ""
+        )
+        setting = verdict.response_times[task.task_id]
+        where = f"offload R={setting * 1000:.0f}ms" if setting else "local"
+        print(f"{task.task_id:>12}: admitted [{verdict.mode}] as {where}"
+              f"{changes}")
+        controller.apply(task, verdict)
+        print(f"{'':>14}demand rate now "
+              f"{controller.decision.total_demand_rate:.3f}, expected "
+              f"benefit {controller.decision.expected_benefit:.1f}")
+
+    print("\nfinal task set:", list(controller.tasks.task_ids))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro — compensation-based computation offloading for hard real-time
+systems using timing unreliable components.
+
+A full reproduction of Liu, Chen, Toma, Kuo, Deng, "Computation
+Offloading by Using Timing Unreliable Components in Real-Time Systems"
+(DAC 2014, DOI 10.1145/2593069.2593109).
+
+Quick tour
+----------
+>>> from repro import table1_task_set, OffloadingSystem
+>>> tasks = table1_task_set()
+>>> system = OffloadingSystem(tasks, scenario="idle", solver="dp")
+>>> report = system.run(horizon=10.0)
+>>> report.all_deadlines_met
+True
+
+Package map
+-----------
+- :mod:`repro.core` — task model, split-deadline EDF analysis
+  (Theorems 1–3), Offloading Decision Manager.
+- :mod:`repro.knapsack` — MCKP solvers (DP, HEU-OE, B&B, brute force).
+- :mod:`repro.sim` — discrete-event engine, RNG streams, tracing.
+- :mod:`repro.sched` — split-deadline EDF scheduler + baselines.
+- :mod:`repro.server` — the timing unreliable GPU server substrate.
+- :mod:`repro.estimator` — response-time/benefit estimation.
+- :mod:`repro.vision` — the robot-vision case study substrate.
+- :mod:`repro.workloads` — random workload generators.
+- :mod:`repro.runtime` — the Figure 1 architecture, end to end.
+- :mod:`repro.experiments` — Table 1 / Figure 2 / Figure 3 drivers.
+"""
+
+from .core import (
+    BenefitFunction,
+    BenefitPoint,
+    OffloadAssignment,
+    OffloadableTask,
+    OffloadingDecision,
+    OffloadingDecisionManager,
+    SchedulabilityResult,
+    Task,
+    TaskSet,
+    build_mckp,
+    exact_demand_test,
+    local_edf_test,
+    split_deadlines,
+    theorem3_test,
+)
+from .runtime import OffloadingSystem, SystemReport
+from .sched import OffloadingScheduler
+from .server import SCENARIOS, ServerScenario, build_server
+from .sim import RandomStreams, Simulator, Trace
+from .vision import table1_task_set
+from .workloads import paper_simulation_task_set
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Task",
+    "OffloadableTask",
+    "TaskSet",
+    "BenefitFunction",
+    "BenefitPoint",
+    "split_deadlines",
+    "theorem3_test",
+    "exact_demand_test",
+    "local_edf_test",
+    "OffloadAssignment",
+    "SchedulabilityResult",
+    "OffloadingDecision",
+    "OffloadingDecisionManager",
+    "build_mckp",
+    "OffloadingSystem",
+    "SystemReport",
+    "OffloadingScheduler",
+    "SCENARIOS",
+    "ServerScenario",
+    "build_server",
+    "Simulator",
+    "RandomStreams",
+    "Trace",
+    "table1_task_set",
+    "paper_simulation_task_set",
+    "__version__",
+]

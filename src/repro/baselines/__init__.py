@@ -1,0 +1,16 @@
+"""Prior-art baselines the paper positions against (§2).
+
+* :class:`GreedyOffloadScheduler` — offload-if-faster with no
+  compensation (Nimmagadda et al. [8]); unsafe on unreliable servers.
+* :class:`ReservationTransport` — resource-reserved, timing-reliable
+  server access (Toma & Chen [10]); safe but pessimistically slow and
+  capacity-capped.
+
+The A5 ablation (``benchmarks/bench_ablation_baselines.py``) runs both
+against the paper's compensation mechanism on the same workload.
+"""
+
+from .greedy import GreedyOffloadScheduler
+from .reservation import ReservationTransport
+
+__all__ = ["GreedyOffloadScheduler", "ReservationTransport"]

@@ -1,0 +1,266 @@
+"""The greedy offloading baseline (Nimmagadda et al., IROS 2010 — [8]).
+
+Prior-art policy the paper positions against: offload a task whenever
+the *estimated* offloading response time beats local execution, then
+simply wait for the result — no estimated-response-time budget, no
+compensation timer.  §2's critique: "When a task is greedily offloaded
+but the results do not return in the estimated response time, their
+approaches cannot be applied for ensuring hard real-time properties."
+
+This scheduler reproduces that failure mode on the DES: with a reliable
+(e.g. reservation-backed) server it performs fine; with an unreliable
+one, jobs whose results never arrive simply hang past their deadlines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from ..core.task import OffloadableTask, Task, TaskSet
+from ..sched.exec_time import ExecutionTimeModel, WcetModel
+from ..sched.jobs import Job, SubJob
+from ..sched.transport import OffloadRequest, OffloadTransport
+from ..sched.uniprocessor import Uniprocessor
+from ..sim.engine import Simulator
+from ..sim.events import PRIORITY_RELEASE
+from ..sim.trace import Trace
+
+__all__ = ["GreedyOffloadScheduler"]
+
+
+class GreedyOffloadScheduler:
+    """EDF execution with the [8] offload-if-faster policy.
+
+    Parameters
+    ----------
+    estimated_response:
+        ``task_id -> estimated offloading response time`` (the client's
+        belief about the server, or the reservation contract's bound).
+        A task is offloaded iff its estimate is strictly below its
+        local WCET.
+    offload_levels:
+        ``task_id -> benefit level (r value)`` actually shipped to the
+        server — sizes the workload and determines the quality realized
+        on return.  Defaults to ``estimated_response`` (the plain [8]
+        setting where the estimate *is* the level); reservation setups
+        pass the served level here while the (pessimistic) contract
+        bound goes into ``estimated_response``.
+    admission:
+        Optional callable ``request -> bool``; a False return means the
+        server refused the request (e.g. a reservation server at
+        capacity) and the job immediately falls back to local
+        execution.  This models the admission control of
+        reservation-based designs ([10]).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tasks: TaskSet,
+        estimated_response: Mapping[str, float],
+        transport: OffloadTransport,
+        trace: Optional[Trace] = None,
+        exec_model: Optional[ExecutionTimeModel] = None,
+        admission: Optional[Callable[[OffloadRequest], bool]] = None,
+        offload_levels: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.sim = sim
+        self.tasks = tasks
+        self.estimated_response = dict(estimated_response)
+        self.offload_levels = (
+            dict(offload_levels)
+            if offload_levels is not None
+            else dict(estimated_response)
+        )
+        self.transport = transport
+        self.trace = trace if trace is not None else Trace()
+        self.exec_model = exec_model if exec_model is not None else WcetModel()
+        self.admission = admission
+        self.processor = Uniprocessor(sim, self.trace)
+        self._job_counters: Dict[str, int] = {}
+        self._horizon = 0.0
+
+        for task_id in self.estimated_response:
+            if task_id not in tasks:
+                raise ValueError(f"estimate for unknown task {task_id!r}")
+
+    # ------------------------------------------------------------------
+    def run(self, horizon: float) -> Trace:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self._horizon = horizon
+        for task in self.tasks:
+            self.sim.schedule_at(
+                0.0,
+                lambda ev, t=task: self._release(t),
+                priority=PRIORITY_RELEASE,
+                name=f"release:{task.task_id}",
+            )
+        max_deadline = max(t.deadline for t in self.tasks)
+        self.sim.run_until(horizon + max_deadline)
+        self._finalize()
+        return self.trace
+
+    def _finalize(self) -> None:
+        """Greedy offloading can leave jobs waiting forever; count every
+        unfinished job whose deadline has passed as a miss."""
+        now = self.sim.now
+        for rec in self.trace.jobs.values():
+            if rec.finish is None and rec.absolute_deadline < now:
+                self.trace.record_finish(
+                    rec.task_id, rec.job_id, float("inf")
+                )
+
+    # ------------------------------------------------------------------
+    def _should_offload(self, task: Task) -> bool:
+        estimate = self.estimated_response.get(task.task_id)
+        return (
+            estimate is not None
+            and isinstance(task, OffloadableTask)
+            and estimate < task.wcet
+        )
+
+    def _release(self, task: Task) -> None:
+        now = self.sim.now
+        job_id = self._job_counters.get(task.task_id, 0)
+        self._job_counters[task.task_id] = job_id + 1
+        job = Job(
+            task=task, job_id=job_id, release=now,
+            absolute_deadline=now + task.deadline,
+        )
+        self.trace.record_release(
+            task.task_id, job_id, now, job.absolute_deadline
+        )
+
+        if self._should_offload(task):
+            self._offload(job, task)
+        else:
+            self._run_local(job, task)
+
+        next_time = now + task.period
+        if next_time < self._horizon:
+            self.sim.schedule_at(
+                next_time,
+                lambda ev, t=task: self._release(t),
+                priority=PRIORITY_RELEASE,
+                name=f"release:{task.task_id}",
+            )
+
+    def _run_local(self, job: Job, task: Task) -> None:
+        duration = self.exec_model.duration(task, "local", 0.0, job.job_id)
+        self.processor.submit(
+            SubJob(
+                job=job, phase="local", wcet=task.wcet, remaining=duration,
+                absolute_deadline=job.absolute_deadline, release=job.release,
+                on_complete=self._finish_local,
+            )
+        )
+
+    def _finish_local(self, subjob: SubJob, now: float) -> None:
+        job = subjob.job
+        task = job.task
+        if isinstance(task, OffloadableTask):
+            job.realized_benefit = task.benefit.local_benefit * task.weight
+        self._finish(job, now)
+
+    def _offload(self, job: Job, task: OffloadableTask) -> None:
+        job.offloaded = True
+        estimate = self.estimated_response[task.task_id]
+        job.response_budget = estimate
+        rec = self.trace.job(task.task_id, job.job_id)
+        rec.offloaded = True
+        duration = self.exec_model.duration(
+            task, "setup", estimate, job.job_id
+        )
+        self.processor.submit(
+            SubJob(
+                job=job, phase="setup", wcet=task.setup_time,
+                remaining=duration,
+                absolute_deadline=job.absolute_deadline,  # no split theory
+                release=job.release,
+                on_complete=lambda sj, t: self._setup_done(sj, t, estimate),
+            )
+        )
+
+    def _setup_done(
+        self, subjob: SubJob, now: float, estimate: float
+    ) -> None:
+        job = subjob.job
+        task = job.task
+        assert isinstance(task, OffloadableTask)
+        level = self.offload_levels.get(task.task_id, estimate)
+        request = OffloadRequest(
+            task=task, job_id=job.job_id, submitted_at=now,
+            response_budget=estimate, level_response_time=level,
+        )
+        if self.admission is not None and not self.admission(request):
+            # reservation server refused: fall back to local execution
+            duration = self.exec_model.duration(
+                task, "compensation", estimate, job.job_id
+            )
+            self.processor.submit(
+                SubJob(
+                    job=job, phase="compensation",
+                    wcet=task.compensation_time, remaining=duration,
+                    absolute_deadline=job.absolute_deadline,
+                    release=now,
+                    on_complete=self._finish_fallback,
+                )
+            )
+            return
+        # greedily wait for the result — forever, if need be
+        self.transport.submit(
+            request, lambda arrival: self._result(job, task, estimate)
+        )
+
+    def _finish_fallback(self, subjob: SubJob, now: float) -> None:
+        job = subjob.job
+        task = job.task
+        assert isinstance(task, OffloadableTask)
+        job.compensated = True
+        rec = self.trace.job(task.task_id, job.job_id)
+        rec.compensated = True
+        job.realized_benefit = task.benefit.local_benefit * task.weight
+        self._finish(job, now)
+
+    def _result(
+        self, job: Job, task: OffloadableTask, estimate: float
+    ) -> None:
+        if job.finish is not None:
+            return  # result for an already-closed job
+        job.result_returned = True
+        rec = self.trace.job(task.task_id, job.job_id)
+        rec.result_returned = True
+        duration = self.exec_model.duration(
+            task, "post", estimate, job.job_id
+        )
+        self.processor.submit(
+            SubJob(
+                job=job, phase="post", wcet=task.post_time,
+                remaining=duration,
+                absolute_deadline=job.absolute_deadline,
+                release=self.sim.now,
+                on_complete=lambda sj, t: self._finish_offloaded(
+                    sj, t, estimate
+                ),
+            )
+        )
+
+    def _finish_offloaded(
+        self, subjob: SubJob, now: float, estimate: float
+    ) -> None:
+        job = subjob.job
+        task = job.task
+        assert isinstance(task, OffloadableTask)
+        level = self.offload_levels.get(task.task_id, estimate)
+        job.realized_benefit = task.benefit.value(level) * task.weight
+        self._finish(job, now)
+
+    def _finish(self, job: Job, now: float) -> None:
+        job.finish = now
+        rec = self.trace.job(job.task.task_id, job.job_id)
+        rec.offloaded = job.offloaded
+        rec.result_returned = job.result_returned
+        rec.compensated = job.compensated
+        rec.benefit = job.realized_benefit
+        self.trace.record_finish(job.task.task_id, job.job_id, now)

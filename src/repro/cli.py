@@ -1,0 +1,299 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Subcommands regenerate the paper's artifacts from the terminal:
+
+* ``table1`` — E1 benefit-function regeneration;
+* ``fig2`` — E2 case study (24 work sets × 3 scenarios);
+* ``fig3`` — E3 estimation-accuracy sweep;
+* ``ablation-split`` / ``ablation-solvers`` / ``ablation-pessimism``;
+* ``demo`` — one end-to-end run with a schedule Gantt chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.ablations import (
+    run_pessimism_ablation,
+    run_solver_ablation,
+    run_split_ablation,
+)
+from .experiments.baselines_comparison import (
+    format_comparison,
+    run_baseline_comparison,
+)
+from .experiments.fig2 import format_fig2, run_fig2
+from .experiments.fig3 import format_fig3, run_fig3
+from .experiments.split_policies import run_split_policy_ablation
+from .experiments.table1 import format_table1, regenerate_table1
+from .runtime.energy import compare_energy, energy_report
+from .runtime.system import OffloadingSystem
+from .vision.tasks import table1_task_set
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    result = regenerate_table1(
+        scenario=args.scenario,
+        samples_per_level=args.samples,
+        seed=args.seed,
+    )
+    print(format_table1(result))
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    result = run_fig2(horizon=args.horizon, solver=args.solver, seed=args.seed)
+    print(format_fig2(result))
+    if args.svg:
+        from .reporting.charts import svg_bar_chart
+
+        scenarios = list(result.points)
+        svg = svg_bar_chart(
+            categories=list(range(len(result.series(scenarios[0])))),
+            series={s: result.series(s) for s in scenarios},
+            title="Figure 2: normalized total weighted benefits",
+            x_label="work set", y_label="normalized benefit",
+            baseline=1.0,
+        )
+        with open(args.svg, "w") as handle:
+            handle.write(svg)
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    result = run_fig3(num_task_sets=args.task_sets, seed=args.seed)
+    print(format_fig3(result))
+    if args.svg:
+        from .reporting.charts import svg_line_chart
+
+        svg = svg_line_chart(
+            result.ratios, result.normalized,
+            title="Figure 3: normalized total benefits",
+            x_label="estimation accuracy ratio",
+            y_label="normalized benefit",
+        )
+        with open(args.svg, "w") as handle:
+            handle.write(svg)
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def _cmd_ablation_split(args: argparse.Namespace) -> int:
+    result = run_split_ablation(sets_per_level=args.sets, seed=args.seed)
+    print("A1: acceptance ratio (no deadline miss) by utilization")
+    print("util    split    naive")
+    for i, u in enumerate(result.utilizations):
+        split = result.acceptance_ratio("split")[i]
+        naive = result.acceptance_ratio("naive")[i]
+        print(f"{u:4.2f}  {split:7.2%}  {naive:7.2%}")
+    return 0
+
+
+def _cmd_ablation_solvers(args: argparse.Namespace) -> int:
+    result = run_solver_ablation(num_instances=args.instances, seed=args.seed)
+    print("A2: MCKP solver quality (vs exact) and mean runtime")
+    for name in result.solvers:
+        print(
+            f"{name:>12}: quality={result.quality[name]:.4f} "
+            f"runtime={result.runtime_seconds[name] * 1000:.2f} ms"
+        )
+    return 0
+
+
+def _cmd_ablation_pessimism(args: argparse.Namespace) -> int:
+    result = run_pessimism_ablation(
+        num_configurations=args.configs, seed=args.seed
+    )
+    print("A3: schedulability-test pessimism")
+    print(f"configurations:     {result.configurations}")
+    print(f"Theorem 3 accepts:  {result.theorem3_accepts}")
+    print(f"exact dbf accepts:  {result.exact_accepts}")
+    print(f"exact-only accepts: {result.exact_only}")
+    print(f"unsound (must be 0): {result.unsound}")
+    return 0
+
+
+def _cmd_ablation_split_policy(args: argparse.Namespace) -> int:
+    result = run_split_policy_ablation(
+        num_configurations=args.configs, seed=args.seed
+    )
+    print("A4: acceptance by deadline-split policy "
+          f"({result.configurations} configurations)")
+    for policy in sorted(result.accepts):
+        print(
+            f"{policy:>14}: accepts={result.accepts[policy]:3d} "
+            f"({result.acceptance_ratio(policy):6.1%})  "
+            f"unsound={result.unsound[policy]}"
+        )
+    return 0
+
+
+def _cmd_ablation_baselines(args: argparse.Namespace) -> int:
+    comparison = run_baseline_comparison(
+        seed=args.seed, horizon=args.horizon
+    )
+    print(format_comparison(comparison))
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from .sched.offload_scheduler import OffloadingScheduler
+    from .sim.engine import Simulator
+
+    tasks = table1_task_set()
+    offload = OffloadingSystem(
+        tasks, scenario=args.scenario, seed=args.seed
+    ).run(args.horizon)
+    sim = Simulator()
+    local_trace = OffloadingScheduler(sim, table1_task_set()).run(
+        args.horizon
+    )
+    off_energy = energy_report(offload.trace, args.horizon)
+    local_energy = energy_report(local_trace, args.horizon)
+    saving = compare_energy(off_energy, local_energy)
+    print(f"client energy over {args.horizon:.0f}s "
+          f"(scenario={args.scenario}):")
+    print(f"  offloading: {off_energy.total_energy:8.2f} J "
+          f"(avg {off_energy.average_power:.2f} W)")
+    print(f"  all-local:  {local_energy.total_energy:8.2f} J "
+          f"(avg {local_energy.average_power:.2f} W)")
+    print(f"  saving:     {saving:+.1%}")
+    return 0
+
+
+def _cmd_adaptive(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .core.benefit import BenefitFunction, BenefitPoint
+    from .core.task import TaskSet
+    from .runtime.adaptive import AdaptiveOffloadingSystem
+
+    beliefs = TaskSet()
+    for task in table1_task_set():
+        points = [task.benefit.points[0]] + [
+            BenefitPoint(p.response_time * args.belief_scale, p.benefit,
+                         p.setup_time, p.compensation_time, p.label)
+            for p in task.benefit.points[1:]
+        ]
+        beliefs.add(replace(task, benefit=BenefitFunction(points)))
+    system = AdaptiveOffloadingSystem(
+        beliefs, scenario=args.scenario, seed=args.seed,
+        window=args.window,
+    )
+    report = system.run(num_windows=args.windows)
+    print(f"adaptive run (beliefs scaled by {args.belief_scale:g}, "
+          f"scenario={args.scenario}):")
+    print(f"{'window':>6} {'returned':>9} {'compensated':>12} "
+          f"{'benefit':>9} {'misses':>7}")
+    for w in report.windows:
+        print(f"{w.window:>6} {w.return_rate:>8.0%} "
+              f"{w.compensation_rate:>11.0%} {w.realized_benefit:>9.0f} "
+              f"{w.deadline_misses:>7}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    tasks = table1_task_set()
+    system = OffloadingSystem(
+        tasks, scenario=args.scenario, solver=args.solver, seed=args.seed
+    )
+    report = system.run(horizon=args.horizon)
+    print(report.summary())
+    print()
+    print(report.trace.gantt(width=70, horizon=min(args.horizon, 6.0)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Computation Offloading by Using Timing "
+            "Unreliable Components in Real-Time Systems' (DAC 2014)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="regenerate Table 1 (E1)")
+    p.add_argument("--scenario", default="idle")
+    p.add_argument("--samples", type=int, default=100)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("fig2", help="run the case study (E2)")
+    p.add_argument("--horizon", type=float, default=10.0)
+    p.add_argument("--solver", default="dp")
+    p.add_argument("--svg", help="also write the figure as SVG to PATH")
+    p.set_defaults(func=_cmd_fig2)
+
+    p = sub.add_parser("fig3", help="run the accuracy sweep (E3)")
+    p.add_argument("--task-sets", type=int, default=20)
+    p.add_argument("--svg", help="also write the figure as SVG to PATH")
+    p.set_defaults(func=_cmd_fig3)
+
+    p = sub.add_parser("ablation-split", help="A1 split-vs-naive deadlines")
+    p.add_argument("--sets", type=int, default=10)
+    p.set_defaults(func=_cmd_ablation_split)
+
+    p = sub.add_parser("ablation-solvers", help="A2 MCKP solver comparison")
+    p.add_argument("--instances", type=int, default=10)
+    p.set_defaults(func=_cmd_ablation_solvers)
+
+    p = sub.add_parser("ablation-pessimism", help="A3 test pessimism")
+    p.add_argument("--configs", type=int, default=40)
+    p.set_defaults(func=_cmd_ablation_pessimism)
+
+    p = sub.add_parser(
+        "ablation-split-policy", help="A4 deadline-split policy comparison"
+    )
+    p.add_argument("--configs", type=int, default=30)
+    p.set_defaults(func=_cmd_ablation_split_policy)
+
+    p = sub.add_parser(
+        "ablation-baselines",
+        help="A5 compensation vs greedy [8] vs reservation [10]",
+    )
+    p.add_argument("--horizon", type=float, default=10.0)
+    p.set_defaults(func=_cmd_ablation_baselines)
+
+    p = sub.add_parser(
+        "adaptive", help="windowed re-estimation recovery run"
+    )
+    p.add_argument("--scenario", default="not_busy")
+    p.add_argument("--windows", type=int, default=5)
+    p.add_argument("--window", type=float, default=10.0)
+    p.add_argument(
+        "--belief-scale", type=float, default=0.4,
+        help="initial response-time beliefs = truth x this factor",
+    )
+    p.set_defaults(func=_cmd_adaptive)
+
+    p = sub.add_parser(
+        "energy", help="client energy: offloading vs all-local"
+    )
+    p.add_argument("--scenario", default="idle")
+    p.add_argument("--horizon", type=float, default=10.0)
+    p.set_defaults(func=_cmd_energy)
+
+    p = sub.add_parser("demo", help="one end-to-end run with a Gantt chart")
+    p.add_argument("--scenario", default="idle")
+    p.add_argument("--solver", default="dp")
+    p.add_argument("--horizon", type=float, default=10.0)
+    p.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,274 @@
+"""Discrete benefit functions ``G_i(r_i)`` (paper §3.2).
+
+A benefit function captures the value of offloading task ``τ_i`` when the
+estimated worst-case response time is set to ``r_i``.  The paper requires:
+
+* ``G_i`` is non-decreasing in ``r_i``;
+* it changes value at only a fixed number of points (it is *discretized*);
+* ``r_{i,1} = 0`` and ``G_i(0)`` stores the benefit of pure local
+  execution (offloading disabled);
+* ``r_{i,j} > 0`` for ``j > 1``.
+
+This module represents such a function as an explicit list of
+:class:`BenefitPoint` entries.  Each point may optionally carry
+level-specific setup/compensation times ``C^j_{i,1}``/``C^j_{i,2}`` — the
+extension the paper introduces at the end of §5.2 and uses for the case
+study, where a larger image (higher benefit) also costs more to prepare
+and to compensate.
+
+Typical benefit semantics (both appear in the paper's evaluation):
+
+* the *probability* that the unreliable component returns the result
+  within ``r_i`` (Figure 3's simulation), built by
+  :meth:`BenefitFunction.from_samples`;
+* a *quality index* such as PSNR of the image size that fits within
+  ``r_i`` (Table 1's case study).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["BenefitPoint", "BenefitFunction"]
+
+
+@dataclass(frozen=True)
+class BenefitPoint:
+    """One discretization point ``(r_{i,j}, G_i(r_{i,j}))``.
+
+    ``setup_time``/``compensation_time`` are optional per-level overrides
+    ``C^j_{i,1}``/``C^j_{i,2}``; when ``None`` the task-level defaults
+    apply.  The local point (``response_time == 0``) never uses them.
+    """
+
+    response_time: float
+    benefit: float
+    setup_time: Optional[float] = None
+    compensation_time: Optional[float] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.response_time < 0:
+            raise ValueError(f"negative response time {self.response_time}")
+        if self.setup_time is not None and self.setup_time < 0:
+            raise ValueError(f"negative setup time {self.setup_time}")
+        if self.compensation_time is not None and self.compensation_time < 0:
+            raise ValueError(
+                f"negative compensation time {self.compensation_time}"
+            )
+
+    @property
+    def is_local(self) -> bool:
+        """True for the ``r_{i,1} = 0`` point (execute locally)."""
+        return self.response_time == 0.0
+
+
+class BenefitFunction:
+    """A validated, non-decreasing, discretized benefit function.
+
+    Construction enforces the paper's structural requirements; violations
+    raise ``ValueError`` immediately rather than corrupting a later MCKP
+    instance.
+    """
+
+    def __init__(self, points: Iterable[BenefitPoint]) -> None:
+        pts = sorted(points, key=lambda p: p.response_time)
+        if not pts:
+            raise ValueError("a benefit function needs at least one point")
+        if pts[0].response_time != 0.0:
+            raise ValueError(
+                "the first benefit point must be r=0 (local execution); "
+                f"got r={pts[0].response_time}"
+            )
+        for earlier, later in zip(pts, pts[1:]):
+            if later.response_time == earlier.response_time:
+                raise ValueError(
+                    f"duplicate response time {later.response_time}"
+                )
+            if later.benefit < earlier.benefit:
+                raise ValueError(
+                    "benefit function must be non-decreasing: "
+                    f"G({later.response_time})={later.benefit} < "
+                    f"G({earlier.response_time})={earlier.benefit}"
+                )
+        self._points: Tuple[BenefitPoint, ...] = tuple(pts)
+        self._times: List[float] = [p.response_time for p in pts]
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Sequence[Tuple[float, float]],
+        local_benefit: Optional[float] = None,
+    ) -> "BenefitFunction":
+        """Build from ``(response_time, benefit)`` pairs.
+
+        If no pair has ``response_time == 0`` a local point is inserted
+        with ``local_benefit`` (default: 0).
+        """
+        points = [BenefitPoint(r, g) for r, g in pairs]
+        if not any(p.is_local for p in points):
+            points.append(BenefitPoint(0.0, local_benefit or 0.0))
+        return cls(points)
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Sequence[float],
+        response_times: Sequence[float],
+        local_benefit: float = 0.0,
+    ) -> "BenefitFunction":
+        """Empirical success-probability benefit from response-time samples.
+
+        ``G(r)`` is the fraction of observed server response times that
+        were ``<= r`` — exactly the "probability to get computation results
+        within response time r_i" semantics of §3.2 — evaluated at the
+        candidate ``response_times``.
+        """
+        if not samples:
+            raise ValueError("need at least one sample")
+        data = sorted(samples)
+        n = len(data)
+        points = [BenefitPoint(0.0, local_benefit, label="local")]
+        for r in sorted(set(response_times)):
+            if r <= 0:
+                continue
+            frac = bisect.bisect_right(data, r) / n
+            points.append(BenefitPoint(r, max(frac, local_benefit)))
+        return cls(points)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> Tuple[BenefitPoint, ...]:
+        return self._points
+
+    @property
+    def num_points(self) -> int:
+        """``Q_i`` — the number of discretization points including r=0."""
+        return len(self._points)
+
+    @property
+    def local_benefit(self) -> float:
+        """``G_i(0)`` — the benefit of executing locally."""
+        return self._points[0].benefit
+
+    @property
+    def max_benefit(self) -> float:
+        return self._points[-1].benefit
+
+    @property
+    def response_times(self) -> Tuple[float, ...]:
+        """All ``r_{i,j}`` in increasing order (first is always 0)."""
+        return tuple(self._times)
+
+    def value(self, r: float) -> float:
+        """Evaluate the step function ``G_i(r)``.
+
+        The function is right-continuous in the natural sense for a
+        non-decreasing step function defined by its points: the value at
+        ``r`` is the benefit of the largest point with
+        ``response_time <= r``.
+        """
+        if r < 0:
+            raise ValueError(f"negative response time {r}")
+        idx = bisect.bisect_right(self._times, r) - 1
+        return self._points[idx].benefit
+
+    def point_at(self, r: float) -> BenefitPoint:
+        """Return the exact point with ``response_time == r``.
+
+        Raises ``KeyError`` when ``r`` is not a discretization point.
+        """
+        idx = bisect.bisect_left(self._times, r)
+        if idx == len(self._times) or self._times[idx] != r:
+            raise KeyError(f"{r} is not a discretization point")
+        return self._points[idx]
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def scaled(self, accuracy_ratio: float) -> "BenefitFunction":
+        """Apply the estimation error model of §6.2: use ``G((1+x)·r)``.
+
+        With accuracy ratio ``x`` the estimator believes the benefit at
+        ``r`` is the true benefit at ``(1+x)·r``:
+
+        * ``x < 0`` (response time under-estimated) ⇒ the success
+          probability at each candidate ``r`` is *over*-estimated;
+        * ``x > 0`` ⇒ it is *under*-estimated.
+
+        The candidate response times themselves are unchanged — only the
+        benefit values the decision manager *believes* are perturbed.
+        """
+        if accuracy_ratio <= -1.0:
+            raise ValueError("accuracy ratio must be > -1")
+        new_points = [self._points[0]]
+        for p in self._points[1:]:
+            believed = self.value(p.response_time * (1.0 + accuracy_ratio))
+            new_points.append(
+                BenefitPoint(
+                    response_time=p.response_time,
+                    benefit=believed,
+                    setup_time=p.setup_time,
+                    compensation_time=p.compensation_time,
+                    label=p.label,
+                )
+            )
+        # Re-impose monotonicity (guaranteed mathematically, but guard
+        # against float noise) and collapse any decreases.
+        running = new_points[0].benefit
+        fixed = [new_points[0]]
+        for p in new_points[1:]:
+            running = max(running, p.benefit)
+            fixed.append(
+                BenefitPoint(
+                    p.response_time, running, p.setup_time,
+                    p.compensation_time, p.label,
+                )
+            )
+        return BenefitFunction(fixed)
+
+    def weighted(self, weight: float) -> "BenefitFunction":
+        """Return a copy with every benefit multiplied by ``weight`` ≥ 0."""
+        if weight < 0:
+            raise ValueError("weight must be non-negative")
+        return BenefitFunction(
+            BenefitPoint(
+                p.response_time,
+                p.benefit * weight,
+                p.setup_time,
+                p.compensation_time,
+                p.label,
+            )
+            for p in self._points
+        )
+
+    def truncated(self, max_response_time: float) -> "BenefitFunction":
+        """Drop points with ``response_time > max_response_time``.
+
+        Used to pre-filter points that can never be feasible, e.g. those
+        with ``r_{i,j} >= D_i`` (the split-deadline formula needs
+        ``D_i − R_i > 0``).
+        """
+        kept = [p for p in self._points if p.response_time <= max_response_time]
+        return BenefitFunction(kept)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BenefitFunction):
+            return NotImplemented
+        return self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"({p.response_time:.4g}->{p.benefit:.4g})" for p in self._points
+        )
+        return f"BenefitFunction[{inner}]"

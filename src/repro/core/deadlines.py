@@ -1,0 +1,183 @@
+"""Sub-job deadline assignment for offloaded tasks (paper §5.1).
+
+The paper's scheduling algorithm splits each job of an offloaded task
+``τ_i`` (arrival ``t``, estimated response time ``R_i``) into two
+sub-jobs scheduled under plain EDF:
+
+* the **setup sub-job** (``C_{i,1}``) released at ``t`` with relative
+  deadline::
+
+      D_{i,1} = C_{i,1} · (D_i − R_i) / (C_{i,1} + C_{i,2})
+
+* the **compensation/post sub-job** (``C_{i,2}`` worst case) released when
+  the result returns or when ``R_i`` expires, with the job's original
+  absolute deadline ``t + D_i``.
+
+The proportional split gives both sub-jobs the *same density*
+``(C_{i,1}+C_{i,2})/(D_i−R_i)``, which is exactly the per-task term of the
+Theorem 3 utilization-style test.  This module computes and validates the
+split; the scheduler and the analysis both consume it, so the formula
+lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .task import OffloadableTask
+
+__all__ = ["SubJobDeadlines", "split_deadlines", "SPLIT_POLICIES"]
+
+
+@dataclass(frozen=True)
+class SubJobDeadlines:
+    """The derived per-job timing budget of one offloaded task.
+
+    Attributes
+    ----------
+    setup_deadline:
+        ``D_{i,1}`` — relative deadline of the setup sub-job.
+    response_budget:
+        ``R_i`` — the suspension window during which the client waits for
+        the unreliable component.
+    compensation_budget:
+        ``D_i − R_i − D_{i,1}`` — the window the proportional split leaves
+        between the latest compensation trigger (``t + D_{i,1} + R_i``)
+        and the absolute deadline ``t + D_i``.
+    total_deadline:
+        ``D_i`` — the original relative deadline, unchanged.
+    setup_wcet / compensation_wcet:
+        The (possibly level-specific) ``C_{i,1}`` and ``C_{i,2}`` used.
+    """
+
+    setup_deadline: float
+    response_budget: float
+    compensation_budget: float
+    total_deadline: float
+    setup_wcet: float
+    compensation_wcet: float
+
+    @property
+    def density(self) -> float:
+        """``(C_{i,1}+C_{i,2})/(D_i−R_i)`` — identical for both sub-jobs."""
+        return (self.setup_wcet + self.compensation_wcet) / (
+            self.total_deadline - self.response_budget
+        )
+
+    @property
+    def latest_compensation_release(self) -> float:
+        """Relative offset ``D_{i,1} + R_i`` of the latest trigger time."""
+        return self.setup_deadline + self.response_budget
+
+
+def _d1_proportional(setup: float, comp: float, slack: float) -> float:
+    """The paper's rule: ``D_{i,1} = C_{i,1}·(D−R)/(C_{i,1}+C_{i,2})``.
+
+    Equalizes the two sub-job densities at ``(C1+C2)/(D−R)`` — exactly
+    the per-task term of Theorem 3, which is what makes the linear test
+    tight for this rule.
+    """
+    return setup * slack / (setup + comp)
+
+
+def _d1_equal_slack(setup: float, comp: float, slack: float) -> float:
+    """Each sub-job gets half the window (clamped to stay feasible)."""
+    half = slack / 2.0
+    return min(max(half, setup), slack - comp)
+
+
+def _d1_setup_minimal(setup: float, comp: float, slack: float) -> float:
+    """The setup sub-job gets exactly its WCET; compensation gets the
+    rest.  Maximally urgent setup — high setup density."""
+    return setup
+
+
+def _d1_sqrt(setup: float, comp: float, slack: float) -> float:
+    """Minimizes the *sum* of the two sub-job densities:
+    ``C1/D1 + C2/(S−D1)`` is minimal at ``D1 = S/(1+sqrt(C2/C1))``.
+
+    Included because it is the natural alternative optimum; the A4
+    ablation shows the paper's equal-density rule still accepts more
+    task sets under the exact demand test (the max density, not the
+    sum, is what windows bind on).
+    """
+    d1 = slack / (1.0 + math.sqrt(comp / setup))
+    return min(max(d1, setup), slack - comp)
+
+
+#: Deadline-splitting policies for the A4 ablation.  ``proportional``
+#: is the paper's rule and the library default.
+SPLIT_POLICIES = {
+    "proportional": _d1_proportional,
+    "equal_slack": _d1_equal_slack,
+    "setup_minimal": _d1_setup_minimal,
+    "sqrt": _d1_sqrt,
+}
+
+
+def split_deadlines(
+    task: OffloadableTask,
+    response_time: float,
+    policy: str = "proportional",
+) -> SubJobDeadlines:
+    """Compute the §5.1 deadline split for ``task`` at ``R_i``.
+
+    ``response_time`` must be one of the task's benefit discretization
+    points if per-level ``C^j_{i,1}``/``C^j_{i,2}`` overrides are to be
+    honoured; for a non-point value the task-level defaults are used.
+
+    ``policy`` selects the splitting rule (see :data:`SPLIT_POLICIES`);
+    the default is the paper's proportional rule.  All policies produce
+    splits where each sub-job fits its own budget in isolation.
+
+    Raises
+    ------
+    ValueError
+        If ``R_i ≤ 0`` (use local execution instead of a zero-response
+        offload) or if the budget is structurally infeasible, i.e.
+        ``C_{i,1} + C_{i,2} > D_i − R_i`` — no deadline assignment can
+        make the two sub-jobs fit even alone on the processor.
+    """
+    if response_time <= 0:
+        raise ValueError(
+            f"{task.task_id}: offloading requires a positive R_i "
+            f"(got {response_time}); use local execution for R_i = 0"
+        )
+    try:
+        setup = task.setup_time_at(response_time)
+        comp = task.compensation_time_at(response_time)
+    except KeyError:
+        setup = task.setup_time
+        comp = task.compensation_time
+    if task.result_guaranteed(response_time):
+        # §3 extension: the result always arrives, so the second phase
+        # is post-processing, not compensation.
+        comp = task.post_time
+
+    slack = task.deadline - response_time
+    if slack <= 0:
+        raise ValueError(
+            f"{task.task_id}: R_i={response_time} >= D_i={task.deadline}; "
+            "no time remains for setup and compensation"
+        )
+    if setup + comp > slack + 1e-12:
+        raise ValueError(
+            f"{task.task_id}: C1+C2={setup + comp:.6g} exceeds "
+            f"D_i-R_i={slack:.6g}; the split is infeasible even in isolation"
+        )
+    if policy not in SPLIT_POLICIES:
+        raise ValueError(
+            f"unknown split policy {policy!r}; "
+            f"available: {sorted(SPLIT_POLICIES)}"
+        )
+
+    setup_deadline = SPLIT_POLICIES[policy](setup, comp, slack)
+    return SubJobDeadlines(
+        setup_deadline=setup_deadline,
+        response_budget=response_time,
+        compensation_budget=slack - setup_deadline,
+        total_deadline=task.deadline,
+        setup_wcet=setup,
+        compensation_wcet=comp,
+    )

@@ -1,0 +1,221 @@
+"""Multi-server offloading: choosing *which* unreliable component.
+
+The paper abstracts "a server" as "any components that can be used for
+executing the offloaded tasks" (§3) and evaluates one GPU server.  Real
+deployments often see several candidates — an edge box, a cloud GPU, a
+neighbour robot — each with its own response-time distribution and
+therefore its own benefit function per task.
+
+The decision problem stays a multiple-choice knapsack: one class per
+task whose items are the local point plus, for *every* server, that
+server's feasible benefit points.  Exactly-one-per-class now
+simultaneously decides offload-or-not, the server, and the estimated
+response time; the Theorem 3 weight of an item is unchanged (the
+client-side demand does not care where the request went).
+
+This module builds that MCKP and wraps the result in a
+:class:`MultiServerDecision` mapping each task to ``(server, R_i)``;
+:class:`~repro.sched.transport.OffloadTransport` routing is provided by
+:class:`RoutingTransport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..knapsack import MCKPClass, MCKPInstance, MCKPItem, SOLVERS, Selection
+from ..sched.transport import OffloadRequest, OffloadTransport
+from .benefit import BenefitFunction
+from .schedulability import (
+    OffloadAssignment,
+    SchedulabilityResult,
+    theorem3_test,
+)
+from .task import OffloadableTask, TaskSet
+
+__all__ = [
+    "MultiServerDecision",
+    "MultiServerDecisionManager",
+    "RoutingTransport",
+    "build_multiserver_mckp",
+]
+
+
+@dataclass(frozen=True)
+class MultiServerDecision:
+    """Per-task ``(server, R_i)`` selection plus evidence.
+
+    ``placements`` maps every task id to ``(server_id, response_time)``;
+    local execution is ``(None, 0.0)``.
+    """
+
+    placements: Mapping[str, Tuple[Optional[str], float]]
+    expected_benefit: float
+    total_demand_rate: float
+    schedulability: SchedulabilityResult
+    solver: str
+
+    @property
+    def response_times(self) -> Dict[str, float]:
+        """The plain ``task_id -> R_i`` view the scheduler consumes."""
+        return {tid: r for tid, (_, r) in self.placements.items()}
+
+    @property
+    def routes(self) -> Dict[str, str]:
+        """``task_id -> server_id`` for the offloaded tasks only."""
+        return {
+            tid: server
+            for tid, (server, r) in self.placements.items()
+            if server is not None and r > 0
+        }
+
+    def server_of(self, task_id: str) -> Optional[str]:
+        return self.placements[task_id][0]
+
+
+def build_multiserver_mckp(
+    tasks: TaskSet,
+    server_benefits: Mapping[str, Mapping[str, BenefitFunction]],
+) -> MCKPInstance:
+    """One class per task; items span all servers' benefit points.
+
+    ``server_benefits[server_id][task_id]`` is the benefit function the
+    estimator measured for that task *on that server*.  A task absent
+    from a server's mapping simply cannot be offloaded there.  The local
+    item's value is the maximum of the servers' ``G_i(0)`` (all describe
+    the same local execution; they should agree, but measurement noise
+    is tolerated by taking the max).
+    """
+    classes: List[MCKPClass] = []
+    for task in tasks:
+        local_density = task.wcet / min(task.period, task.deadline)
+        local_values = [
+            per_task[task.task_id].local_benefit
+            for per_task in server_benefits.values()
+            if task.task_id in per_task
+        ]
+        if isinstance(task, OffloadableTask):
+            local_values.append(task.benefit.local_benefit)
+        local_value = max(local_values, default=0.0) * task.weight
+        items: List[MCKPItem] = [
+            MCKPItem(value=local_value, weight=local_density,
+                     tag=(None, 0.0))
+        ]
+        if isinstance(task, OffloadableTask):
+            for server_id, per_task in server_benefits.items():
+                fn = per_task.get(task.task_id)
+                if fn is None:
+                    continue
+                for point in fn.points:
+                    if point.is_local:
+                        continue
+                    slack = task.deadline - point.response_time
+                    if slack <= 0:
+                        continue
+                    setup = (
+                        point.setup_time
+                        if point.setup_time is not None
+                        else task.setup_time
+                    )
+                    if task.result_guaranteed(point.response_time):
+                        second = task.post_time
+                    else:
+                        second = (
+                            point.compensation_time
+                            if point.compensation_time is not None
+                            else task.compensation_time
+                        )
+                    if setup + second > slack + 1e-12:
+                        continue
+                    items.append(
+                        MCKPItem(
+                            value=point.benefit * task.weight,
+                            weight=(setup + second) / slack,
+                            tag=(server_id, point.response_time),
+                        )
+                    )
+        classes.append(MCKPClass(class_id=task.task_id, items=tuple(items)))
+    return MCKPInstance(classes=tuple(classes), capacity=1.0)
+
+
+class MultiServerDecisionManager:
+    """ODM over several candidate servers (same solver registry)."""
+
+    def __init__(self, solver: str = "dp", **solver_kwargs) -> None:
+        if solver not in SOLVERS:
+            raise ValueError(
+                f"unknown solver {solver!r}; available: {sorted(SOLVERS)}"
+            )
+        self._solve: Callable = SOLVERS[solver]
+        self.solver_name = solver
+        self._solver_kwargs = solver_kwargs
+
+    def decide(
+        self,
+        tasks: TaskSet,
+        server_benefits: Mapping[str, Mapping[str, BenefitFunction]],
+    ) -> MultiServerDecision:
+        tasks.validate()
+        instance = build_multiserver_mckp(tasks, server_benefits)
+        selection: Optional[Selection] = self._solve(
+            instance, **self._solver_kwargs
+        )
+        if selection is None:
+            raise ValueError(
+                "no feasible selection although the all-local "
+                "configuration is feasible; this indicates a solver bug"
+            )
+        placements: Dict[str, Tuple[Optional[str], float]] = {}
+        for cls in instance.classes:
+            server_id, r = selection.item_for(cls.class_id).tag
+            placements[cls.class_id] = (server_id, float(r))
+
+        # Offloading benefit points may come from server-specific
+        # functions absent from the task objects, so re-verify through
+        # the generic (task-parameter-based) Theorem 3 path.
+        assignments = [
+            OffloadAssignment(tid, r)
+            for tid, (server, r) in placements.items()
+            if r > 0
+        ]
+        check = theorem3_test(tasks, assignments)
+        if not check.feasible:
+            raise AssertionError(
+                "multi-server ODM produced an infeasible decision; the "
+                "MCKP weights and the schedulability test have diverged"
+            )
+        return MultiServerDecision(
+            placements=placements,
+            expected_benefit=selection.total_value,
+            total_demand_rate=selection.total_weight,
+            schedulability=check,
+            solver=self.solver_name,
+        )
+
+
+class RoutingTransport:
+    """Routes each request to its task's assigned server transport."""
+
+    def __init__(
+        self,
+        routes: Mapping[str, str],
+        transports: Mapping[str, OffloadTransport],
+    ) -> None:
+        unknown = set(routes.values()) - set(transports)
+        if unknown:
+            raise ValueError(
+                f"routes reference unknown servers: {sorted(unknown)}"
+            )
+        self.routes = dict(routes)
+        self.transports = dict(transports)
+
+    def submit(
+        self, request: OffloadRequest, on_result: Callable[[float], None]
+    ) -> None:
+        server_id = self.routes.get(request.task.task_id)
+        if server_id is None:
+            raise ValueError(
+                f"no route for task {request.task.task_id!r}"
+            )
+        self.transports[server_id].submit(request, on_result)

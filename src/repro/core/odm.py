@@ -1,0 +1,210 @@
+"""The Offloading Decision Manager (paper §3.3, §4, §5.2).
+
+Given a task set with benefit functions, the ODM selects, for every
+task, either local execution (``R_i = 0``) or one of its benefit
+discretization points ``r_{i,j} > 0`` as the estimated worst-case
+response time, maximizing the total (weighted) benefit subject to the
+Theorem 3 schedulability budget.
+
+The reduction to the multiple-choice knapsack problem follows §5.2
+exactly:
+
+* class ``i`` ↔ task ``τ_i``;
+* the local item has weight ``w_{i,1} = C_i/T_i`` and value ``G_i(0)``;
+* the offload item for point ``r_{i,j} > 0`` has weight
+  ``w_{i,j} = (C^j_{i,1}+C^j_{i,2})/(D_i − r_{i,j})`` and value
+  ``G_i(r_{i,j})``;
+* the capacity is 1.
+
+Structurally infeasible points (``r_{i,j} ≥ D_i`` or
+``C^j_{i,1}+C^j_{i,2} > D_i − r_{i,j}``) are filtered before solving —
+they could never be part of a feasible schedule regardless of the other
+tasks.  Task weights (case-study importance values) scale the item
+values, not the benefit functions themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..knapsack import (
+    MCKPClass,
+    MCKPInstance,
+    MCKPItem,
+    SOLVERS,
+    Selection,
+)
+from .schedulability import (
+    OffloadAssignment,
+    SchedulabilityResult,
+    theorem3_test,
+)
+from .task import OffloadableTask, Task, TaskSet
+
+__all__ = ["OffloadingDecision", "OffloadingDecisionManager", "build_mckp"]
+
+
+@dataclass(frozen=True)
+class OffloadingDecision:
+    """The ODM's output: per-task response-time settings plus evidence.
+
+    ``response_times`` maps every task id to its selected ``R_i``
+    (0.0 = execute locally).  ``expected_benefit`` is the MCKP objective
+    value Σ G_i(R_i) (weighted).  ``schedulability`` re-verifies the
+    decision against Theorem 3 — by construction it is always feasible,
+    and the ODM asserts this.
+    """
+
+    response_times: Mapping[str, float]
+    expected_benefit: float
+    total_demand_rate: float
+    schedulability: SchedulabilityResult
+    solver: str
+
+    @property
+    def offloaded_task_ids(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(tid for tid, r in self.response_times.items() if r > 0)
+        )
+
+    @property
+    def local_task_ids(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(tid for tid, r in self.response_times.items() if r == 0)
+        )
+
+    def assignments(self) -> List[OffloadAssignment]:
+        """The offload assignments in :mod:`repro.core.schedulability` form."""
+        return [
+            OffloadAssignment(tid, r)
+            for tid, r in sorted(self.response_times.items())
+            if r > 0
+        ]
+
+    def response_time_of(self, task_id: str) -> float:
+        return self.response_times[task_id]
+
+
+def build_mckp(tasks: TaskSet) -> MCKPInstance:
+    """Construct the §5.2 MCKP instance for ``tasks``.
+
+    Every task contributes a class whose first item is the (always
+    present) local choice; offloadable tasks additionally contribute one
+    item per structurally feasible benefit point.  Item tags carry the
+    response time so decisions can be read back off a
+    :class:`~repro.knapsack.Selection`.
+    """
+    classes: List[MCKPClass] = []
+    for task in tasks:
+        local_density = task.wcet / min(task.period, task.deadline)
+        if isinstance(task, OffloadableTask):
+            local_value = task.benefit.local_benefit * task.weight
+        else:
+            local_value = 0.0
+        items: List[MCKPItem] = [
+            MCKPItem(value=local_value, weight=local_density, tag=0.0)
+        ]
+        if isinstance(task, OffloadableTask):
+            for point in task.benefit.points:
+                if point.is_local:
+                    continue
+                slack = task.deadline - point.response_time
+                if slack <= 0:
+                    continue
+                setup = (
+                    point.setup_time
+                    if point.setup_time is not None
+                    else task.setup_time
+                )
+                if task.result_guaranteed(point.response_time):
+                    # §3 extension: guaranteed result -> post-processing
+                    # budget instead of compensation
+                    second = task.post_time
+                else:
+                    second = (
+                        point.compensation_time
+                        if point.compensation_time is not None
+                        else task.compensation_time
+                    )
+                if setup + second > slack + 1e-12:
+                    continue
+                items.append(
+                    MCKPItem(
+                        value=point.benefit * task.weight,
+                        weight=(setup + second) / slack,
+                        tag=point.response_time,
+                    )
+                )
+        classes.append(MCKPClass(class_id=task.task_id, items=tuple(items)))
+    return MCKPInstance(classes=tuple(classes), capacity=1.0)
+
+
+class OffloadingDecisionManager:
+    """Facade that runs the full §5 pipeline: reduce → solve → verify.
+
+    Parameters
+    ----------
+    solver:
+        Either a solver name from :data:`repro.knapsack.SOLVERS`
+        (``"dp"``, ``"heu_oe"``, ``"branch_bound"``, ``"brute_force"``)
+        or a callable ``MCKPInstance -> Optional[Selection]``.
+    """
+
+    def __init__(self, solver: str = "dp", **solver_kwargs) -> None:
+        if callable(solver):
+            self._solve: Callable = solver
+            self.solver_name = getattr(solver, "__name__", "custom")
+        else:
+            if solver not in SOLVERS:
+                raise ValueError(
+                    f"unknown solver {solver!r}; "
+                    f"available: {sorted(SOLVERS)}"
+                )
+            self._solve = SOLVERS[solver]
+            self.solver_name = solver
+        self._solver_kwargs = solver_kwargs
+
+    def decide(self, tasks: TaskSet) -> OffloadingDecision:
+        """Compute offloading decisions for ``tasks``.
+
+        Raises ``ValueError`` when even the all-local configuration is
+        infeasible (``Σ C_i/T_i > 1``) — the mechanism presupposes a
+        feasible baseline, as both paper experiments do.
+        """
+        tasks.validate()
+        instance = build_mckp(tasks)
+        selection: Optional[Selection] = self._solve(
+            instance, **self._solver_kwargs
+        )
+        if selection is None:
+            raise ValueError(
+                "MCKP solver found no feasible selection although the "
+                "all-local configuration is feasible; this indicates a "
+                "solver bug"
+            )
+
+        response_times: Dict[str, float] = {}
+        for cls in instance.classes:
+            item = selection.item_for(cls.class_id)
+            response_times[cls.class_id] = float(item.tag)
+
+        assignments = [
+            OffloadAssignment(tid, r)
+            for tid, r in response_times.items()
+            if r > 0
+        ]
+        check = theorem3_test(tasks, assignments)
+        if not check.feasible:
+            raise AssertionError(
+                "ODM produced a Theorem-3-infeasible decision "
+                f"(demand rate {check.total_demand_rate:.6f}); the MCKP "
+                "weights and the schedulability test have diverged"
+            )
+        return OffloadingDecision(
+            response_times=response_times,
+            expected_benefit=selection.total_value,
+            total_demand_rate=selection.total_weight,
+            schedulability=check,
+            solver=self.solver_name,
+        )

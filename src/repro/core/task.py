@@ -1,0 +1,347 @@
+"""Sporadic real-time task model with offloading extensions (paper §3–§4).
+
+Two task classes:
+
+* :class:`Task` — the classic sporadic task ``τ_i = (C_i, T_i, D_i)``.
+  Implicit deadlines (``D_i = T_i``) are the paper's default; constrained
+  deadlines (``D_i ≤ T_i``) are supported as the paper's announced
+  extension.
+* :class:`OffloadableTask` — adds the offloading timing parameters of §3
+  (``C_{i,1}`` setup, ``C_{i,2}`` local compensation, ``C_{i,3}``
+  post-processing) and the benefit function ``G_i``.
+
+A :class:`TaskSet` is an ordered, id-unique collection with utilization
+helpers and validation used by the analysis and simulation layers.
+
+All times are in **seconds** throughout the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .benefit import BenefitFunction, BenefitPoint
+
+__all__ = ["Task", "OffloadableTask", "TaskSet"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """A sporadic hard real-time task.
+
+    Parameters
+    ----------
+    task_id:
+        Unique identifier (e.g. ``"tau1"``).
+    wcet:
+        ``C_i`` — worst-case execution time for *local* execution.
+    period:
+        ``T_i`` — minimum inter-arrival time.
+    deadline:
+        ``D_i`` — relative deadline; defaults to the period
+        (implicit-deadline model).  Must satisfy ``D_i ≤ T_i``
+        (constrained deadlines), matching the paper's model and its
+        announced extension.
+    weight:
+        Importance weight used by the case study (§6.1.3); scales the
+        benefit when building the MCKP objective.
+    """
+
+    task_id: str
+    wcet: float
+    period: float
+    deadline: Optional[float] = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise ValueError("task_id must be non-empty")
+        if self.wcet <= 0:
+            raise ValueError(f"{self.task_id}: wcet must be positive")
+        if self.period <= 0:
+            raise ValueError(f"{self.task_id}: period must be positive")
+        if self.deadline is None:
+            object.__setattr__(self, "deadline", self.period)
+        if self.deadline <= 0:
+            raise ValueError(f"{self.task_id}: deadline must be positive")
+        if self.deadline > self.period + 1e-12:
+            raise ValueError(
+                f"{self.task_id}: deadline {self.deadline} exceeds period "
+                f"{self.period}; only constrained deadlines are supported"
+            )
+        if self.wcet > self.deadline + 1e-12:
+            raise ValueError(
+                f"{self.task_id}: wcet {self.wcet} exceeds deadline "
+                f"{self.deadline}; task can never be schedulable"
+            )
+        if self.weight < 0:
+            raise ValueError(f"{self.task_id}: weight must be non-negative")
+
+    @property
+    def utilization(self) -> float:
+        """``C_i / T_i``."""
+        return self.wcet / self.period
+
+    @property
+    def density(self) -> float:
+        """``C_i / min(D_i, T_i)``."""
+        return self.wcet / min(self.deadline, self.period)
+
+    @property
+    def is_implicit_deadline(self) -> bool:
+        return abs(self.deadline - self.period) <= 1e-12
+
+    @property
+    def offloadable(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Task({self.task_id}, C={self.wcet:.4g}, T={self.period:.4g}, "
+            f"D={self.deadline:.4g})"
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class OffloadableTask(Task):
+    """A task that may be offloaded to a timing unreliable component.
+
+    Adds the §3 execution-time characterization:
+
+    * ``setup_time`` (``C_{i,1}``) — local preprocessing + transmission;
+    * ``compensation_time`` (``C_{i,2}``) — local fallback when the result
+      does not arrive within ``R_i``;
+    * ``post_time`` (``C_{i,3}``) — result post-processing, required
+      ``≤ C_{i,2}`` so the compensation path dominates the worst case;
+    * ``benefit`` — the discretized ``G_i(r_i)``.
+
+    Per-level overrides ``C^j_{i,1}``/``C^j_{i,2}`` may be attached to the
+    individual :class:`~repro.core.benefit.BenefitPoint` entries (the §5.2
+    extension); :meth:`setup_time_at`/:meth:`compensation_time_at` resolve
+    them with the task-level values as defaults.
+    """
+
+    setup_time: float = 0.0
+    compensation_time: float = 0.0
+    post_time: float = 0.0
+    benefit: Optional[BenefitFunction] = None
+    #: Optional pessimistic upper bound on the unreliable component's
+    #: response time (the §3 extension).  When ``R_i`` is set at or above
+    #: this bound the result is guaranteed to arrive, so the second
+    #: execution phase is budgeted as ``C_{i,3}`` (post-processing)
+    #: instead of ``C_{i,2}`` (compensation).  ``None`` = no bound exists
+    #: (the default; the component is fully unreliable).
+    server_response_bound: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.setup_time <= 0:
+            raise ValueError(f"{self.task_id}: setup_time must be positive")
+        if self.compensation_time <= 0:
+            raise ValueError(
+                f"{self.task_id}: compensation_time must be positive"
+            )
+        if self.post_time < 0:
+            raise ValueError(f"{self.task_id}: post_time must be >= 0")
+        if self.post_time > self.compensation_time + 1e-12:
+            raise ValueError(
+                f"{self.task_id}: the model requires C_i,3 <= C_i,2 "
+                f"(got {self.post_time} > {self.compensation_time})"
+            )
+        if (
+            self.server_response_bound is not None
+            and self.server_response_bound <= 0
+        ):
+            raise ValueError(
+                f"{self.task_id}: server_response_bound must be positive"
+            )
+        if self.benefit is None:
+            # Degenerate benefit: offloading is never worth anything, only
+            # the local point exists.  Keeps the type total.
+            object.__setattr__(
+                self, "benefit", BenefitFunction([BenefitPoint(0.0, 0.0)])
+            )
+        for point in self.benefit.points:
+            if point.is_local:
+                continue
+            setup = point.setup_time if point.setup_time is not None else self.setup_time
+            comp = (
+                point.compensation_time
+                if point.compensation_time is not None
+                else self.compensation_time
+            )
+            if point.response_time + setup + comp > self.deadline + 1e-12:
+                # Not an error: such points simply can never be selected.
+                # They are filtered by the ODM; flagging here would force
+                # callers to pre-trim estimator output.
+                continue
+
+    @property
+    def offloadable(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    # per-level parameter resolution (§5.2 extension)
+    # ------------------------------------------------------------------
+    def setup_time_at(self, response_time: float) -> float:
+        """``C^j_{i,1}`` for the level whose ``r_{i,j} == response_time``."""
+        point = self.benefit.point_at(response_time)
+        return point.setup_time if point.setup_time is not None else self.setup_time
+
+    def compensation_time_at(self, response_time: float) -> float:
+        """``C^j_{i,2}`` for the level whose ``r_{i,j} == response_time``."""
+        point = self.benefit.point_at(response_time)
+        return (
+            point.compensation_time
+            if point.compensation_time is not None
+            else self.compensation_time
+        )
+
+    def result_guaranteed(self, response_time: float) -> bool:
+        """Whether ``R_i`` meets the pessimistic server bound (§3 ext.).
+
+        True only when a bound exists and ``response_time`` is at or
+        above it, in which case the result is (by assumption) always
+        delivered in time and the worst-case second phase is
+        ``C_{i,3}``.
+        """
+        return (
+            self.server_response_bound is not None
+            and response_time >= self.server_response_bound - 1e-12
+        )
+
+    def second_phase_wcet(self, response_time: float) -> float:
+        """Worst-case budget of the second execution phase at ``R_i``.
+
+        ``C_{i,2}`` (compensation, possibly level-specific) in the
+        general unreliable case; ``C_{i,3}`` when the §3 extension's
+        bound guarantees the result (:meth:`result_guaranteed`).
+        """
+        if self.result_guaranteed(response_time):
+            return self.post_time
+        return self.compensation_time_at(response_time)
+
+    def offload_demand_rate(self, response_time: float) -> float:
+        """The Theorem 1 density ``(C_{i,1}+C_{i,2}) / (D_i − R_i)``.
+
+        This is the ``w_{i,j}`` weight of the MCKP formulation for a
+        non-local level (§5.2).  Under the §3 extension (``R_i`` at or
+        above a pessimistic server bound), ``C_{i,3}`` replaces
+        ``C_{i,2}``.  Raises ``ValueError`` when ``R_i ≥ D_i`` (the
+        level is structurally infeasible).
+        """
+        if response_time <= 0:
+            raise ValueError("offload_demand_rate needs a positive R_i")
+        slack = self.deadline - response_time
+        if slack <= 0:
+            raise ValueError(
+                f"{self.task_id}: R_i={response_time} leaves no slack before "
+                f"D_i={self.deadline}"
+            )
+        try:
+            setup = self.setup_time_at(response_time)
+            second = self.second_phase_wcet(response_time)
+        except KeyError:
+            # R_i is not one of this task's own discretization points
+            # (e.g. it came from a server-specific benefit function);
+            # fall back to the task-level defaults.
+            setup = self.setup_time
+            second = (
+                self.post_time
+                if self.result_guaranteed(response_time)
+                else self.compensation_time
+            )
+        return (setup + second) / slack
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OffloadableTask({self.task_id}, C={self.wcet:.4g}, "
+            f"C1={self.setup_time:.4g}, C2={self.compensation_time:.4g}, "
+            f"T={self.period:.4g}, D={self.deadline:.4g}, "
+            f"Q={self.benefit.num_points})"
+        )
+
+
+class TaskSet:
+    """An ordered collection of tasks with unique ids."""
+
+    def __init__(self, tasks: Iterable[Task] = ()) -> None:
+        self._tasks: List[Task] = []
+        self._by_id: Dict[str, Task] = {}
+        for task in tasks:
+            self.add(task)
+
+    def add(self, task: Task) -> None:
+        if task.task_id in self._by_id:
+            raise ValueError(f"duplicate task id {task.task_id!r}")
+        self._tasks.append(task)
+        self._by_id[task.task_id] = task
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __getitem__(self, key) -> Task:
+        if isinstance(key, str):
+            return self._by_id[key]
+        return self._tasks[key]
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._by_id
+
+    # ------------------------------------------------------------------
+    # aggregate properties
+    # ------------------------------------------------------------------
+    @property
+    def task_ids(self) -> Tuple[str, ...]:
+        return tuple(t.task_id for t in self._tasks)
+
+    @property
+    def total_utilization(self) -> float:
+        """``Σ C_i/T_i`` assuming every task executes locally."""
+        return sum(t.utilization for t in self._tasks)
+
+    @property
+    def offloadable_tasks(self) -> List["OffloadableTask"]:
+        return [t for t in self._tasks if isinstance(t, OffloadableTask)]
+
+    @property
+    def hyperperiod(self) -> float:
+        """LCM of periods (exact only for near-integer ratios).
+
+        Computed on microsecond-quantized periods; used to bound
+        simulation horizons for periodic release patterns.
+        """
+        from math import gcd
+
+        quantum = 1e-6
+        values = [max(1, round(t.period / quantum)) for t in self._tasks]
+        lcm = 1
+        for v in values:
+            lcm = lcm * v // gcd(lcm, v)
+            if lcm > 10**12:  # guard against pathological blowup
+                raise OverflowError("hyperperiod exceeds 1e6 seconds")
+        return lcm * quantum
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the set is structurally unusable.
+
+        Checks that pure-local execution is at least conceivable
+        (``U ≤ 1``) — the paper's case study and simulation both assume the
+        baseline all-local configuration is feasible.
+        """
+        u = self.total_utilization
+        if u > 1.0 + 1e-9:
+            raise ValueError(
+                f"total local utilization {u:.4f} exceeds 1; the all-local "
+                "baseline is infeasible on a single processor"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskSet({len(self._tasks)} tasks, U={self.total_utilization:.3f})"

@@ -1,0 +1,20 @@
+"""The Benefit and Response Time Estimator (Figure 1, §3.2, §6.1.2).
+
+Measures the unreliable component's response-time distribution, builds
+discretized benefit functions from those measurements, and injects the
+controlled estimation errors of the §6.2 simulation study.
+"""
+
+from .benefit_builder import probability_benefit, quality_benefit
+from .errors import evaluate_true_benefit, perturb_task_set
+from .response_time import EmpiricalResponseTimes
+from .sampling import probe_server
+
+__all__ = [
+    "EmpiricalResponseTimes",
+    "probe_server",
+    "quality_benefit",
+    "probability_benefit",
+    "perturb_task_set",
+    "evaluate_true_benefit",
+]

@@ -1,0 +1,104 @@
+"""Constructing benefit functions from measurements (paper §6.1.2).
+
+Two builders matching the two benefit semantics the paper evaluates:
+
+* :func:`quality_benefit` — the case-study style: each workload level
+  ``j`` has a *quality value* (PSNR) and a measured response-time
+  distribution; the estimated response time ``r_{i,j}`` is a chosen
+  percentile of that distribution and the benefit is the level's quality.
+* :func:`probability_benefit` — the simulation style: the benefit of
+  ``r`` is the empirical probability the result arrives within ``r``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..core.benefit import BenefitFunction, BenefitPoint
+from .response_time import EmpiricalResponseTimes
+
+__all__ = ["quality_benefit", "probability_benefit"]
+
+
+def quality_benefit(
+    local_quality: float,
+    level_samples: Mapping[float, EmpiricalResponseTimes],
+    level_qualities: Mapping[float, float],
+    percentile: float = 90.0,
+    level_setup_times: Optional[Mapping[float, float]] = None,
+    level_compensation_times: Optional[Mapping[float, float]] = None,
+) -> BenefitFunction:
+    """Build a Table-1-style quality benefit function.
+
+    Parameters
+    ----------
+    local_quality:
+        ``G_i(0)`` — quality achievable with pure local execution.
+    level_samples:
+        Per-level measured response times (key = nominal level id, any
+        float; only used to join with ``level_qualities``).
+    level_qualities:
+        Per-level quality values (e.g. PSNR of that scaling level).
+    percentile:
+        Which percentile of the measured distribution becomes the
+        estimated worst-case response time ``r_{i,j}``.
+    level_setup_times / level_compensation_times:
+        Optional per-level ``C^j_{i,1}``/``C^j_{i,2}`` overrides attached
+        to the points (§5.2 extension).
+
+    Levels whose measured percentile is not strictly larger than the
+    previous level's (distribution overlap) are merged by keeping the
+    higher quality — the function must stay strictly increasing in ``r``.
+    """
+    if set(level_samples) != set(level_qualities):
+        raise ValueError("level_samples and level_qualities keys must match")
+
+    points = [BenefitPoint(0.0, local_quality, label="local")]
+    entries = []
+    for level in sorted(level_samples):
+        samples = level_samples[level]
+        if len(samples) == 0:
+            continue  # level never returned a result — unofferable
+        r = samples.percentile(percentile)
+        entries.append((r, level))
+    entries.sort()
+
+    last_r = 0.0
+    for r, level in entries:
+        quality = level_qualities[level]
+        setup = level_setup_times.get(level) if level_setup_times else None
+        comp = (
+            level_compensation_times.get(level)
+            if level_compensation_times
+            else None
+        )
+        if r <= last_r + 1e-12:
+            # overlapping distributions: keep the better quality at last_r
+            if points[-1].response_time > 0 and quality > points[-1].benefit:
+                points[-1] = BenefitPoint(
+                    points[-1].response_time, quality, setup, comp,
+                    label=f"level-{level}",
+                )
+            continue
+        if quality < points[-1].benefit:
+            continue  # slower *and* worse than what we already have
+        points.append(
+            BenefitPoint(r, quality, setup, comp, label=f"level-{level}")
+        )
+        last_r = r
+    return BenefitFunction(points)
+
+
+def probability_benefit(
+    samples: EmpiricalResponseTimes,
+    candidate_response_times: Sequence[float],
+    local_benefit: float = 0.0,
+) -> BenefitFunction:
+    """Build a success-probability benefit function (§6.2 semantics)."""
+    if len(samples) == 0:
+        raise ValueError("no samples")
+    return BenefitFunction.from_samples(
+        samples=list(samples.samples),
+        response_times=candidate_response_times,
+        local_benefit=local_benefit,
+    )

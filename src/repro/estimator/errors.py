@@ -1,0 +1,59 @@
+"""Estimation-error injection (paper §6.2).
+
+The simulation study perturbs the Benefit and Response Time Estimator:
+with accuracy ratio ``x`` it believes ``G((1+x)·r)`` instead of ``G(r)``.
+:func:`perturb_task_set` applies that perturbation to every offloadable
+task, producing the *believed* task set the ODM decides on, while the
+original set remains the ground truth the realized benefit is scored
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable
+
+from ..core.task import OffloadableTask, Task, TaskSet
+
+__all__ = ["perturb_task_set", "evaluate_true_benefit"]
+
+
+def perturb_task_set(tasks: TaskSet, accuracy_ratio: float) -> TaskSet:
+    """Return a copy of ``tasks`` with every benefit function replaced by
+    its ``G((1+x)·r)`` perturbation (see
+    :meth:`repro.core.benefit.BenefitFunction.scaled`).
+
+    ``accuracy_ratio == 0`` returns an equivalent copy (perfect
+    estimation).  Non-offloadable tasks pass through unchanged.
+    """
+    perturbed = TaskSet()
+    for task in tasks:
+        if isinstance(task, OffloadableTask):
+            perturbed.add(
+                replace(task, benefit=task.benefit.scaled(accuracy_ratio))
+            )
+        else:
+            perturbed.add(task)
+    return perturbed
+
+
+def evaluate_true_benefit(
+    tasks: TaskSet, response_times: dict
+) -> float:
+    """Score a decision against the *true* benefit functions.
+
+    ``response_times`` maps task ids to the selected ``R_i`` (0 = local).
+    The score is ``Σ weight_i · G_i(R_i)`` using the unperturbed
+    functions in ``tasks`` — the quantity Figure 3 reports (normalized
+    later by the experiment driver).
+    """
+    total = 0.0
+    for task_id, r in response_times.items():
+        task = tasks[task_id]
+        if not isinstance(task, OffloadableTask):
+            continue
+        if r == 0:
+            total += task.weight * task.benefit.local_benefit
+        else:
+            total += task.weight * task.benefit.value(r)
+    return total

@@ -1,0 +1,159 @@
+"""Experiment E2 — the case study of Figure 2 (paper §6.1.3).
+
+For all 24 permutations of the importance weights {1, 2, 3, 4} over the
+four vision tasks ("Work Set" on the x-axis), and for each of the three
+GPU-server scenarios, the driver:
+
+1. builds the Table 1 task set with the permuted weights;
+2. runs the ODM (DP-optimal, as the paper states small instances are
+   solved optimally);
+3. simulates 10 s of execution on the scenario's server;
+4. normalizes the realized total weighted benefit by the *worst case* —
+   the same schedule when "no offloaded task get[s] computation results",
+   i.e. every job realizes only its local quality.
+
+The paper's Figure 2 shapes to check: every series ≥ 1, and
+idle ≥ not_busy ≥ busy on average.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.task import OffloadableTask
+from ..runtime.system import OffloadingSystem
+from ..sim.rng import derive_seed
+from ..vision.tasks import table1_task_set
+
+__all__ = ["Fig2Point", "Fig2Result", "run_fig2", "format_fig2", "WEIGHT_PERMUTATIONS"]
+
+#: The 24 weight assignments, in lexicographic order (the "Work Set" axis).
+WEIGHT_PERMUTATIONS: Tuple[Tuple[int, ...], ...] = tuple(
+    itertools.permutations((1, 2, 3, 4))
+)
+
+
+@dataclass
+class Fig2Point:
+    """One (scenario, work set) cell of Figure 2."""
+
+    scenario: str
+    work_set: int
+    weights: Tuple[int, ...]
+    realized_benefit: float
+    worst_case_benefit: float
+    deadline_misses: int
+    return_rate: float
+
+    @property
+    def normalized_benefit(self) -> float:
+        if self.worst_case_benefit <= 0:
+            raise ValueError("worst-case benefit must be positive")
+        return self.realized_benefit / self.worst_case_benefit
+
+
+@dataclass
+class Fig2Result:
+    """All series of Figure 2."""
+
+    points: Dict[str, List[Fig2Point]] = field(default_factory=dict)
+    horizon: float = 10.0
+    solver: str = "dp"
+
+    def series(self, scenario: str) -> List[float]:
+        return [p.normalized_benefit for p in self.points[scenario]]
+
+    def mean_normalized(self, scenario: str) -> float:
+        values = self.series(scenario)
+        return sum(values) / len(values)
+
+    @property
+    def total_misses(self) -> int:
+        return sum(
+            p.deadline_misses for pts in self.points.values() for p in pts
+        )
+
+
+def _worst_case_benefit(trace, tasks) -> float:
+    """Benefit if no offloaded job had returned: every completed job
+    realizes only its weighted local quality."""
+    total = 0.0
+    for rec in trace.jobs.values():
+        if rec.finish is None:
+            continue
+        task = tasks[rec.task_id]
+        if isinstance(task, OffloadableTask):
+            total += task.weight * task.benefit.local_benefit
+    return total
+
+
+def run_fig2(
+    scenarios: Sequence[str] = ("busy", "not_busy", "idle"),
+    horizon: float = 10.0,
+    solver: str = "dp",
+    seed: int = 0,
+    permutations: Optional[Sequence[Tuple[int, ...]]] = None,
+) -> Fig2Result:
+    """Run the full case study.
+
+    ``permutations`` defaults to all 24 weight orders; pass a subset for
+    quick runs (tests use a handful).
+    """
+    perms = list(permutations) if permutations is not None else list(
+        WEIGHT_PERMUTATIONS
+    )
+    result = Fig2Result(horizon=horizon, solver=solver)
+    for scenario in scenarios:
+        series: List[Fig2Point] = []
+        for ws_index, weights in enumerate(perms):
+            tasks = table1_task_set(weights=weights)
+            system = OffloadingSystem(
+                tasks,
+                scenario=scenario,
+                solver=solver,
+                seed=derive_seed(seed, f"{scenario}:{ws_index}"),
+            )
+            report = system.run(horizon=horizon)
+            worst = _worst_case_benefit(report.trace, tasks)
+            series.append(
+                Fig2Point(
+                    scenario=scenario,
+                    work_set=ws_index,
+                    weights=tuple(weights),
+                    realized_benefit=report.realized_benefit,
+                    worst_case_benefit=worst,
+                    deadline_misses=report.deadline_misses,
+                    return_rate=report.return_rate,
+                )
+            )
+        result.points[scenario] = series
+    return result
+
+
+def format_fig2(result: Fig2Result) -> str:
+    """Render the three series as aligned text columns."""
+    scenarios = list(result.points)
+    header = "work set  weights      " + "  ".join(
+        f"{s:>9}" for s in scenarios
+    )
+    lines = [
+        f"Figure 2: normalized total weighted benefits "
+        f"({result.horizon:.0f}s, solver={result.solver})",
+        header,
+    ]
+    n = len(result.points[scenarios[0]])
+    for i in range(n):
+        weights = result.points[scenarios[0]][i].weights
+        cells = "  ".join(
+            f"{result.points[s][i].normalized_benefit:9.3f}"
+            for s in scenarios
+        )
+        lines.append(f"{i:8d}  {str(weights):12} {cells}")
+    lines.append(
+        "mean                   "
+        + "  ".join(f"{result.mean_normalized(s):9.3f}" for s in scenarios)
+    )
+    lines.append(f"total deadline misses: {result.total_misses}")
+    return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Sensitivity analyses: the economics inside the ODM, made visible.
+
+Two sweeps complement the paper's evaluation:
+
+* :func:`price_curve` — for one task, the (density cost, benefit) of
+  every candidate ``R_i``: what the MCKP sees when it shops.  Useful for
+  understanding *why* a particular level was selected.
+* :func:`budget_sweep` — total achievable benefit as a function of the
+  schedulability budget (the MCKP capacity).  The paper fixes the budget
+  at 1 (a dedicated CPU); systems that must co-host other subsystems
+  reserve less, and this curve shows what each slice of CPU buys.
+* :func:`percentile_tradeoff` — §3.2 notes that "the accuracy of the
+  response time estimation is also very important": too pessimistic and
+  offloading is never taken, too optimistic and compensation fires
+  constantly.  This sweep chooses ``r_{i,j}`` at different percentiles
+  of the measured distribution and runs the full system at each,
+  exposing the tension as a measured curve (return rate rises with the
+  percentile; the MCKP weights rise with it too, shrinking what can be
+  offloaded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.odm import build_mckp
+from ..core.task import OffloadableTask, TaskSet
+from ..knapsack import MCKPInstance, SOLVERS
+
+__all__ = [
+    "PricePoint",
+    "price_curve",
+    "BudgetPoint",
+    "budget_sweep",
+    "PercentilePoint",
+    "percentile_tradeoff",
+]
+
+
+@dataclass(frozen=True)
+class PricePoint:
+    """One candidate setting of a task: its cost and its value."""
+
+    response_time: float
+    demand_rate: float  # the Theorem 3 weight
+    benefit: float
+
+    @property
+    def marginal_efficiency(self) -> float:
+        """Benefit per unit of demand rate."""
+        if self.demand_rate == 0:
+            return float("inf")
+        return self.benefit / self.demand_rate
+
+
+def price_curve(task: OffloadableTask) -> List[PricePoint]:
+    """All candidate ``R_i`` settings of ``task`` with their prices.
+
+    Includes the local point (cost = the task's local density) and every
+    structurally feasible benefit point.  Sorted by demand rate.
+    """
+    points = [
+        PricePoint(
+            response_time=0.0,
+            demand_rate=task.wcet / min(task.period, task.deadline),
+            benefit=task.benefit.local_benefit,
+        )
+    ]
+    for point in task.benefit.points:
+        if point.is_local:
+            continue
+        slack = task.deadline - point.response_time
+        if slack <= 0:
+            continue
+        setup = (
+            point.setup_time if point.setup_time is not None
+            else task.setup_time
+        )
+        if task.result_guaranteed(point.response_time):
+            second = task.post_time
+        else:
+            second = (
+                point.compensation_time
+                if point.compensation_time is not None
+                else task.compensation_time
+            )
+        if setup + second > slack:
+            continue
+        points.append(
+            PricePoint(
+                response_time=point.response_time,
+                demand_rate=(setup + second) / slack,
+                benefit=point.benefit,
+            )
+        )
+    return sorted(points, key=lambda p: p.demand_rate)
+
+
+@dataclass(frozen=True)
+class BudgetPoint:
+    """Optimal benefit achievable within one schedulability budget."""
+
+    budget: float
+    benefit: Optional[float]  # None = infeasible at this budget
+    offloaded_tasks: Tuple[str, ...] = ()
+
+
+def budget_sweep(
+    tasks: TaskSet,
+    budgets: Sequence[float] = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    solver: str = "dp",
+) -> List[BudgetPoint]:
+    """Optimal total benefit at each schedulability budget.
+
+    The ODM's MCKP is re-solved with the capacity set to each budget
+    value.  Budgets below the all-local utilization are infeasible
+    (``benefit=None``) — even running everything locally does not fit.
+    The resulting curve is non-decreasing in the budget.
+    """
+    base = build_mckp(tasks)
+    solve = SOLVERS[solver]
+    results: List[BudgetPoint] = []
+    for budget in budgets:
+        if budget < 0:
+            raise ValueError("budgets must be non-negative")
+        instance = MCKPInstance(classes=base.classes, capacity=budget)
+        selection = solve(instance)
+        if selection is None:
+            results.append(BudgetPoint(budget=budget, benefit=None))
+            continue
+        offloaded = tuple(
+            sorted(
+                cls.class_id
+                for cls in instance.classes
+                if selection.item_for(cls.class_id).tag
+                not in (0.0, (None, 0.0))
+            )
+        )
+        results.append(
+            BudgetPoint(
+                budget=budget,
+                benefit=selection.total_value,
+                offloaded_tasks=offloaded,
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class PercentilePoint:
+    """One estimator-percentile setting and its measured outcome."""
+
+    percentile: float
+    offloaded_tasks: Tuple[str, ...]
+    return_rate: float
+    compensation_rate: float
+    realized_benefit: float
+    deadline_misses: int
+
+
+def percentile_tradeoff(
+    percentiles: Sequence[float] = (50.0, 75.0, 90.0, 99.0),
+    scenario: str = "not_busy",
+    samples_per_level: int = 60,
+    horizon: float = 10.0,
+    seed: int = 0,
+) -> List[PercentilePoint]:
+    """Measure the §3.2 estimation-percentile tension end to end.
+
+    For each percentile: probe the server, set every ``r_{i,j}`` at that
+    percentile of the measured distribution, decide with the DP, and run
+    the system on the same scenario.  Deadline misses must be zero at
+    every setting — only the benefit/compensation economics move.
+    """
+    from ..estimator.sampling import probe_server
+    from ..runtime.system import OffloadingSystem
+    from ..server.scenarios import SCENARIOS
+    from ..sim.rng import derive_seed
+    from ..vision.tasks import (
+        DEFAULT_LEVEL_FACTORS,
+        TABLE1,
+        build_measured_task_set,
+        measured_benefit_functions,
+    )
+
+    # one probing campaign, reused across percentile settings
+    level_samples = {}
+    for row in TABLE1:
+        anchors = [r for r, _ in row.points]
+        collections = probe_server(
+            SCENARIOS[scenario],
+            levels=anchors,
+            samples_per_level=samples_per_level,
+            seed=derive_seed(seed, row.task_id),
+        )
+        level_samples[row.task_id] = {
+            factor: collections[anchor]
+            for factor, anchor in zip(DEFAULT_LEVEL_FACTORS, anchors)
+        }
+
+    results: List[PercentilePoint] = []
+    for percentile in percentiles:
+        functions = measured_benefit_functions(
+            level_samples, percentile=percentile, seed=seed
+        )
+        tasks = build_measured_task_set(functions)
+        system = OffloadingSystem(
+            tasks, scenario=scenario, solver="dp",
+            seed=derive_seed(seed, f"run:{percentile}"),
+        )
+        report = system.run(horizon=horizon)
+        results.append(
+            PercentilePoint(
+                percentile=percentile,
+                offloaded_tasks=report.decision.offloaded_task_ids,
+                return_rate=report.return_rate,
+                compensation_rate=report.trace.compensation_rate(),
+                realized_benefit=report.realized_benefit,
+                deadline_misses=report.deadline_misses,
+            )
+        )
+    return results

@@ -1,0 +1,134 @@
+"""Ablation A4 — why the paper's *proportional* deadline split.
+
+§5.1 assigns the setup sub-job deadline "proportionally to their
+computation times" without comparing alternatives.  This ablation makes
+the design choice measurable: for random offloading configurations, how
+many does each splitting rule render schedulable (under the exact
+per-stream demand test), and does the DES confirm every acceptance?
+
+Policies compared (see :data:`repro.core.deadlines.SPLIT_POLICIES`):
+
+* ``proportional`` — the paper's rule (equal sub-job densities);
+* ``equal_slack`` — both phases get half the window;
+* ``setup_minimal`` — setup deadline = its WCET (maximally urgent);
+* ``sqrt`` — minimizes the *sum* of sub-job densities.
+
+Expected outcome: proportional accepts the most configurations.  Under
+EDF it is the bottleneck (maximum) density over all windows that binds,
+and the proportional rule minimizes the per-task maximum sub-job
+density; rules that skew the window (setup_minimal especially) create
+one very dense stream that small windows cannot absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.deadlines import SPLIT_POLICIES, split_deadlines
+from ..core.dbf import processor_demand_test
+from ..core.schedulability import OffloadAssignment
+from ..core.task import OffloadableTask, TaskSet
+from ..sched.offload_scheduler import OffloadingScheduler
+from ..sched.transport import NeverRespondsTransport
+from ..sim.engine import Simulator
+from ..workloads.generator import random_offloading_task_set
+from .ablations import greedy_assignments
+
+__all__ = ["SplitPolicyResult", "run_split_policy_ablation"]
+
+
+@dataclass
+class SplitPolicyResult:
+    """Acceptance and validation counts per split policy."""
+
+    configurations: int = 0
+    accepts: Dict[str, int] = field(default_factory=dict)
+    #: DES-detected misses among accepted configurations (soundness —
+    #: must stay 0 for every policy)
+    unsound: Dict[str, int] = field(default_factory=dict)
+
+    def acceptance_ratio(self, policy: str) -> float:
+        if self.configurations == 0:
+            return 0.0
+        return self.accepts[policy] / self.configurations
+
+
+def _streams_for(
+    tasks: TaskSet,
+    assignments: Sequence[OffloadAssignment],
+    policy: str,
+) -> List[Tuple[float, float, float]]:
+    """Sub-job streams of a configuration under a split policy."""
+    assigned = {a.task_id: a.response_time for a in assignments}
+    streams: List[Tuple[float, float, float]] = []
+    for task in tasks:
+        r = assigned.get(task.task_id, 0.0)
+        if r > 0 and isinstance(task, OffloadableTask):
+            split = split_deadlines(task, r, policy=policy)
+            streams.append(
+                (split.setup_wcet, task.period, split.setup_deadline)
+            )
+            streams.append(
+                (
+                    split.compensation_wcet,
+                    task.period,
+                    split.compensation_budget,
+                )
+            )
+        else:
+            streams.append((task.wcet, task.period, task.deadline))
+    return streams
+
+
+def run_split_policy_ablation(
+    policies: Sequence[str] = tuple(SPLIT_POLICIES),
+    num_configurations: int = 30,
+    num_tasks: int = 5,
+    utilization_range: Tuple[float, float] = (0.6, 0.95),
+    validate_with_des: bool = True,
+    horizon_periods: float = 20.0,
+    seed: int = 0,
+) -> SplitPolicyResult:
+    """Compare split policies on identical random configurations."""
+    result = SplitPolicyResult(
+        accepts={p: 0 for p in policies},
+        unsound={p: 0 for p in policies},
+    )
+    for k in range(num_configurations):
+        rng = np.random.default_rng(seed * 52361 + k)
+        u = float(rng.uniform(*utilization_range))
+        tasks = random_offloading_task_set(
+            rng, num_tasks=num_tasks, total_utilization=u
+        )
+        # push slightly past the Theorem 3 budget so policies are
+        # compared in the contested region, not where everything fits
+        assignments = greedy_assignments(
+            tasks, budget=float(rng.uniform(0.95, 1.15))
+        )
+        if not assignments:
+            continue
+        result.configurations += 1
+        response_times = {a.task_id: a.response_time for a in assignments}
+        for policy in policies:
+            streams = _streams_for(tasks, assignments, policy)
+            verdict = processor_demand_test(streams)
+            if not verdict.feasible:
+                continue
+            result.accepts[policy] += 1
+            if validate_with_des:
+                sim = Simulator()
+                scheduler = OffloadingScheduler(
+                    sim,
+                    tasks,
+                    response_times=response_times,
+                    transport=NeverRespondsTransport(),
+                    split_policy=policy,
+                )
+                horizon = horizon_periods * max(t.period for t in tasks)
+                trace = scheduler.run(horizon)
+                if trace.deadline_miss_count > 0:
+                    result.unsound[policy] += 1
+    return result

@@ -1,0 +1,44 @@
+"""Multiple-choice knapsack substrate for the Offloading Decision Manager.
+
+The ODM problem reduces to an MCKP (paper §5.2).  This package provides
+the instance model, the two solvers the paper adopts — the exact
+pseudo-polynomial DP (Dudzinski–Walukiewicz) and the HEU-OE heuristic
+(Khan) — plus a brute-force oracle and a branch-and-bound solver used by
+the tests and the solver ablation.
+"""
+
+from .branch_bound import solve_branch_bound
+from .brute_force import solve_brute_force
+from .dp import solve_dp
+from .heu_oe import solve_heu_oe
+from .mckp import (
+    MCKPClass,
+    MCKPInstance,
+    MCKPItem,
+    Selection,
+    lp_efficient_frontier,
+    prune_dominated,
+)
+
+#: Registry used by the ODM and the experiment drivers to pick a solver
+#: by name.
+SOLVERS = {
+    "dp": solve_dp,
+    "heu_oe": solve_heu_oe,
+    "branch_bound": solve_branch_bound,
+    "brute_force": solve_brute_force,
+}
+
+__all__ = [
+    "MCKPItem",
+    "MCKPClass",
+    "MCKPInstance",
+    "Selection",
+    "prune_dominated",
+    "lp_efficient_frontier",
+    "solve_dp",
+    "solve_heu_oe",
+    "solve_branch_bound",
+    "solve_brute_force",
+    "SOLVERS",
+]

@@ -1,0 +1,130 @@
+"""Branch-and-bound MCKP solver with an LP-relaxation bound.
+
+Not used by the paper (which adopts DP and HEU-OE) but included as an
+exact solver that avoids capacity quantization entirely, and as the
+reference the A2 solver ablation compares runtimes against.
+
+Two different prunings are at work — the distinction matters for
+correctness:
+
+* **Dominance-pruned** items (worse in both coordinates) can never be in
+  an optimal *integer* solution, so branching only considers the pruned
+  lists.
+* **LP-dominated** items (inside the convex hull) *can* appear in optimal
+  integer solutions; they are excluded only from the LP relaxation used
+  as the upper bound.
+
+The bound at each node is the exact MCKP LP optimum (Sinha & Zoltners):
+take every remaining class's lightest hull item, then pour residual
+capacity into hull upgrade steps in decreasing incremental-efficiency
+order, the last step fractionally.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from .mckp import (
+    MCKPInstance,
+    Selection,
+    lp_efficient_frontier,
+    prune_dominated,
+)
+
+__all__ = ["solve_branch_bound"]
+
+
+def _lp_bound(
+    frontiers: List[List[Tuple[float, float]]],
+    start_class: int,
+    residual: float,
+) -> float:
+    """LP-relaxation value of classes ``start_class..`` within ``residual``.
+
+    ``frontiers`` holds per-class hull points as ``(weight, value)``.
+    Returns ``-inf`` when even the lightest items do not fit.
+    """
+    base_weight = 0.0
+    base_value = 0.0
+    steps: List[Tuple[float, float, float]] = []  # (efficiency, dw, dv)
+    for front in frontiers[start_class:]:
+        base_weight += front[0][0]
+        base_value += front[0][1]
+        for pos in range(len(front) - 1):
+            dw = front[pos + 1][0] - front[pos][0]
+            dv = front[pos + 1][1] - front[pos][1]
+            if dw > 0:
+                steps.append((dv / dw, dw, dv))
+    if base_weight > residual + 1e-12:
+        return -math.inf
+    room = residual - base_weight
+    value = base_value
+    steps.sort(key=lambda s: -s[0])
+    for eff, dw, dv in steps:
+        if dw <= room:
+            room -= dw
+            value += dv
+        else:
+            value += eff * room
+            break
+    return value
+
+
+def solve_branch_bound(instance: MCKPInstance) -> Optional[Selection]:
+    """Exact depth-first branch and bound.  Returns optimum or ``None``."""
+    n = instance.num_classes
+    if n == 0:
+        return Selection(instance, {})
+
+    # branch candidates: dominance-pruned (original_index, item) pairs
+    pruned: List[List[Tuple[int, float, float]]] = []
+    # bound geometry: hull (weight, value) points per class
+    hulls: List[List[Tuple[float, float]]] = []
+    for cls in instance.classes:
+        kept = prune_dominated(cls.items)
+        pruned.append([(idx, it.weight, it.value) for idx, it in kept])
+        hulls.append(
+            [(it.weight, it.value) for _, it in lp_efficient_frontier(cls.items)]
+        )
+
+    # Branch on classes in decreasing value-spread order: deciding the
+    # classes with the widest value range first tightens bounds sooner.
+    order = sorted(
+        range(n), key=lambda k: -(pruned[k][-1][2] - pruned[k][0][2])
+    )
+    ordered_pruned = [pruned[k] for k in order]
+    ordered_hulls = [hulls[k] for k in order]
+
+    best_value = -math.inf
+    best_choices: Optional[List[int]] = None  # original item indices
+    current: List[int] = [0] * n
+
+    def dfs(depth: int, weight: float, value: float) -> None:
+        nonlocal best_value, best_choices
+        if weight > instance.capacity + 1e-12:
+            return
+        if depth == n:
+            if value > best_value:
+                best_value = value
+                best_choices = list(current)
+            return
+        bound = value + _lp_bound(
+            ordered_hulls, depth, instance.capacity - weight
+        )
+        if bound <= best_value + 1e-12:
+            return
+        # Heavier (higher-value) items first to find strong incumbents
+        # early.
+        for original_idx, w, v in reversed(ordered_pruned[depth]):
+            current[depth] = original_idx
+            dfs(depth + 1, weight + w, value + v)
+
+    dfs(0, 0.0, 0.0)
+
+    if best_choices is None:
+        return None
+    choices: Dict[str, int] = {}
+    for slot, class_index in enumerate(order):
+        choices[instance.classes[class_index].class_id] = best_choices[slot]
+    return Selection(instance, choices)

@@ -1,0 +1,55 @@
+"""Exhaustive MCKP solver — the correctness oracle for the test suite.
+
+Enumerates the full Cartesian product of class choices, so it is only
+usable for small instances (``Π Q_i`` selections); the tests use it to
+validate the DP, branch-and-bound and heuristic solvers on randomized
+instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from .mckp import MCKPInstance, Selection
+
+__all__ = ["solve_brute_force"]
+
+#: Refuse instances whose product of class sizes exceeds this.
+_MAX_COMBINATIONS = 2_000_000
+
+
+def solve_brute_force(instance: MCKPInstance) -> Optional[Selection]:
+    """Return the optimal feasible :class:`Selection`, or ``None``.
+
+    ``None`` means no selection fits the capacity (the instance is
+    infeasible).  Ties on value are broken toward smaller total weight so
+    the result is deterministic.
+    """
+    combos = 1
+    for cls in instance.classes:
+        combos *= len(cls.items)
+        if combos > _MAX_COMBINATIONS:
+            raise ValueError(
+                f"instance too large for brute force ({combos}+ combinations)"
+            )
+
+    best: Optional[Selection] = None
+    best_key = None
+    index_ranges = [range(len(cls.items)) for cls in instance.classes]
+    ids = [cls.class_id for cls in instance.classes]
+    for combo in itertools.product(*index_ranges):
+        weight = sum(
+            cls.items[idx].weight
+            for cls, idx in zip(instance.classes, combo)
+        )
+        if weight > instance.capacity + 1e-12:
+            continue
+        value = sum(
+            cls.items[idx].value for cls, idx in zip(instance.classes, combo)
+        )
+        key = (value, -weight)
+        if best_key is None or key > best_key:
+            best_key = key
+            best = Selection(instance, dict(zip(ids, combo)))
+    return best

@@ -1,0 +1,123 @@
+"""The HEU-OE greedy heuristic for the MCKP (paper §5.2).
+
+The paper adopts the heuristic from S. Khan's PhD thesis ("Quality
+adaptation in a multi-session adaptive multimedia system", Victoria,
+1998).  Khan's HEU solves the multiple-choice knapsack that arises from
+picking one *operating quality* per session — structurally identical to
+picking one *estimated response time* per task here.  The algorithm:
+
+1. In every class, discard dominated and LP-dominated items, leaving the
+   convex *efficient frontier* sorted by weight, along which incremental
+   efficiencies ``Δvalue/Δweight`` strictly decrease.
+2. Start from the lightest frontier item of every class (for the ODM this
+   is usually the mandatory local point ``r=0``).
+3. Collect every frontier *upgrade step* and repeatedly apply the highest
+   incremental-efficiency step that still fits the residual capacity.
+   Because per-class step efficiencies decrease along the frontier, a
+   global efficiency-sorted pass applies each class's steps in order.
+4. ("OE" refinement) After the greedy pass, try to replace each class's
+   current item with any *single* heavier item that still fits — a one-swap
+   local improvement that recovers value the strict frontier walk leaves
+   behind when a big step nearly fits.
+
+Guarantees: the greedy solution is feasible whenever the all-lightest
+selection is feasible, and its value is within the largest single step of
+the LP optimum (the classical MCKP greedy bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .mckp import MCKPInstance, Selection, lp_efficient_frontier
+
+__all__ = ["solve_heu_oe"]
+
+
+@dataclass(frozen=True)
+class _Step:
+    """An upgrade from frontier position ``pos`` to ``pos+1`` in a class."""
+
+    efficiency: float
+    class_index: int
+    pos: int  # frontier position this step upgrades FROM
+    delta_weight: float
+    delta_value: float
+
+
+def solve_heu_oe(instance: MCKPInstance) -> Optional[Selection]:
+    """Run the HEU-OE heuristic; returns a feasible selection or ``None``.
+
+    ``None`` is returned only when even the all-lightest selection does
+    not fit (the instance is infeasible for *every* solver).
+    """
+    if instance.num_classes == 0:
+        return Selection(instance, {})
+
+    frontiers: List[List[Tuple[int, float, float]]] = []
+    # frontier entry: (original item index, weight, value)
+    for cls in instance.classes:
+        hull = lp_efficient_frontier(cls.items)
+        frontiers.append(
+            [(idx, item.weight, item.value) for idx, item in hull]
+        )
+
+    # 2. start at the lightest frontier item per class
+    positions = [0] * len(frontiers)
+    weight = sum(front[0][1] for front in frontiers)
+    if weight > instance.capacity + 1e-12:
+        return None
+
+    # 3. efficiency-ordered upgrade pass
+    steps: List[_Step] = []
+    for k, front in enumerate(frontiers):
+        for pos in range(len(front) - 1):
+            dw = front[pos + 1][1] - front[pos][1]
+            dv = front[pos + 1][2] - front[pos][2]
+            if dw <= 0:
+                # frontier is strictly weight-increasing by construction;
+                # guard against degenerate equal-weight entries
+                continue
+            steps.append(_Step(dv / dw, k, pos, dw, dv))
+    steps.sort(key=lambda s: (-s.efficiency, s.delta_weight))
+
+    for step in steps:
+        if positions[step.class_index] != step.pos:
+            # an earlier (more efficient) step of this class was skipped
+            # for capacity; frontier order forbids jumping over it
+            continue
+        if weight + step.delta_weight <= instance.capacity + 1e-12:
+            positions[step.class_index] = step.pos + 1
+            weight += step.delta_weight
+
+    # 4. one-swap local improvement ("OE" pass): for each class try every
+    # heavier frontier item; keep the single best value-improving swap,
+    # repeat until no swap helps.
+    improved = True
+    while improved:
+        improved = False
+        best_gain = 0.0
+        best_swap: Optional[Tuple[int, int]] = None
+        for k, front in enumerate(frontiers):
+            cur_idx = positions[k]
+            cur_weight = front[cur_idx][1]
+            cur_value = front[cur_idx][2]
+            for pos in range(len(front)):
+                if pos == cur_idx:
+                    continue
+                new_weight = weight - cur_weight + front[pos][1]
+                gain = front[pos][2] - cur_value
+                if gain > best_gain and new_weight <= instance.capacity + 1e-12:
+                    best_gain = gain
+                    best_swap = (k, pos)
+        if best_swap is not None:
+            k, pos = best_swap
+            weight = weight - frontiers[k][positions[k]][1] + frontiers[k][pos][1]
+            positions[k] = pos
+            improved = True
+
+    choices: Dict[str, int] = {}
+    for k, cls in enumerate(instance.classes):
+        choices[cls.class_id] = frontiers[k][positions[k]][0]
+    return Selection(instance, choices)

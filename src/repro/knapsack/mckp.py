@@ -1,0 +1,233 @@
+"""The multiple-choice knapsack problem (MCKP) instance model.
+
+The Offloading Decision Manager reduces the ODM problem (paper §4) to an
+MCKP (§5.2, Equation 5): one *class* per task, one *item* per benefit
+discretization point.  Item ``j`` of class ``i`` has
+
+* value ``G_i(r_{i,j})`` (scaled by the task weight where applicable),
+* weight ``w_{i,1} = C_i/T_i`` for the local point and
+  ``w_{i,j} = (C^j_{i,1}+C^j_{i,2})/(D_i − r_{i,j})`` otherwise,
+
+and the capacity is the Theorem 3 budget of 1.  Exactly one item must be
+chosen from every class.
+
+This module is solver-agnostic: it defines :class:`MCKPItem`,
+:class:`MCKPClass`, :class:`MCKPInstance` and :class:`Selection`, plus the
+classical *dominance* and *LP-dominance* preprocessing used by the greedy
+heuristic and the branch-and-bound solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "MCKPItem",
+    "MCKPClass",
+    "MCKPInstance",
+    "Selection",
+    "prune_dominated",
+    "lp_efficient_frontier",
+]
+
+
+@dataclass(frozen=True)
+class MCKPItem:
+    """One choice within a class.
+
+    ``tag`` carries caller context (for the ODM: the response time
+    ``r_{i,j}``); solvers never inspect it.
+    """
+
+    value: float
+    weight: float
+    tag: Any = None
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError(f"negative item weight {self.weight}")
+
+    def dominates(self, other: "MCKPItem") -> bool:
+        """True if this item is at least as good in both coordinates and
+        strictly better in one."""
+        return (
+            self.weight <= other.weight
+            and self.value >= other.value
+            and (self.weight < other.weight or self.value > other.value)
+        )
+
+
+@dataclass(frozen=True)
+class MCKPClass:
+    """A class: exactly one of its items must be selected."""
+
+    class_id: str
+    items: Tuple[MCKPItem, ...]
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise ValueError(f"class {self.class_id!r} has no items")
+        object.__setattr__(self, "items", tuple(self.items))
+
+    @property
+    def min_weight(self) -> float:
+        return min(item.weight for item in self.items)
+
+    @property
+    def max_value(self) -> float:
+        return max(item.value for item in self.items)
+
+    def lightest_item_index(self) -> int:
+        """Index of the min-weight item (ties broken by higher value)."""
+        best = 0
+        for idx, item in enumerate(self.items):
+            current = self.items[best]
+            if item.weight < current.weight or (
+                item.weight == current.weight and item.value > current.value
+            ):
+                best = idx
+        return best
+
+
+@dataclass(frozen=True)
+class MCKPInstance:
+    """An MCKP: classes + capacity.
+
+    ``capacity`` is 1.0 for the ODM reduction but arbitrary non-negative
+    values are supported (the solver tests exercise classic integer
+    instances too).
+    """
+
+    classes: Tuple[MCKPClass, ...]
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        object.__setattr__(self, "classes", tuple(self.classes))
+        seen = set()
+        for cls in self.classes:
+            if cls.class_id in seen:
+                raise ValueError(f"duplicate class id {cls.class_id!r}")
+            seen.add(cls.class_id)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def num_items(self) -> int:
+        return sum(len(cls.items) for cls in self.classes)
+
+    @property
+    def min_total_weight(self) -> float:
+        """Weight of the all-lightest selection — the feasibility floor."""
+        return sum(cls.min_weight for cls in self.classes)
+
+    def is_feasible(self) -> bool:
+        """Whether any selection fits the capacity."""
+        return self.min_total_weight <= self.capacity + 1e-12
+
+    def class_by_id(self, class_id: str) -> MCKPClass:
+        for cls in self.classes:
+            if cls.class_id == class_id:
+                return cls
+        raise KeyError(class_id)
+
+
+@dataclass(frozen=True)
+class Selection:
+    """A complete assignment: one item index per class.
+
+    ``choices`` maps ``class_id -> item index`` into the *original*
+    instance's item tuples.
+    """
+
+    instance: MCKPInstance
+    choices: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = {c.class_id for c in self.instance.classes} - set(
+            self.choices
+        )
+        if missing:
+            raise ValueError(f"selection misses classes: {sorted(missing)}")
+        for cls in self.instance.classes:
+            idx = self.choices[cls.class_id]
+            if not 0 <= idx < len(cls.items):
+                raise ValueError(
+                    f"class {cls.class_id!r}: item index {idx} out of range"
+                )
+
+    def item_for(self, class_id: str) -> MCKPItem:
+        cls = self.instance.class_by_id(class_id)
+        return cls.items[self.choices[class_id]]
+
+    @property
+    def total_value(self) -> float:
+        return sum(
+            cls.items[self.choices[cls.class_id]].value
+            for cls in self.instance.classes
+        )
+
+    @property
+    def total_weight(self) -> float:
+        return sum(
+            cls.items[self.choices[cls.class_id]].weight
+            for cls in self.instance.classes
+        )
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.total_weight <= self.instance.capacity + 1e-9
+
+
+# ----------------------------------------------------------------------
+# preprocessing
+# ----------------------------------------------------------------------
+def prune_dominated(items: Sequence[MCKPItem]) -> List[Tuple[int, MCKPItem]]:
+    """Remove dominated items; return ``(original_index, item)`` pairs
+    sorted by weight.
+
+    Item ``a`` dominates ``b`` when ``a.weight ≤ b.weight`` and
+    ``a.value ≥ b.value`` (strict in one coordinate).  An optimal solution
+    never needs a dominated item, so solvers may discard them.
+    """
+    indexed = sorted(
+        enumerate(items), key=lambda pair: (pair[1].weight, -pair[1].value)
+    )
+    kept: List[Tuple[int, MCKPItem]] = []
+    best_value = -float("inf")
+    for idx, item in indexed:
+        if item.value > best_value:
+            kept.append((idx, item))
+            best_value = item.value
+    return kept
+
+
+def lp_efficient_frontier(
+    items: Sequence[MCKPItem],
+) -> List[Tuple[int, MCKPItem]]:
+    """Keep only items on the upper-left convex hull of (weight, value).
+
+    LP-dominated items (above-hull in weight, below-hull in value) never
+    appear in the LP relaxation optimum nor in the greedy upgrade path.
+    The result is sorted by increasing weight, and consecutive incremental
+    efficiencies ``Δvalue/Δweight`` are strictly decreasing — the property
+    the HEU-OE upgrade loop relies on.
+    """
+    undominated = prune_dominated(items)
+    hull: List[Tuple[int, MCKPItem]] = []
+    for idx, item in undominated:
+        while len(hull) >= 2:
+            (_, a), (_, b) = hull[-2], hull[-1]
+            # slope a->b must exceed slope b->item, else b is LP-dominated
+            lhs = (b.value - a.value) * (item.weight - b.weight)
+            rhs = (item.value - b.value) * (b.weight - a.weight)
+            if lhs <= rhs:
+                hull.pop()
+            else:
+                break
+        hull.append((idx, item))
+    return hull

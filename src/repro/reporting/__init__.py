@@ -1,0 +1,19 @@
+"""Machine-readable exports: JSON traces, CSV series, SVG timelines and
+SVG charts for the paper's figures."""
+
+from .charts import svg_bar_chart, svg_line_chart
+from .export import (
+    series_to_csv,
+    trace_to_json,
+    trace_to_records,
+    trace_to_svg,
+)
+
+__all__ = [
+    "trace_to_records",
+    "trace_to_json",
+    "series_to_csv",
+    "trace_to_svg",
+    "svg_line_chart",
+    "svg_bar_chart",
+]

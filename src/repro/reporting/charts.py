@@ -1,0 +1,207 @@
+"""Dependency-free SVG charts for the paper's figures.
+
+Renders Figure-2-style grouped bars and Figure-3-style line series as
+self-contained SVG strings — no plotting stack, suitable for CI
+artifacts and README embeds.  Styling is deliberately minimal; the data
+is the point.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["svg_line_chart", "svg_bar_chart"]
+
+#: Series colours, assigned in insertion order.
+_SERIES_COLORS = (
+    "#4878a8", "#c85c5c", "#6aa86a", "#e3a85c", "#8a6aa8", "#5ca8a0",
+)
+
+_MARGIN_LEFT = 60
+_MARGIN_RIGHT = 20
+_MARGIN_TOP = 36
+_MARGIN_BOTTOM = 46
+
+
+def _value_range(series: Mapping[str, Sequence[float]]):
+    values = [v for seq in series.values() for v in seq]
+    if not values:
+        raise ValueError("no data")
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        lo, hi = lo - 0.5, hi + 0.5
+    pad = 0.06 * (hi - lo)
+    return lo - pad, hi + pad
+
+
+def _frame(width: int, height: int, title: str) -> list:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        f'<text x="{width / 2:.0f}" y="16" text-anchor="middle" '
+        f'font-size="13">{title}</text>',
+    ]
+
+
+def _y_axis(parts, lo, hi, width, height, y_label):
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+    for i in range(5):
+        value = lo + (hi - lo) * i / 4
+        y = _MARGIN_TOP + plot_h * (1 - i / 4)
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{y:.1f}" '
+            f'x2="{width - _MARGIN_RIGHT}" y2="{y:.1f}" stroke="#eee"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{value:.2f}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="14" y="{_MARGIN_TOP - 10}" font-size="10">'
+            f"{y_label}</text>"
+        )
+
+
+def _legend(parts, series, width):
+    x = _MARGIN_LEFT
+    for index, name in enumerate(series):
+        color = _SERIES_COLORS[index % len(_SERIES_COLORS)]
+        parts.append(
+            f'<rect x="{x}" y="{_MARGIN_TOP - 14}" width="10" height="10" '
+            f'fill="{color}"/>'
+            f'<text x="{x + 14}" y="{_MARGIN_TOP - 5}">{name}</text>'
+        )
+        x += 14 + 8 * len(name) + 18
+
+
+def svg_line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 640,
+    height: int = 360,
+) -> str:
+    """Multi-series line chart (Figure 3 style)."""
+    for name, seq in series.items():
+        if len(seq) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(seq)} points, "
+                f"x axis has {len(x_values)}"
+            )
+    if len(x_values) < 2:
+        raise ValueError("need at least two x values")
+    lo, hi = _value_range(series)
+    x_lo, x_hi = min(x_values), max(x_values)
+    plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def px(x):
+        return _MARGIN_LEFT + plot_w * (x - x_lo) / (x_hi - x_lo)
+
+    def py(v):
+        return _MARGIN_TOP + plot_h * (1 - (v - lo) / (hi - lo))
+
+    parts = _frame(width, height, title)
+    _y_axis(parts, lo, hi, width, height, y_label)
+    for x in x_values:
+        parts.append(
+            f'<text x="{px(x):.1f}" y="{height - _MARGIN_BOTTOM + 16}" '
+            f'text-anchor="middle">{x:g}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="{height - 8}" '
+            f'text-anchor="middle" font-size="10">{x_label}</text>'
+        )
+    for index, (name, seq) in enumerate(series.items()):
+        color = _SERIES_COLORS[index % len(_SERIES_COLORS)]
+        points = " ".join(
+            f"{px(x):.1f},{py(v):.1f}" for x, v in zip(x_values, seq)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        for x, v in zip(x_values, seq):
+            parts.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(v):.1f}" r="3" '
+                f'fill="{color}"><title>{name}: ({x:g}, {v:.4g})</title>'
+                f"</circle>"
+            )
+    _legend(parts, series, width)
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def svg_bar_chart(
+    categories: Sequence,
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 800,
+    height: int = 360,
+    baseline: Optional[float] = None,
+) -> str:
+    """Grouped bar chart (Figure 2 style).
+
+    ``baseline`` draws a horizontal reference line (e.g. the 1.0
+    worst-case normalization of Figure 2).
+    """
+    for name, seq in series.items():
+        if len(seq) != len(categories):
+            raise ValueError(
+                f"series {name!r} has {len(seq)} values, "
+                f"{len(categories)} categories given"
+            )
+    if not categories:
+        raise ValueError("no categories")
+    lo, hi = _value_range(series)
+    lo = min(lo, 0.0 if baseline is None else baseline)
+    plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+    group_w = plot_w / len(categories)
+    bar_w = max(1.0, 0.8 * group_w / max(len(series), 1))
+
+    def py(v):
+        return _MARGIN_TOP + plot_h * (1 - (v - lo) / (hi - lo))
+
+    parts = _frame(width, height, title)
+    _y_axis(parts, lo, hi, width, height, y_label)
+    for ci, cat in enumerate(categories):
+        x0 = _MARGIN_LEFT + ci * group_w
+        if len(categories) <= 30:
+            parts.append(
+                f'<text x="{x0 + group_w / 2:.1f}" '
+                f'y="{height - _MARGIN_BOTTOM + 16}" '
+                f'text-anchor="middle">{cat}</text>'
+            )
+        for si, (name, seq) in enumerate(series.items()):
+            color = _SERIES_COLORS[si % len(_SERIES_COLORS)]
+            v = seq[ci]
+            x = x0 + 0.1 * group_w + si * bar_w
+            top = py(v)
+            bottom = py(lo)
+            parts.append(
+                f'<rect x="{x:.1f}" y="{top:.1f}" width="{bar_w:.1f}" '
+                f'height="{max(bottom - top, 0.5):.1f}" fill="{color}">'
+                f"<title>{name} @ {cat}: {v:.4g}</title></rect>"
+            )
+    if baseline is not None:
+        y = py(baseline)
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{y:.1f}" '
+            f'x2="{width - _MARGIN_RIGHT}" y2="{y:.1f}" stroke="#666" '
+            f'stroke-dasharray="4 3"/>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="{height - 8}" '
+            f'text-anchor="middle" font-size="10">{x_label}</text>'
+        )
+    _legend(parts, series, width)
+    parts.append("</svg>")
+    return "".join(parts)

@@ -1,0 +1,191 @@
+"""Structured exports of traces and experiment results.
+
+Downstream users want schedules and experiment series in machine-readable
+form: JSON records for notebooks, CSV for spreadsheets, and SVG timelines
+for papers.  Everything here is dependency-free string building — no
+plotting stack required.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..sim.trace import Trace
+
+__all__ = [
+    "trace_to_records",
+    "trace_to_json",
+    "series_to_csv",
+    "trace_to_svg",
+]
+
+
+def trace_to_records(trace: Trace) -> Dict[str, List[dict]]:
+    """Flatten a trace into JSON-friendly record lists.
+
+    Returns ``{"jobs": [...], "segments": [...], "misses": [...]}`` with
+    one dict per record, plain types only.
+    """
+    jobs = [
+        {
+            "task_id": rec.task_id,
+            "job_id": rec.job_id,
+            "release": rec.release,
+            "absolute_deadline": rec.absolute_deadline,
+            "finish": rec.finish,
+            "response_time": rec.response_time,
+            "met_deadline": rec.met_deadline,
+            "offloaded": rec.offloaded,
+            "result_returned": rec.result_returned,
+            "compensated": rec.compensated,
+            "benefit": rec.benefit,
+        }
+        for (_, _), rec in sorted(trace.jobs.items())
+    ]
+    segments = [
+        {
+            "task_id": seg.task_id,
+            "job_id": seg.job_id,
+            "phase": seg.phase,
+            "start": seg.start,
+            "end": seg.end,
+        }
+        for seg in trace.segments
+    ]
+    misses = [
+        {
+            "task_id": miss.task_id,
+            "job_id": miss.job_id,
+            "absolute_deadline": miss.absolute_deadline,
+            "finish": miss.finish,
+            "lateness": miss.lateness,
+        }
+        for miss in trace.misses
+    ]
+    subjob_events = [
+        {
+            "time": event.time,
+            "task_id": event.task_id,
+            "job_id": event.job_id,
+            "phase": event.phase,
+            "priority_key": event.priority_key,
+            "kind": event.kind,
+        }
+        for event in trace.subjob_events
+    ]
+    return {
+        "jobs": jobs,
+        "segments": segments,
+        "misses": misses,
+        "subjob_events": subjob_events,
+    }
+
+
+def trace_to_json(trace: Trace, indent: int = 2) -> str:
+    """The :func:`trace_to_records` structure as a JSON document."""
+    return json.dumps(trace_to_records(trace), indent=indent)
+
+
+def series_to_csv(
+    columns: Mapping[str, Sequence],
+) -> str:
+    """Columns of equal length -> CSV text with a header row.
+
+    Example::
+
+        series_to_csv({"ratio": result.ratios,
+                       "dp": result.normalized["dp"]})
+    """
+    if not columns:
+        raise ValueError("no columns")
+    lengths = {len(v) for v in columns.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"column lengths differ: {sorted(lengths)}")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    names = list(columns)
+    writer.writerow(names)
+    for row in zip(*(columns[name] for name in names)):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+#: Phase fill colours for the SVG timeline.
+_PHASE_COLORS = {
+    "local": "#4878a8",
+    "setup": "#e3a85c",
+    "compensation": "#c85c5c",
+    "post": "#6aa86a",
+}
+
+
+def trace_to_svg(
+    trace: Trace,
+    horizon: Optional[float] = None,
+    width: int = 800,
+    row_height: int = 24,
+) -> str:
+    """Render the schedule as a self-contained SVG Gantt chart.
+
+    One row per task, segments coloured by phase, deadline misses marked
+    with a red cross at the missed deadline.
+    """
+    if not trace.segments:
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            'height="20"><text x="4" y="14">(empty trace)</text></svg>'
+        )
+    end = horizon or max(seg.end for seg in trace.segments)
+    if end <= 0:
+        raise ValueError("horizon must be positive")
+    task_ids = sorted({seg.task_id for seg in trace.segments})
+    label_width = 90
+    plot_width = width - label_width
+    height = row_height * len(task_ids) + 30
+
+    def x_of(t: float) -> float:
+        return label_width + min(max(t / end, 0.0), 1.0) * plot_width
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">'
+    ]
+    for row, task_id in enumerate(task_ids):
+        y = 6 + row * row_height
+        parts.append(
+            f'<text x="4" y="{y + row_height * 0.6:.1f}">{task_id}</text>'
+        )
+        parts.append(
+            f'<line x1="{label_width}" y1="{y + row_height - 6}" '
+            f'x2="{width}" y2="{y + row_height - 6}" stroke="#ddd"/>'
+        )
+        for seg in trace.segments:
+            if seg.task_id != task_id or seg.start >= end:
+                continue
+            x0 = x_of(seg.start)
+            x1 = x_of(seg.end)
+            color = _PHASE_COLORS.get(seg.phase, "#999")
+            parts.append(
+                f'<rect x="{x0:.1f}" y="{y}" width="{max(x1 - x0, 0.5):.1f}" '
+                f'height="{row_height - 8}" fill="{color}">'
+                f"<title>{seg.task_id}#{seg.job_id} {seg.phase} "
+                f"[{seg.start:.3f}, {seg.end:.3f}]</title></rect>"
+            )
+        for miss in trace.misses:
+            if miss.task_id != task_id or miss.absolute_deadline > end:
+                continue
+            x = x_of(miss.absolute_deadline)
+            parts.append(
+                f'<text x="{x:.1f}" y="{y + row_height * 0.6:.1f}" '
+                f'fill="#c00" font-weight="bold">&#10007;</text>'
+            )
+    axis_y = height - 8
+    parts.append(
+        f'<text x="{label_width}" y="{axis_y}">0</text>'
+        f'<text x="{width - 50}" y="{axis_y}">{end:.2f}s</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)

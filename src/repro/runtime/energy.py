@@ -1,0 +1,114 @@
+"""Client-side energy accounting for offloading schedules.
+
+The related work the paper builds on (Li/Wang/Xu CASES'01 and others)
+motivates offloading by *energy*: shipping computation off-device trades
+CPU-active time for radio time.  This module adds that lens to any
+schedule trace: a :class:`PowerModel` prices each execution phase and
+the idle gaps, and :func:`energy_report` integrates it over a trace.
+
+The model is deliberately phase-based (what the trace actually knows):
+
+* ``local``/``compensation``/``post`` segments draw ``active_power``;
+* ``setup`` segments draw ``active_power + tx_power`` (the radio
+  transmits the offloaded payload during setup, per the §3 definition
+  of ``C_{i,1}``: "data compression, initialization, data
+  transmission");
+* all remaining time draws ``idle_power``.
+
+So offloading saves energy exactly when the avoided local computation
+(``C_i`` at active power) outweighs the setup/transmit cost plus the
+compensation runs that still happen — which the A-style comparison in
+:func:`compare_energy` makes measurable per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..sim.trace import Trace
+
+__all__ = ["PowerModel", "EnergyReport", "energy_report", "compare_energy"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Client power draw in watts per state.
+
+    Defaults are representative of a small embedded board with Wi-Fi
+    (order of magnitude only — the *comparisons* are the point).
+    """
+
+    active_power: float = 1.5
+    idle_power: float = 0.3
+    tx_power: float = 0.9  # extra draw while transmitting (setup phase)
+
+    def __post_init__(self) -> None:
+        if self.active_power < 0 or self.idle_power < 0 or self.tx_power < 0:
+            raise ValueError("power draws must be non-negative")
+        if self.idle_power > self.active_power:
+            raise ValueError("idle power exceeding active power is bogus")
+
+
+@dataclass
+class EnergyReport:
+    """Energy integrated over one schedule trace."""
+
+    horizon: float
+    phase_time: Dict[str, float] = field(default_factory=dict)
+    idle_time: float = 0.0
+    phase_energy: Dict[str, float] = field(default_factory=dict)
+    idle_energy: float = 0.0
+
+    @property
+    def busy_time(self) -> float:
+        return sum(self.phase_time.values())
+
+    @property
+    def total_energy(self) -> float:
+        return sum(self.phase_energy.values()) + self.idle_energy
+
+    @property
+    def average_power(self) -> float:
+        return self.total_energy / self.horizon if self.horizon else 0.0
+
+
+def energy_report(
+    trace: Trace, horizon: float, power: PowerModel = PowerModel()
+) -> EnergyReport:
+    """Integrate ``power`` over ``trace`` within ``[0, horizon]``."""
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    report = EnergyReport(horizon=horizon)
+    for segment in trace.segments:
+        lo = max(segment.start, 0.0)
+        hi = min(segment.end, horizon)
+        if hi <= lo:
+            continue
+        length = hi - lo
+        report.phase_time[segment.phase] = (
+            report.phase_time.get(segment.phase, 0.0) + length
+        )
+    for phase, length in report.phase_time.items():
+        draw = power.active_power
+        if phase == "setup":
+            draw += power.tx_power
+        report.phase_energy[phase] = draw * length
+    report.idle_time = max(0.0, horizon - report.busy_time)
+    report.idle_energy = power.idle_power * report.idle_time
+    return report
+
+
+def compare_energy(
+    offloading: EnergyReport, all_local: EnergyReport
+) -> float:
+    """Relative energy saving of offloading vs the all-local baseline.
+
+    Positive = offloading saves energy.  Both reports must cover the
+    same horizon or the comparison is meaningless.
+    """
+    if abs(offloading.horizon - all_local.horizon) > 1e-9:
+        raise ValueError("reports cover different horizons")
+    if all_local.total_energy <= 0:
+        raise ValueError("baseline consumed no energy")
+    return 1.0 - offloading.total_energy / all_local.total_energy

@@ -1,0 +1,103 @@
+"""The full offloading system of the paper's Figure 1, wired end to end.
+
+:class:`OffloadingSystem` composes the architecture's three components —
+the Benefit and Response Time Estimator (supplied benefit functions or a
+probing campaign), the Offloading Decision Manager (MCKP reduction +
+solver), and the Local Compensation Manager (the split-deadline
+scheduler's timers) — against a chosen server scenario, and runs the
+whole thing on the discrete-event engine.
+
+This is the type the examples and the Figure 2 experiment drive; lower
+layers remain individually usable for targeted studies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.odm import OffloadingDecision, OffloadingDecisionManager
+from ..core.task import TaskSet
+from ..sched.exec_time import ExecutionTimeModel
+from ..sched.offload_scheduler import OffloadingScheduler
+from ..server.scenarios import SCENARIOS, ServerScenario, build_server
+from ..sim.engine import Simulator
+from ..sim.rng import RandomStreams
+from .report import SystemReport
+
+__all__ = ["OffloadingSystem"]
+
+
+class OffloadingSystem:
+    """Decide-and-run facade over the whole stack.
+
+    Parameters
+    ----------
+    tasks:
+        Task set with benefit functions already established (use
+        :mod:`repro.estimator` to build them from measurements first if
+        needed).
+    scenario:
+        A :class:`~repro.server.scenarios.ServerScenario` or the name of
+        a preset (``"busy"``, ``"not_busy"``, ``"idle"``).
+    solver:
+        MCKP solver name forwarded to the ODM (default ``"dp"``).
+    seed:
+        Root seed for every stochastic component of the run.
+    deadline_mode:
+        ``"split"`` (the paper's algorithm) or ``"naive"`` baseline.
+    """
+
+    def __init__(
+        self,
+        tasks: TaskSet,
+        scenario: "ServerScenario | str" = "idle",
+        solver: str = "dp",
+        seed: int = 0,
+        deadline_mode: str = "split",
+        exec_model: Optional[ExecutionTimeModel] = None,
+    ) -> None:
+        if isinstance(scenario, str):
+            if scenario not in SCENARIOS:
+                raise ValueError(
+                    f"unknown scenario {scenario!r}; "
+                    f"presets: {sorted(SCENARIOS)}"
+                )
+            scenario = SCENARIOS[scenario]
+        self.tasks = tasks
+        self.scenario = scenario
+        self.seed = seed
+        self.deadline_mode = deadline_mode
+        self.exec_model = exec_model
+        self.odm = OffloadingDecisionManager(solver=solver)
+        self._decision: Optional[OffloadingDecision] = None
+
+    # ------------------------------------------------------------------
+    # pipeline stages
+    # ------------------------------------------------------------------
+    def decide(self) -> OffloadingDecision:
+        """Run the ODM once and cache the decision."""
+        if self._decision is None:
+            self._decision = self.odm.decide(self.tasks)
+        return self._decision
+
+    def run(self, horizon: float = 10.0) -> SystemReport:
+        """Decide (if not yet decided) and simulate for ``horizon``.
+
+        Builds a fresh engine + server each call, so repeated runs with
+        the same seed are identical and runs with different seeds are
+        independent.
+        """
+        decision = self.decide()
+        sim = Simulator()
+        streams = RandomStreams(seed=self.seed)
+        built = build_server(sim, self.scenario, streams)
+        scheduler = OffloadingScheduler(
+            sim=sim,
+            tasks=self.tasks,
+            response_times=decision.response_times,
+            transport=built.transport,
+            deadline_mode=self.deadline_mode,
+            exec_model=self.exec_model,
+        )
+        trace = scheduler.run(horizon)
+        return SystemReport(decision=decision, trace=trace, horizon=horizon)

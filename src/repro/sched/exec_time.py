@@ -1,0 +1,84 @@
+"""Execution-time models: how long each sub-job *actually* runs.
+
+The analysis layer always budgets worst-case times; in simulation the
+actual execution time may be shorter.  An execution-time model maps
+``(task, phase, response_time, job_id)`` to the actual duration of one
+sub-job execution, bounded above by the corresponding WCET.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+import numpy as np
+
+from ..core.task import OffloadableTask, Task
+
+__all__ = ["ExecutionTimeModel", "WcetModel", "UniformScaleModel"]
+
+
+def _wcet_for(task: Task, phase: str, response_time: float) -> float:
+    """The worst-case budget of ``phase`` for ``task`` at a given level."""
+    if phase == "local":
+        return task.wcet
+    if not isinstance(task, OffloadableTask):
+        raise ValueError(f"{task.task_id} has no offloading phases")
+    if phase == "setup":
+        try:
+            return task.setup_time_at(response_time)
+        except KeyError:
+            return task.setup_time
+    if phase == "compensation":
+        try:
+            return task.compensation_time_at(response_time)
+        except KeyError:
+            return task.compensation_time
+    if phase == "post":
+        return task.post_time
+    raise ValueError(f"unknown phase {phase!r}")
+
+
+class ExecutionTimeModel(Protocol):
+    """Callable model of actual execution times."""
+
+    def duration(
+        self, task: Task, phase: str, response_time: float, job_id: int
+    ) -> float:
+        ...
+
+
+class WcetModel:
+    """Every sub-job runs for exactly its worst-case execution time.
+
+    The default, and what the schedulability guarantee must survive.
+    """
+
+    def duration(
+        self, task: Task, phase: str, response_time: float, job_id: int
+    ) -> float:
+        return _wcet_for(task, phase, response_time)
+
+
+class UniformScaleModel:
+    """Actual time uniform in ``[low_fraction·WCET, WCET]``.
+
+    Models the usual gap between average-case and worst-case execution.
+    """
+
+    def __init__(
+        self,
+        low_fraction: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 < low_fraction <= 1.0:
+            raise ValueError("low_fraction must be in (0, 1]")
+        self.low_fraction = low_fraction
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def duration(
+        self, task: Task, phase: str, response_time: float, job_id: int
+    ) -> float:
+        wcet = _wcet_for(task, phase, response_time)
+        if wcet == 0.0:
+            return 0.0
+        return float(self.rng.uniform(self.low_fraction * wcet, wcet))

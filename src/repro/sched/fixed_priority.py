@@ -1,0 +1,213 @@
+"""Fixed-priority baseline: RM/DM assignment, response-time analysis and
+a fixed-priority scheduler on the shared uniprocessor.
+
+The paper dismisses fixed-priority scheduling of self-suspending tasks
+(citing Ridouard et al.) and builds on EDF instead.  This module supplies
+the baseline so the ablations can *show* the gap rather than assert it:
+
+* :func:`rate_monotonic_order` / :func:`deadline_monotonic_order` —
+  classic priority assignments;
+* :func:`response_time_analysis` — the exact RTA fixpoint for
+  constrained-deadline sporadic tasks under fixed priorities;
+* :func:`suspension_oblivious_rta` — RTA for offloaded tasks treating the
+  suspension ``R_i`` as execution (the standard, very pessimistic,
+  suspension-oblivious analysis);
+* :class:`FixedPriorityScheduler` — runs local task sets under fixed
+  priorities on the DES using sub-job priority overrides.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..core.task import OffloadableTask, Task, TaskSet
+from ..sim.engine import Simulator
+from ..sim.events import PRIORITY_RELEASE
+from ..sim.trace import Trace
+from .exec_time import ExecutionTimeModel, WcetModel
+from .jobs import Job, SubJob
+from .uniprocessor import Uniprocessor
+
+__all__ = [
+    "rate_monotonic_order",
+    "deadline_monotonic_order",
+    "response_time_analysis",
+    "suspension_oblivious_rta",
+    "FixedPriorityScheduler",
+]
+
+
+def rate_monotonic_order(tasks: Sequence[Task]) -> List[Task]:
+    """Tasks sorted by increasing period (highest priority first)."""
+    return sorted(tasks, key=lambda t: (t.period, t.task_id))
+
+
+def deadline_monotonic_order(tasks: Sequence[Task]) -> List[Task]:
+    """Tasks sorted by increasing relative deadline."""
+    return sorted(tasks, key=lambda t: (t.deadline, t.task_id))
+
+
+def _rta_fixpoint(
+    wcet: float,
+    deadline: float,
+    higher: Sequence[Task],
+    max_iterations: int = 10_000,
+) -> Optional[float]:
+    """Solve ``R = C + Σ ceil(R/T_j)·C_j``; ``None`` if it exceeds D."""
+    response = wcet
+    for _ in range(max_iterations):
+        interference = sum(
+            math.ceil(response / hp.period - 1e-12) * hp.wcet for hp in higher
+        )
+        new_response = wcet + interference
+        if new_response > deadline + 1e-12:
+            return None
+        if abs(new_response - response) < 1e-12:
+            return new_response
+        response = new_response
+    return None
+
+
+def response_time_analysis(
+    tasks: Sequence[Task],
+    order: Callable[[Sequence[Task]], List[Task]] = deadline_monotonic_order,
+) -> Dict[str, Optional[float]]:
+    """Exact RTA for local sporadic tasks under a fixed-priority order.
+
+    Returns ``task_id -> worst-case response time`` with ``None`` marking
+    unschedulable tasks.
+    """
+    ordered = order(tasks)
+    results: Dict[str, Optional[float]] = {}
+    for idx, task in enumerate(ordered):
+        results[task.task_id] = _rta_fixpoint(
+            task.wcet, task.deadline, ordered[:idx]
+        )
+    return results
+
+
+def suspension_oblivious_rta(
+    tasks: Sequence[Task],
+    response_times: Mapping[str, float],
+    order: Callable[[Sequence[Task]], List[Task]] = deadline_monotonic_order,
+) -> Dict[str, Optional[float]]:
+    """Suspension-oblivious fixed-priority analysis of offloaded tasks.
+
+    An offloaded task is modelled with inflated execution
+    ``C_{i,1} + R_i + C_{i,2}`` (suspension counted as computation) —
+    the textbook-sound but pessimistic treatment.  Interference from an
+    offloaded higher-priority task likewise uses its inflated execution.
+    Used by the A1-adjacent baseline comparisons.
+    """
+    ordered = order(tasks)
+
+    def inflated(task: Task) -> float:
+        r = response_times.get(task.task_id, 0.0)
+        if r > 0 and isinstance(task, OffloadableTask):
+            return task.setup_time + r + task.compensation_time
+        return task.wcet
+
+    results: Dict[str, Optional[float]] = {}
+    for idx, task in enumerate(ordered):
+        higher = ordered[:idx]
+        wcet = inflated(task)
+        response = wcet
+        solved = None
+        for _ in range(10_000):
+            interference = sum(
+                math.ceil(response / hp.period - 1e-12) * inflated(hp)
+                for hp in higher
+            )
+            new_response = wcet + interference
+            if new_response > task.deadline + 1e-12:
+                break
+            if abs(new_response - response) < 1e-12:
+                solved = new_response
+                break
+            response = new_response
+        results[task.task_id] = solved
+    return results
+
+
+class FixedPriorityScheduler:
+    """Preemptive fixed-priority execution of *local* tasks on the DES.
+
+    Priorities follow the supplied ordering function (DM by default).
+    Offloading is out of scope here — this is the baseline substrate the
+    paper contrasts its EDF-based approach with.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tasks: TaskSet,
+        trace: Optional[Trace] = None,
+        order: Callable[[Sequence[Task]], List[Task]] = deadline_monotonic_order,
+        exec_model: Optional[ExecutionTimeModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.tasks = tasks
+        self.trace = trace if trace is not None else Trace()
+        self.exec_model = exec_model if exec_model is not None else WcetModel()
+        self.processor = Uniprocessor(sim, self.trace)
+        ordered = order(list(tasks))
+        self._priority: Dict[str, int] = {
+            task.task_id: rank for rank, task in enumerate(ordered)
+        }
+        self._job_counters: Dict[str, int] = {}
+        self._horizon = 0.0
+
+    def run(self, horizon: float) -> Trace:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self._horizon = horizon
+        for task in self.tasks:
+            self.sim.schedule_at(
+                0.0,
+                lambda ev, t=task: self._release(t),
+                priority=PRIORITY_RELEASE,
+                name=f"release:{task.task_id}",
+            )
+        max_deadline = max(t.deadline for t in self.tasks)
+        self.sim.run_until(horizon + max_deadline)
+        return self.trace
+
+    def _release(self, task: Task) -> None:
+        now = self.sim.now
+        job_id = self._job_counters.get(task.task_id, 0)
+        self._job_counters[task.task_id] = job_id + 1
+        job = Job(
+            task=task,
+            job_id=job_id,
+            release=now,
+            absolute_deadline=now + task.deadline,
+        )
+        self.trace.record_release(
+            task.task_id, job_id, now, job.absolute_deadline
+        )
+        duration = self.exec_model.duration(task, "local", 0.0, job_id)
+        subjob = SubJob(
+            job=job,
+            phase="local",
+            wcet=task.wcet,
+            remaining=duration,
+            absolute_deadline=job.absolute_deadline,
+            release=now,
+            on_complete=self._finish,
+            priority_override=float(self._priority[task.task_id]),
+        )
+        self.processor.submit(subjob)
+        next_time = now + task.period
+        if next_time < self._horizon:
+            self.sim.schedule_at(
+                next_time,
+                lambda ev, t=task: self._release(t),
+                priority=PRIORITY_RELEASE,
+                name=f"release:{task.task_id}",
+            )
+
+    def _finish(self, subjob: SubJob, now: float) -> None:
+        job = subjob.job
+        job.finish = now
+        self.trace.record_finish(job.task.task_id, job.job_id, now)

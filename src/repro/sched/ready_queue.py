@@ -1,0 +1,48 @@
+"""EDF ready queue: a deadline-ordered priority queue of sub-jobs.
+
+Plain binary heap keyed by ``(absolute_deadline, seq)``.  The sequence
+number gives FIFO order among equal deadlines, which both makes runs
+deterministic and matches the common EDF implementation convention of
+not preempting an equal-deadline running job.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from .jobs import SubJob
+
+__all__ = ["EDFReadyQueue"]
+
+
+class EDFReadyQueue:
+    """Min-heap of ready sub-jobs ordered by EDF priority."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+
+    def push(self, subjob: SubJob) -> None:
+        heapq.heappush(self._heap, (subjob.edf_key, subjob))
+
+    def pop(self) -> SubJob:
+        """Remove and return the earliest-deadline sub-job."""
+        if not self._heap:
+            raise IndexError("pop from empty ready queue")
+        return heapq.heappop(self._heap)[1]
+
+    def peek(self) -> Optional[SubJob]:
+        return self._heap[0][1] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> List[SubJob]:
+        """Remove and return all sub-jobs in EDF order (for inspection)."""
+        out = []
+        while self._heap:
+            out.append(self.pop())
+        return out

@@ -1,0 +1,92 @@
+"""Background load on the GPU server.
+
+Figure 2's three scenarios differ only in how much *other* work the GPU
+server is processing: busy, not busy, idle.  This generator injects
+competing kernels into the proxy as a Poisson process with configurable
+work sizes, reproducing that contention knob.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..sim.engine import Simulator
+from .gpu import KernelWork
+from .proxy import GpuServerProxy
+
+__all__ = ["BackgroundLoadGenerator"]
+
+
+class BackgroundLoadGenerator:
+    """Poisson arrivals of background kernels into a proxy.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Mean arrivals per second (0 disables the generator entirely).
+    work_sampler:
+        Returns the compute work (reference-GPU seconds) of one
+        background kernel; defaults to exponential with the given mean.
+    mean_work:
+        Mean kernel work used by the default sampler.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        proxy: GpuServerProxy,
+        arrival_rate: float,
+        rng: np.random.Generator,
+        mean_work: float = 0.050,
+        work_sampler: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if arrival_rate < 0:
+            raise ValueError("arrival_rate must be non-negative")
+        if mean_work <= 0:
+            raise ValueError("mean_work must be positive")
+        self.sim = sim
+        self.proxy = proxy
+        self.arrival_rate = arrival_rate
+        self.rng = rng
+        self.mean_work = mean_work
+        self.work_sampler = work_sampler
+        self.kernels_injected = 0
+        self._running = False
+
+    @property
+    def offered_load(self) -> float:
+        """Mean GPU-seconds of background work offered per second."""
+        return self.arrival_rate * self.mean_work
+
+    def start(self) -> None:
+        """Begin injecting kernels (idempotent; no-op at rate 0)."""
+        if self._running or self.arrival_rate == 0:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        gap = float(self.rng.exponential(1.0 / self.arrival_rate))
+        self.sim.schedule(gap, self._inject, name="background-arrival")
+
+    def _inject(self, event) -> None:
+        if not self._running:
+            return
+        if self.work_sampler is not None:
+            work = float(self.work_sampler())
+        else:
+            work = float(self.rng.exponential(self.mean_work))
+        kernel = KernelWork(
+            upload_bytes=0.0,
+            compute_work=max(work, 0.0),
+            download_bytes=0.0,
+            label="background",
+        )
+        self.kernels_injected += 1
+        self.proxy.execute(kernel, lambda _t: None)
+        self._schedule_next()

@@ -1,0 +1,111 @@
+"""Bursty wireless impairment: the Gilbert–Elliott channel model.
+
+Real wireless links do not lose packets independently — interference
+and fading come in *bursts*.  The Gilbert–Elliott model captures this
+with a two-state Markov chain: a GOOD state (low loss, low extra delay)
+and a BAD state (high loss, heavy extra delay), with exponential
+sojourn times.
+
+This matters to the offloading mechanism because a burst hits *several
+consecutive* offloaded jobs: the compensation path must absorb
+correlated failures, not just independent ones — which the burst fuzz
+test exercises.  The model wraps any
+:class:`~repro.sched.transport.OffloadTransport`-style transport as a
+decorator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..sched.transport import OffloadRequest, OffloadTransport
+from ..sim.engine import Simulator
+
+__all__ = ["GilbertElliottChannel"]
+
+
+class GilbertElliottChannel:
+    """Two-state bursty impairment wrapped around a transport.
+
+    Parameters
+    ----------
+    mean_good / mean_bad:
+        Mean sojourn times (seconds) in the GOOD and BAD states.
+    loss_good / loss_bad:
+        Per-request loss probability in each state.
+    extra_delay_bad:
+        Mean of an exponential extra delay added to results submitted
+        during a BAD period (retransmissions, backoff).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        inner: OffloadTransport,
+        rng: np.random.Generator,
+        mean_good: float = 5.0,
+        mean_bad: float = 0.5,
+        loss_good: float = 0.005,
+        loss_bad: float = 0.5,
+        extra_delay_bad: float = 0.3,
+    ) -> None:
+        if mean_good <= 0 or mean_bad <= 0:
+            raise ValueError("state sojourn means must be positive")
+        for p in (loss_good, loss_bad):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("loss probabilities must be in [0, 1]")
+        if extra_delay_bad < 0:
+            raise ValueError("extra_delay_bad must be non-negative")
+        self.sim = sim
+        self.inner = inner
+        self.rng = rng
+        self.mean_good = mean_good
+        self.mean_bad = mean_bad
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.extra_delay_bad = extra_delay_bad
+        self.in_bad_state = False
+        self.bursts = 0
+        self.lost_in_burst = 0
+        self.submitted = 0
+        self._schedule_transition()
+
+    # ------------------------------------------------------------------
+    def _schedule_transition(self) -> None:
+        mean = self.mean_bad if self.in_bad_state else self.mean_good
+        self.sim.schedule(
+            float(self.rng.exponential(mean)),
+            self._flip,
+            name="ge-channel-transition",
+        )
+
+    def _flip(self, event) -> None:
+        self.in_bad_state = not self.in_bad_state
+        if self.in_bad_state:
+            self.bursts += 1
+        self._schedule_transition()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, request: OffloadRequest, on_result: Callable[[float], None]
+    ) -> None:
+        self.submitted += 1
+        loss = self.loss_bad if self.in_bad_state else self.loss_good
+        if loss and self.rng.random() < loss:
+            if self.in_bad_state:
+                self.lost_in_burst += 1
+            return  # request swallowed by the burst
+        if self.in_bad_state and self.extra_delay_bad > 0:
+            extra = float(self.rng.exponential(self.extra_delay_bad))
+
+            def delayed_result(arrival: float) -> None:
+                self.sim.schedule(
+                    extra, lambda ev: on_result(ev.time),
+                    name="ge-extra-delay",
+                )
+
+            self.inner.submit(request, delayed_result)
+        else:
+            self.inner.submit(request, on_result)

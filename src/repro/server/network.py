@@ -1,0 +1,89 @@
+"""Wireless network channel model between client and GPU server.
+
+The case study's client talks to the GPU server over a local wireless
+network (paper §6.1.1) — one of the two sources of timing unreliability
+(the other being GPU contention).  The channel model is:
+
+    delay(bytes) = base_latency + bytes / bandwidth + jitter
+
+with ``jitter`` drawn from a lognormal distribution (heavy right tail —
+the shape that makes worst-case analysis of real wireless links
+hopeless) and an optional packet-loss probability for transfers that
+never complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["NetworkChannel"]
+
+
+@dataclass
+class NetworkChannel:
+    """A stochastic one-way transfer-time model.
+
+    Parameters
+    ----------
+    bandwidth:
+        Sustained throughput in bytes/second.
+    base_latency:
+        Fixed per-transfer overhead in seconds (association, framing).
+    jitter_scale:
+        Median of the lognormal jitter term, seconds.  0 disables jitter.
+    jitter_sigma:
+        Lognormal shape parameter; larger = heavier tail.
+    loss_probability:
+        Chance a transfer is lost entirely (the result never arrives).
+    rng:
+        Random generator; required when jitter or loss is enabled.
+    """
+
+    bandwidth: float
+    base_latency: float = 0.002
+    jitter_scale: float = 0.0
+    jitter_sigma: float = 1.0
+    loss_probability: float = 0.0
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.base_latency < 0:
+            raise ValueError("base_latency must be non-negative")
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError("loss_probability must be in [0, 1]")
+        if (self.jitter_scale > 0 or self.loss_probability > 0) and self.rng is None:
+            raise ValueError(
+                "a rng is required when jitter or loss is enabled"
+            )
+
+    def is_lost(self) -> bool:
+        """Sample whether a transfer is lost."""
+        if self.loss_probability == 0.0:
+            return False
+        return bool(self.rng.random() < self.loss_probability)
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Sample the one-way delay for a payload of ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError("payload size must be non-negative")
+        delay = self.base_latency + num_bytes / self.bandwidth
+        if self.jitter_scale > 0:
+            delay += float(
+                self.jitter_scale
+                * self.rng.lognormal(mean=0.0, sigma=self.jitter_sigma)
+            )
+        return delay
+
+    def mean_transfer_time(self, num_bytes: float) -> float:
+        """Expected delay (analytic), useful for calibration tests."""
+        mean_jitter = (
+            self.jitter_scale * float(np.exp(self.jitter_sigma**2 / 2.0))
+            if self.jitter_scale > 0
+            else 0.0
+        )
+        return self.base_latency + num_bytes / self.bandwidth + mean_jitter

@@ -1,0 +1,138 @@
+"""End-to-end transport through network + proxy + GPU.
+
+:class:`GpuServerTransport` implements the
+:class:`~repro.sched.transport.OffloadTransport` interface by chaining
+the full offloading path of the case study:
+
+    client --uplink--> proxy --dispatch--> GPU --...--> downlink --> client
+
+Both the channel and the GPUs are stochastic, so the client-observed
+response time is exactly the "timing unreliable" quantity the paper's
+mechanism defends against.  The transport records every observed
+response time, which the Benefit and Response Time Estimator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol
+
+from ..sched.transport import OffloadRequest
+from ..sim.engine import Simulator
+from .gpu import KernelWork
+from .network import NetworkChannel
+from .proxy import GpuServerProxy
+
+__all__ = ["WorkModel", "ResponseTimeCalibratedWork", "GpuServerTransport"]
+
+
+class WorkModel(Protocol):
+    """Maps an offload request to the kernel the server must run."""
+
+    def kernel_for(self, request: OffloadRequest) -> KernelWork:
+        ...
+
+
+@dataclass
+class ResponseTimeCalibratedWork:
+    """Derive kernel sizes from the request's benefit level.
+
+    The estimated response time ``r_{i,j}`` of a level already aggregates
+    transfer + processing (paper §6.1.2), so we decompose it back into
+    parts: on an *idle* server with *calm* network the expected response
+    is ``headroom_fraction · r`` — comfortably inside the budget — while
+    contention or jitter pushes it out.  The split is:
+
+    * uplink payload sized so its nominal transfer takes
+      ``upload_fraction · r``;
+    * GPU work ``compute_fraction · r`` reference-seconds;
+    * downlink payload for ``download_fraction · r``.
+    """
+
+    bandwidth: float
+    upload_fraction: float = 0.25
+    compute_fraction: float = 0.45
+    download_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        total = self.upload_fraction + self.compute_fraction + self.download_fraction
+        if not 0 < total < 1:
+            raise ValueError(
+                "fractions must leave positive headroom below 1 "
+                f"(sum={total})"
+            )
+
+    @property
+    def headroom_fraction(self) -> float:
+        return (
+            self.upload_fraction
+            + self.compute_fraction
+            + self.download_fraction
+        )
+
+    def kernel_for(self, request: OffloadRequest) -> KernelWork:
+        r = request.level_response_time
+        if r <= 0:
+            raise ValueError("request has no positive response-time level")
+        return KernelWork(
+            upload_bytes=self.upload_fraction * r * self.bandwidth,
+            compute_work=self.compute_fraction * r,
+            download_bytes=self.download_fraction * r * self.bandwidth,
+            label=f"{request.task.task_id}#{request.job_id}",
+        )
+
+
+class GpuServerTransport:
+    """The full client↔server offloading path on the DES."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        proxy: GpuServerProxy,
+        uplink: NetworkChannel,
+        downlink: NetworkChannel,
+        work_model: WorkModel,
+    ) -> None:
+        self.sim = sim
+        self.proxy = proxy
+        self.uplink = uplink
+        self.downlink = downlink
+        self.work_model = work_model
+        self.submitted = 0
+        self.completed = 0
+        self.lost = 0
+        #: client-observed response times (submit -> result arrival)
+        self.response_samples: List[float] = []
+
+    def submit(
+        self, request: OffloadRequest, on_result: Callable[[float], None]
+    ) -> None:
+        self.submitted += 1
+        kernel = self.work_model.kernel_for(request)
+        submit_time = self.sim.now
+
+        if self.uplink.is_lost():
+            self.lost += 1
+            return
+        up_delay = self.uplink.transfer_time(kernel.upload_bytes)
+
+        def at_server(event) -> None:
+            self.proxy.execute(kernel, gpu_done)
+
+        def gpu_done(_completion_time: float) -> None:
+            if self.downlink.is_lost():
+                self.lost += 1
+                return
+            down_delay = self.downlink.transfer_time(kernel.download_bytes)
+            self.sim.schedule(
+                down_delay,
+                deliver,
+                name=f"downlink:{kernel.label}",
+            )
+
+        def deliver(event) -> None:
+            self.completed += 1
+            self.response_samples.append(event.time - submit_time)
+            on_result(event.time)
+
+        self.sim.schedule(up_delay, at_server, name=f"uplink:{kernel.label}")

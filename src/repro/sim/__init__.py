@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate.
+
+Provides the :class:`~repro.sim.engine.Simulator` event loop, event
+primitives, deterministic named random streams, and schedule tracing.
+Every runtime experiment in the reproduction runs on this engine.
+"""
+
+from .engine import Simulator
+from .events import (
+    PRIORITY_DISPATCH,
+    PRIORITY_NORMAL,
+    PRIORITY_RELEASE,
+    PRIORITY_TIMER,
+    Event,
+    SimulationError,
+)
+from .rng import RandomStreams, derive_seed
+from .trace import DeadlineMiss, ExecutionSegment, JobRecord, Trace
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "SimulationError",
+    "PRIORITY_NORMAL",
+    "PRIORITY_RELEASE",
+    "PRIORITY_TIMER",
+    "PRIORITY_DISPATCH",
+    "RandomStreams",
+    "derive_seed",
+    "Trace",
+    "ExecutionSegment",
+    "JobRecord",
+    "DeadlineMiss",
+]

@@ -1,0 +1,201 @@
+"""The discrete-event simulation engine.
+
+This is the substrate every runtime experiment in the reproduction runs
+on: the split-deadline EDF scheduler, the unreliable GPU-server model and
+the offloading client are all processes driven by one :class:`Simulator`.
+
+Design notes
+------------
+* Time is a ``float`` in seconds.  All the paper's quantities are
+  milliseconds; the engine is unit-agnostic but the rest of the library
+  consistently uses **seconds**.
+* The event queue is a binary heap with lazy deletion (see
+  :mod:`repro.sim.events`).
+* Determinism: equal-time events fire by (priority, scheduling order), and
+  all randomness flows through :class:`repro.sim.rng.RandomStreams`, so a
+  run is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Iterable, List, Optional
+
+from .events import (
+    PRIORITY_NORMAL,
+    Event,
+    SimulationError,
+)
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A minimal but complete discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda ev: print("tick at", ev.time))
+        sim.run_until(10.0)
+
+    The engine exposes :meth:`schedule`, :meth:`schedule_at` (aliases),
+    :meth:`run_until`, :meth:`run_all` and :meth:`step`.  Components keep a
+    reference to the simulator and schedule their own callbacks.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of (non-cancelled) events fired so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still on the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[Event], None],
+        priority: int = PRIORITY_NORMAL,
+        payload=None,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``.
+
+        Returns the :class:`Event`, whose :meth:`Event.cancel` can undo the
+        scheduling.  Scheduling strictly in the past raises
+        :class:`SimulationError`; scheduling *at* the current instant is
+        allowed (the event fires within the current step loop).
+        """
+        if math.isnan(time):
+            raise SimulationError("cannot schedule an event at NaN time")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = Event(
+            time=float(time),
+            priority=priority,
+            callback=callback,
+            payload=payload,
+            name=name,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[Event], None],
+        priority: int = PRIORITY_NORMAL,
+        payload=None,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` after a relative ``delay`` from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(
+            self._now + delay, callback, priority=priority, payload=payload, name=name
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[Event]:
+        """Fire the next non-cancelled event and return it.
+
+        Returns ``None`` when the heap is exhausted.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.fire()
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the heap is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run_until(self, horizon: float) -> None:
+        """Run events with ``time <= horizon``, then set the clock to it.
+
+        Events scheduled exactly at the horizon *are* executed, matching
+        the half-open analysis windows ``(t0, t]`` used by the demand-bound
+        arguments in the paper.
+        """
+        if horizon < self._now:
+            raise SimulationError(
+                f"horizon {horizon} lies before current time {self._now}"
+            )
+        self._running = True
+        try:
+            while True:
+                next_time = self.peek_time()
+                if next_time is None or next_time > horizon:
+                    break
+                self.step()
+                if self._stopped:
+                    break
+        finally:
+            self._running = False
+        if not self._stopped:
+            self._now = max(self._now, horizon)
+
+    def run_all(self, max_events: int = 10_000_000) -> None:
+        """Run until the event heap drains (bounded by ``max_events``)."""
+        self._running = True
+        fired = 0
+        try:
+            while self.step() is not None:
+                if self._stopped:
+                    break
+                fired += 1
+                if fired >= max_events:
+                    raise SimulationError(
+                        f"run_all exceeded {max_events} events; "
+                        "likely an unbounded event cascade"
+                    )
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request the current ``run_*`` loop to halt after this event."""
+        self._stopped = True
+
+    def resume(self) -> None:
+        """Clear a previous :meth:`stop` so the engine can run again."""
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # introspection helpers (used by tests)
+    # ------------------------------------------------------------------
+    def pending_events(self) -> Iterable[Event]:
+        """Yield live (non-cancelled) pending events in heap order."""
+        return (ev for ev in sorted(self._heap) if not ev.cancelled)

@@ -1,0 +1,83 @@
+"""Event primitives for the discrete-event simulation engine.
+
+The engine (:mod:`repro.sim.engine`) keeps a priority queue of
+:class:`Event` objects ordered by ``(time, priority, sequence)``.  The
+``sequence`` number is a monotonically increasing tie-breaker so that two
+events scheduled for the same instant with the same priority fire in the
+order they were scheduled, which keeps simulations deterministic.
+
+Events carry an arbitrary callback.  Cancellation is supported by marking
+the event instead of removing it from the heap (lazy deletion), which is
+the standard O(log n) technique for binary-heap based simulators.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 100
+
+#: Priority used for job releases so that a release at time ``t`` is
+#: processed before the scheduler re-evaluates preemption at ``t``.
+PRIORITY_RELEASE = 10
+
+#: Priority for timer expirations (e.g. the local-compensation timer of the
+#: paper's architecture); fires after releases but before normal events.
+PRIORITY_TIMER = 50
+
+#: Priority for bookkeeping that must run last at an instant (e.g. the
+#: scheduler dispatch pass after all state changes at time ``t``).
+PRIORITY_DISPATCH = 1000
+
+_sequence_counter = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled occurrence in the simulation.
+
+    Instances are ordered by ``(time, priority, seq)`` which is exactly the
+    order the engine pops them.  The callback and payload are excluded from
+    the ordering comparison.
+    """
+
+    time: float
+    priority: int = PRIORITY_NORMAL
+    seq: int = field(default_factory=lambda: next(_sequence_counter))
+    callback: Optional[Callable[["Event"], None]] = field(
+        default=None, compare=False
+    )
+    payload: Any = field(default=None, compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled.
+
+        The engine skips cancelled events when they surface at the top of
+        the heap.  Cancelling an already-fired event is a harmless no-op.
+        """
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (if any) with this event as the argument."""
+        if self.callback is not None:
+            self.callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        label = self.name or (
+            self.callback.__name__ if self.callback else "<none>"
+        )
+        return f"Event(t={self.time:.6f}, prio={self.priority}, {label}{state})"
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural errors in a simulation run.
+
+    Examples: scheduling an event in the past, or running an engine that
+    has already been stopped with a fatal error.
+    """

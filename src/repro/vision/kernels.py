@@ -1,0 +1,154 @@
+"""The four image-processing kernels of the case study (§6.1.1).
+
+Genuine numpy implementations — not stubs — of:
+
+* **edge detection** — Sobel gradient magnitude with thresholding;
+* **stereo vision** — block-matching disparity estimation (SAD);
+* **motion detection** — frame differencing with a binary change mask;
+* **object recognition** — normalized cross-correlation template
+  matching (a deliberately lighter stand-in for SIFT; the motivation
+  example's SIFT pipeline is proprietary-GPU-bound, and recognition
+  accuracy is not an evaluated quantity — only timing and image quality
+  are).
+
+Each kernel returns its result array; execution *cost* modelling lives in
+:mod:`repro.vision.tasks` (simulated time must be deterministic, so we
+never use wall-clock measurements of these functions).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "sobel_edges",
+    "block_matching_disparity",
+    "motion_mask",
+    "match_template",
+]
+
+
+def _convolve2d_3x3(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """3×3 convolution with edge replication, via shifted adds."""
+    padded = np.pad(image, 1, mode="edge")
+    out = np.zeros_like(image, dtype=float)
+    for dy in range(3):
+        for dx in range(3):
+            weight = kernel[dy, dx]
+            if weight != 0.0:
+                out += weight * padded[
+                    dy : dy + image.shape[0], dx : dx + image.shape[1]
+                ]
+    return out
+
+
+def sobel_edges(
+    image: np.ndarray, threshold: float = 0.25
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sobel gradient magnitude and a thresholded edge mask.
+
+    Returns ``(magnitude, mask)``; magnitude is normalized to [0, 1].
+    """
+    if image.ndim != 2:
+        raise ValueError("expected a 2-D grayscale image")
+    gx_kernel = np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]], dtype=float)
+    gy_kernel = gx_kernel.T
+    gx = _convolve2d_3x3(image, gx_kernel)
+    gy = _convolve2d_3x3(image, gy_kernel)
+    magnitude = np.hypot(gx, gy)
+    peak = magnitude.max()
+    if peak > 0:
+        magnitude = magnitude / peak
+    return magnitude, magnitude >= threshold
+
+
+def block_matching_disparity(
+    left: np.ndarray,
+    right: np.ndarray,
+    max_disparity: int = 16,
+    block_size: int = 7,
+) -> np.ndarray:
+    """Dense disparity by SAD block matching along scanlines.
+
+    For each pixel, the disparity minimizing the sum of absolute
+    differences between the left block and the right block shifted by
+    ``d`` is chosen.  Vectorized over the whole image per candidate
+    disparity.
+    """
+    if left.shape != right.shape:
+        raise ValueError("stereo pair shapes differ")
+    if block_size % 2 == 0 or block_size < 3:
+        raise ValueError("block_size must be odd and >= 3")
+    if max_disparity < 1:
+        raise ValueError("max_disparity must be >= 1")
+
+    half = block_size // 2
+    height, width = left.shape
+    best_cost = np.full((height, width), np.inf)
+    best_disp = np.zeros((height, width), dtype=float)
+
+    # box filter for SAD aggregation
+    def box(img: np.ndarray) -> np.ndarray:
+        padded = np.pad(img, half, mode="edge")
+        out = np.zeros_like(img)
+        for dy in range(block_size):
+            for dx in range(block_size):
+                out += padded[dy : dy + height, dx : dx + width]
+        return out
+
+    for d in range(max_disparity + 1):
+        shifted = np.roll(right, d, axis=1)
+        if d > 0:
+            shifted[:, :d] = right[:, :1]  # replicate border
+        cost = box(np.abs(left - shifted))
+        better = cost < best_cost
+        best_cost[better] = cost[better]
+        best_disp[better] = d
+    return best_disp
+
+
+def motion_mask(
+    previous: np.ndarray, current: np.ndarray, threshold: float = 0.1
+) -> np.ndarray:
+    """Binary change mask by absolute frame differencing."""
+    if previous.shape != current.shape:
+        raise ValueError("frame shapes differ")
+    return np.abs(current.astype(float) - previous.astype(float)) >= threshold
+
+
+def match_template(
+    image: np.ndarray, template: np.ndarray
+) -> Tuple[Tuple[int, int], float]:
+    """Locate ``template`` in ``image`` by normalized cross-correlation.
+
+    Returns ``((row, col), score)`` of the best match; score ∈ [-1, 1].
+    Brute-force over all valid placements, vectorized per row.
+    """
+    ih, iw = image.shape
+    th, tw = template.shape
+    if th > ih or tw > iw:
+        raise ValueError("template larger than image")
+
+    t = template - template.mean()
+    t_norm = float(np.sqrt((t * t).sum()))
+    if t_norm == 0:
+        raise ValueError("template has zero variance")
+
+    best_score = -np.inf
+    best_pos = (0, 0)
+    # sliding windows via stride tricks
+    windows = np.lib.stride_tricks.sliding_window_view(image, (th, tw))
+    means = windows.mean(axis=(2, 3))
+    for r in range(windows.shape[0]):
+        w = windows[r] - means[r][:, None, None]
+        w_norm = np.sqrt((w * w).sum(axis=(1, 2)))
+        scores = (w * t).sum(axis=(1, 2)) / np.where(
+            w_norm > 0, w_norm * t_norm, np.inf
+        )
+        c = int(np.argmax(scores))
+        if scores[c] > best_score:
+            best_score = float(scores[c])
+            best_pos = (r, c)
+    return best_pos, best_score

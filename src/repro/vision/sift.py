@@ -1,0 +1,255 @@
+"""SIFT-lite: scale-space keypoints + gradient-histogram descriptors.
+
+The paper's motivation example is SIFT-based object recognition on a
+mobile robot ("a mobile robot commonly uses the Scale-Invariant Feature
+Transform (SIFT) algorithm for object recognition", §1).  This module
+implements the pipeline's recognizable core in plain numpy:
+
+1. a Gaussian scale-space pyramid and difference-of-Gaussians (DoG);
+2. keypoints as local extrema of the DoG across space and scale, with
+   low-contrast rejection;
+3. per-keypoint descriptors: 4×4 spatial grid of 8-bin gradient
+   orientation histograms (the classic 128-vector), normalized;
+4. nearest-neighbour descriptor matching with Lowe's ratio test.
+
+It is deliberately "lite" — no sub-pixel refinement, no orientation
+assignment (synthetic scenes are unrotated), single octave by default —
+but it is a *working* detector/matcher, good enough to re-find objects
+across noise and scaling, which is all the case study's recognition
+task requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Keypoint",
+    "gaussian_blur",
+    "dog_pyramid",
+    "detect_keypoints",
+    "compute_descriptors",
+    "match_descriptors",
+    "sift_match",
+]
+
+
+@dataclass(frozen=True)
+class Keypoint:
+    """A detected interest point: position, scale index, DoG response."""
+
+    row: int
+    col: int
+    scale: int
+    response: float
+
+
+def _gaussian_kernel1d(sigma: float) -> np.ndarray:
+    radius = max(1, int(round(3.0 * sigma)))
+    xs = np.arange(-radius, radius + 1, dtype=float)
+    kernel = np.exp(-(xs**2) / (2.0 * sigma * sigma))
+    return kernel / kernel.sum()
+
+
+def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
+    """Separable Gaussian blur with edge replication."""
+    if sigma <= 0:
+        return image.copy()
+    kernel = _gaussian_kernel1d(sigma)
+    radius = len(kernel) // 2
+    padded = np.pad(image, ((0, 0), (radius, radius)), mode="edge")
+    out = np.apply_along_axis(
+        lambda row: np.convolve(row, kernel, mode="valid"), 1, padded
+    )
+    padded = np.pad(out, ((radius, radius), (0, 0)), mode="edge")
+    out = np.apply_along_axis(
+        lambda col: np.convolve(col, kernel, mode="valid"), 0, padded
+    )
+    return out
+
+
+def dog_pyramid(
+    image: np.ndarray,
+    num_scales: int = 4,
+    base_sigma: float = 1.0,
+    k: float = 1.6,
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Gaussian stack and its difference-of-Gaussians.
+
+    Returns ``(gaussians, dogs)`` with ``len(dogs) = num_scales - 1``.
+    """
+    if num_scales < 3:
+        raise ValueError("need at least 3 scales for extrema detection")
+    gaussians = [
+        gaussian_blur(image, base_sigma * (k**s)) for s in range(num_scales)
+    ]
+    dogs = [b - a for a, b in zip(gaussians, gaussians[1:])]
+    return gaussians, dogs
+
+
+def detect_keypoints(
+    image: np.ndarray,
+    num_scales: int = 4,
+    contrast_threshold: float = 0.015,
+    max_keypoints: Optional[int] = 200,
+) -> List[Keypoint]:
+    """DoG extrema across (row, col, scale) with contrast rejection."""
+    _, dogs = dog_pyramid(image, num_scales=num_scales)
+    stack = np.stack(dogs)  # (S, H, W)
+    num_layers, height, width = stack.shape
+    keypoints: List[Keypoint] = []
+    for s in range(1, num_layers - 1):
+        layer = stack[s]
+        # 3x3x3 neighbourhood extrema, vectorized via shifted comparisons
+        center = layer[1:-1, 1:-1]
+        if abs(center).max() == 0:
+            continue
+        is_max = np.ones_like(center, dtype=bool)
+        is_min = np.ones_like(center, dtype=bool)
+        for ds in (-1, 0, 1):
+            neighbour_layer = stack[s + ds]
+            for dr in (-1, 0, 1):
+                for dc in (-1, 0, 1):
+                    if ds == 0 and dr == 0 and dc == 0:
+                        continue
+                    shifted = neighbour_layer[
+                        1 + dr : height - 1 + dr, 1 + dc : width - 1 + dc
+                    ]
+                    is_max &= center >= shifted
+                    is_min &= center <= shifted
+        extrema = (is_max | is_min) & (np.abs(center) >= contrast_threshold)
+        rows, cols = np.nonzero(extrema)
+        for r, c in zip(rows, cols):
+            keypoints.append(
+                Keypoint(
+                    row=int(r + 1),
+                    col=int(c + 1),
+                    scale=s,
+                    response=float(abs(center[r, c])),
+                )
+            )
+    keypoints.sort(key=lambda kp: -kp.response)
+    if max_keypoints is not None:
+        keypoints = keypoints[:max_keypoints]
+    return keypoints
+
+
+def _gradients(image: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    gy, gx = np.gradient(image)
+    magnitude = np.hypot(gx, gy)
+    orientation = np.arctan2(gy, gx)  # [-pi, pi]
+    return magnitude, orientation
+
+
+def compute_descriptors(
+    image: np.ndarray,
+    keypoints: Sequence[Keypoint],
+    patch_radius: int = 8,
+    grid: int = 4,
+    bins: int = 8,
+) -> Tuple[List[Keypoint], np.ndarray]:
+    """128-d (grid²·bins) gradient-histogram descriptors.
+
+    Keypoints whose patch does not fit inside the image are dropped;
+    returns the surviving keypoints and an ``(N, grid*grid*bins)``
+    array of L2-normalized descriptors.
+    """
+    magnitude, orientation = _gradients(image)
+    height, width = image.shape
+    cell = (2 * patch_radius) // grid
+    kept: List[Keypoint] = []
+    descriptors: List[np.ndarray] = []
+    for kp in keypoints:
+        r0, c0 = kp.row - patch_radius, kp.col - patch_radius
+        r1, c1 = kp.row + patch_radius, kp.col + patch_radius
+        if r0 < 0 or c0 < 0 or r1 > height or c1 > width:
+            continue
+        mag = magnitude[r0:r1, c0:c1]
+        ori = orientation[r0:r1, c0:c1]
+        vector = np.zeros(grid * grid * bins)
+        for gr in range(grid):
+            for gc in range(grid):
+                block_m = mag[
+                    gr * cell : (gr + 1) * cell, gc * cell : (gc + 1) * cell
+                ]
+                block_o = ori[
+                    gr * cell : (gr + 1) * cell, gc * cell : (gc + 1) * cell
+                ]
+                hist, _ = np.histogram(
+                    block_o,
+                    bins=bins,
+                    range=(-np.pi, np.pi),
+                    weights=block_m,
+                )
+                vector[(gr * grid + gc) * bins : (gr * grid + gc + 1) * bins] = hist
+        norm = np.linalg.norm(vector)
+        if norm == 0:
+            continue
+        kept.append(kp)
+        descriptors.append(vector / norm)
+    if not descriptors:
+        return [], np.zeros((0, grid * grid * bins))
+    return kept, np.stack(descriptors)
+
+
+def match_descriptors(
+    query: np.ndarray,
+    train: np.ndarray,
+    ratio: float = 0.8,
+) -> List[Tuple[int, int]]:
+    """Nearest-neighbour matching with Lowe's ratio test.
+
+    Returns ``(query_index, train_index)`` pairs whose best match is
+    ``ratio`` times closer than the second best.
+    """
+    if query.size == 0 or train.size == 0:
+        return []
+    if not 0 < ratio < 1:
+        raise ValueError("ratio must be in (0, 1)")
+    # squared euclidean distances, (Q, T)
+    d2 = (
+        (query**2).sum(axis=1)[:, None]
+        + (train**2).sum(axis=1)[None, :]
+        - 2.0 * query @ train.T
+    )
+    matches: List[Tuple[int, int]] = []
+    for qi in range(d2.shape[0]):
+        order = np.argsort(d2[qi])
+        if len(order) < 2:
+            matches.append((qi, int(order[0])))
+            continue
+        best, second = order[0], order[1]
+        if d2[qi, best] <= (ratio**2) * d2[qi, second]:
+            matches.append((qi, int(best)))
+    return matches
+
+
+def sift_match(
+    scene: np.ndarray,
+    template: np.ndarray,
+    ratio: float = 0.8,
+) -> Tuple[Optional[Tuple[int, int]], int]:
+    """Locate ``template`` in ``scene`` by SIFT-lite feature voting.
+
+    Returns ``((row, col) of the estimated template top-left, votes)``;
+    position is the median of per-match offsets, ``None`` when no match
+    survives the ratio test.
+    """
+    kp_t = detect_keypoints(template)
+    kp_t, desc_t = compute_descriptors(template, kp_t)
+    kp_s = detect_keypoints(scene)
+    kp_s, desc_s = compute_descriptors(scene, kp_s)
+    pairs = match_descriptors(desc_t, desc_s, ratio=ratio)
+    if not pairs:
+        return None, 0
+    offsets = np.array(
+        [
+            (kp_s[si].row - kp_t[qi].row, kp_s[si].col - kp_t[qi].col)
+            for qi, si in pairs
+        ]
+    )
+    row, col = np.median(offsets, axis=0)
+    return (int(round(row)), int(round(col))), len(pairs)

@@ -1,0 +1,294 @@
+"""The case-study task set (paper §6.1, Table 1).
+
+Two ways to obtain the four vision tasks:
+
+* :func:`table1_task_set` — uses the *published* Table 1 benefit points
+  verbatim (response times and PSNR values), with execution-time
+  parameters calibrated as documented below.  This is the input to the
+  Figure 2 reproduction: the decision layer sees exactly the numbers the
+  paper's decision layer saw.
+* :func:`measured_benefit_functions` /
+  :func:`build_measured_task_set` — re-runs the paper's *construction
+  method* end to end: synthetic scenes are scaled through the level
+  ladder, PSNR quantifies each level's quality, and the server model is
+  probed for per-level response-time distributions (§6.1.2).  This is
+  the Table 1 regeneration experiment (E1).
+
+Calibration of unpublished constants
+------------------------------------
+The paper publishes ``r_{i,j}``, ``G_i``, the deadlines (1.8 s / 1.8 s /
+2 s / 2 s) and the weights (1..4), but not ``C_i``, ``C_{i,1}`` or
+``C_{i,2}``.  We derive them from the motivation example's anchor (SIFT
+on a 300×200 image: ≈278 ms on the i3-2310M CPU) via per-kernel
+cost-per-pixel coefficients, choosing local scaling levels such that the
+all-local configuration is feasible but tight (ΣC_i/T_i ≈ 0.91) — the
+regime in which the offloading decision is an actual trade-off, as in
+the paper.  ``C_{i,2} = C_i`` follows the paper's own suggestion ("we
+can simply use the version for the local execution time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.benefit import BenefitFunction, BenefitPoint
+from ..core.task import OffloadableTask, TaskSet
+from ..estimator.benefit_builder import quality_benefit
+from ..estimator.response_time import EmpiricalResponseTimes
+from ..sim.rng import derive_seed
+from .images import generate_scene
+from .psnr import psnr
+from .scaling import roundtrip
+
+__all__ = [
+    "TABLE1",
+    "Table1Row",
+    "KERNEL_COSTS",
+    "table1_task_set",
+    "level_quality",
+    "measured_benefit_functions",
+    "build_measured_task_set",
+    "DEFAULT_LEVEL_FACTORS",
+    "LOCAL_LEVEL_FACTOR",
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1 (times in seconds)."""
+
+    task_id: str
+    description: str
+    local_benefit: float
+    points: Tuple[Tuple[float, float], ...]  # (r_{i,j}, G_i(r_{i,j})), j>=2
+    deadline: float
+    weight: float
+
+
+#: The paper's Table 1, verbatim (response times converted ms -> s).
+TABLE1: Tuple[Table1Row, ...] = (
+    Table1Row(
+        task_id="tau1",
+        description="Stereo Vision",
+        local_benefit=22.4897,
+        points=(
+            (0.1952814, 30.5918),
+            (0.2074508, 33.2853),
+            (0.2222878, 36.6047),
+            (0.236502, 99.0),
+        ),
+        deadline=1.8,
+        weight=1.0,
+    ),
+    Table1Row(
+        task_id="tau2",
+        description="Edge Detection",
+        local_benefit=28.1574,
+        points=(
+            (0.2533242, 35.0431),
+            (0.3124523, 37.7277),
+            (0.3624235, 41.4977),
+            (0.420341, 99.0),
+        ),
+        deadline=1.8,
+        weight=2.0,
+    ),
+    Table1Row(
+        task_id="tau3",
+        description="Object recognition",
+        local_benefit=23.9059,
+        points=(
+            (0.1482351, 28.5648),
+            (0.1614224, 31.9884),
+            (0.1743242, 35.3082),
+            (0.188803, 99.0),
+        ),
+        deadline=2.0,
+        weight=3.0,
+    ),
+    Table1Row(
+        task_id="tau4",
+        description="Motion Detection",
+        local_benefit=21.0324,
+        points=(
+            (0.343637, 28.3015),
+            (0.485459, 32.957),
+            (0.622091, 36.1414),
+            (0.89136, 99.0),
+        ),
+        deadline=2.0,
+        weight=4.0,
+    ),
+)
+
+#: CPU cost per pixel (seconds) for each kernel on the reference
+#: embedded CPU, anchored to the SIFT/278 ms motivation example.
+KERNEL_COSTS: Dict[str, float] = {
+    "tau1": 4.2e-5,  # stereo block matching: heaviest
+    "tau2": 3.3e-5,  # edge detection
+    "tau3": 3.7e-5,  # object recognition
+    "tau4": 3.0e-5,  # motion detection
+}
+
+#: Reference image shape (the motivation example's 300x200).
+_FULL_SHAPE = (200, 300)
+_FULL_PIXELS = _FULL_SHAPE[0] * _FULL_SHAPE[1]
+
+#: Scaling factor processed locally (sets C_i and G_i(0)).
+LOCAL_LEVEL_FACTOR = 0.45
+
+#: Scaling factors of the four offloadable levels j=2..5 (level 5 = full
+#: resolution, whose round-trip PSNR is the capped 99).
+DEFAULT_LEVEL_FACTORS: Tuple[float, ...] = (0.6, 0.75, 0.9, 1.0)
+
+#: Per-level setup cost: image scaling + compression (per full-res
+#: pixel), plus a fixed transmission-initiation overhead.
+_SETUP_PER_PIXEL = 2.0e-7
+_SETUP_FIXED = 0.010
+
+
+def _local_wcet(task_id: str) -> float:
+    """``C_i``: processing the local-level image on the CPU."""
+    pixels = _FULL_PIXELS * LOCAL_LEVEL_FACTOR**2
+    return KERNEL_COSTS[task_id] * pixels
+
+
+def _setup_time(level_factor: float) -> float:
+    """``C^j_{i,1}``: scaling + compression + transfer initiation."""
+    pixels = _FULL_PIXELS * level_factor**2
+    return _SETUP_FIXED + _SETUP_PER_PIXEL * pixels
+
+
+def table1_task_set(
+    weights: Optional[Sequence[float]] = None,
+) -> TaskSet:
+    """The four case-study tasks with the published Table 1 benefits.
+
+    ``weights`` overrides the importance weights (default 1, 2, 3, 4);
+    Figure 2 permutes them over all 24 orders.
+    """
+    if weights is None:
+        weights = [row.weight for row in TABLE1]
+    if len(weights) != len(TABLE1):
+        raise ValueError(f"expected {len(TABLE1)} weights, got {len(weights)}")
+
+    tasks = TaskSet()
+    for row, weight in zip(TABLE1, weights):
+        wcet = _local_wcet(row.task_id)
+        points = [BenefitPoint(0.0, row.local_benefit, label="local")]
+        for (r, g), factor in zip(row.points, DEFAULT_LEVEL_FACTORS):
+            points.append(
+                BenefitPoint(
+                    response_time=r,
+                    benefit=g,
+                    setup_time=_setup_time(factor),
+                    compensation_time=wcet,
+                    label=f"factor-{factor}",
+                )
+            )
+        tasks.add(
+            OffloadableTask(
+                task_id=row.task_id,
+                wcet=wcet,
+                period=row.deadline,  # implicit deadlines
+                weight=float(weight),
+                setup_time=_setup_time(DEFAULT_LEVEL_FACTORS[0]),
+                compensation_time=wcet,
+                post_time=0.2 * wcet,
+                benefit=BenefitFunction(points),
+            )
+        )
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# measured (regenerated) benefit construction — experiment E1
+# ----------------------------------------------------------------------
+def level_quality(
+    factor: float,
+    scene: Optional[np.ndarray] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """PSNR of scaling level ``factor`` against the full-resolution scene.
+
+    This is the §6.1.2 quality quantification: scale down, scale back,
+    compare.  ``factor == 1`` yields the capped 99 dB by construction.
+    """
+    if scene is None:
+        scene = generate_scene(
+            *_FULL_SHAPE, rng=rng if rng is not None else np.random.default_rng(7)
+        )
+    return psnr(scene, roundtrip(scene, factor))
+
+
+def measured_benefit_functions(
+    level_samples: Dict[str, Dict[float, EmpiricalResponseTimes]],
+    percentile: float = 90.0,
+    seed: int = 7,
+) -> Dict[str, BenefitFunction]:
+    """Build each task's ``G_i`` from measured response times + PSNR.
+
+    ``level_samples`` maps ``task_id -> {level_factor: samples}`` as
+    produced by probing the server (see
+    :func:`repro.estimator.sampling.probe_server`).  Qualities come from
+    genuine PSNR round-trips on a per-task synthetic scene (each task
+    processes different camera content, so — as in the paper's Table 1 —
+    the same scaling level yields a different PSNR per task); the local
+    benefit is the PSNR of :data:`LOCAL_LEVEL_FACTOR`.
+    """
+    functions: Dict[str, BenefitFunction] = {}
+    for task_id, per_level in level_samples.items():
+        scene_seed = derive_seed(seed, task_id)
+        scene = generate_scene(
+            *_FULL_SHAPE, rng=np.random.default_rng(scene_seed)
+        )
+        local_q = psnr(scene, roundtrip(scene, LOCAL_LEVEL_FACTOR))
+        qualities = {
+            factor: psnr(scene, roundtrip(scene, factor))
+            for factor in per_level
+        }
+        setups = {factor: _setup_time(factor) for factor in per_level}
+        comps = {factor: _local_wcet(task_id) for factor in per_level}
+        functions[task_id] = quality_benefit(
+            local_quality=local_q,
+            level_samples=per_level,
+            level_qualities=qualities,
+            percentile=percentile,
+            level_setup_times=setups,
+            level_compensation_times=comps,
+        )
+    return functions
+
+
+def build_measured_task_set(
+    benefit_functions: Dict[str, BenefitFunction],
+    weights: Optional[Sequence[float]] = None,
+) -> TaskSet:
+    """Assemble a task set from regenerated benefit functions.
+
+    Timing parameters (deadlines, periods, ``C_i``) match
+    :func:`table1_task_set`; only the benefit functions differ.
+    """
+    if weights is None:
+        weights = [row.weight for row in TABLE1]
+    tasks = TaskSet()
+    for row, weight in zip(TABLE1, weights):
+        if row.task_id not in benefit_functions:
+            raise KeyError(f"no benefit function for {row.task_id}")
+        wcet = _local_wcet(row.task_id)
+        tasks.add(
+            OffloadableTask(
+                task_id=row.task_id,
+                wcet=wcet,
+                period=row.deadline,
+                weight=float(weight),
+                setup_time=_setup_time(DEFAULT_LEVEL_FACTORS[0]),
+                compensation_time=wcet,
+                post_time=0.2 * wcet,
+                benefit=benefit_functions[row.task_id],
+            )
+        )
+    return tasks

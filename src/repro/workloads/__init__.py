@@ -1,0 +1,19 @@
+"""Workload generation: the paper's §6.2 random model, UUniFast, and
+parameterized generators for the ablation studies."""
+
+from .generator import (
+    paper_simulation_task_set,
+    random_offloading_task_set,
+    uunifast,
+)
+from .io import dumps, loads, task_set_from_dict, task_set_to_dict
+
+__all__ = [
+    "paper_simulation_task_set",
+    "uunifast",
+    "random_offloading_task_set",
+    "task_set_to_dict",
+    "task_set_from_dict",
+    "dumps",
+    "loads",
+]

@@ -1,0 +1,154 @@
+"""Random workload generation.
+
+Three generators:
+
+* :func:`paper_simulation_task_set` — the §6.2 setup verbatim: 30 tasks,
+  ``C_{i,1}, C_i ~ U(0, 20 ms]``, ``C_{i,2} = C_i``,
+  ``T_i = D_i ~ U{600..700 ms}``, benefit values 10 %, 20 %, …, 100 % at
+  increasing response times drawn from ``U[100, 200] ms``;
+* :func:`uunifast` — the standard utilization-partitioning algorithm
+  (Bini & Buttazzo) used by the ablation sweeps;
+* :func:`random_offloading_task_set` — parameterized generator for the
+  A1/A3 ablations: target local utilization, offloading overhead ratios
+  and benefit shapes are all knobs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.benefit import BenefitFunction, BenefitPoint
+from ..core.task import OffloadableTask, TaskSet
+
+__all__ = [
+    "paper_simulation_task_set",
+    "uunifast",
+    "random_offloading_task_set",
+]
+
+
+def paper_simulation_task_set(
+    rng: np.random.Generator,
+    num_tasks: int = 30,
+    num_benefit_points: int = 10,
+) -> TaskSet:
+    """Generate one §6.2 simulation task set.
+
+    Benefit semantics: ``G_i(r)`` is the probability of a timely
+    high-performance result; local execution yields none of that, so
+    ``G_i(0) = 0``.  The probability grid is 1/k, 2/k, …, 1 for
+    ``k = num_benefit_points`` (10 %, …, 100 % at the default).
+    """
+    if num_tasks <= 0:
+        raise ValueError("num_tasks must be positive")
+    tasks = TaskSet()
+    for i in range(num_tasks):
+        # "random values from 0 to 20ms" — exclude 0 (a zero-wcet task is
+        # degenerate) by drawing from (0, 20].
+        wcet = float(rng.uniform(0.0005, 0.020))
+        setup = float(rng.uniform(0.0005, 0.020))
+        period = float(rng.integers(600, 701)) / 1000.0
+
+        response_times = np.sort(
+            rng.uniform(0.100, 0.200, size=num_benefit_points)
+        )
+        points = [BenefitPoint(0.0, 0.0, label="local")]
+        for j, r in enumerate(response_times, start=1):
+            points.append(
+                BenefitPoint(float(r), j / num_benefit_points)
+            )
+        tasks.add(
+            OffloadableTask(
+                task_id=f"sim{i}",
+                wcet=wcet,
+                period=period,
+                setup_time=setup,
+                compensation_time=wcet,
+                benefit=BenefitFunction(points),
+            )
+        )
+    return tasks
+
+
+def uunifast(
+    rng: np.random.Generator, num_tasks: int, total_utilization: float
+) -> List[float]:
+    """Bini–Buttazzo UUniFast: unbiased utilization partition.
+
+    Returns ``num_tasks`` positive utilizations summing to
+    ``total_utilization``.
+    """
+    if num_tasks <= 0:
+        raise ValueError("num_tasks must be positive")
+    if total_utilization <= 0:
+        raise ValueError("total_utilization must be positive")
+    utilizations = []
+    remaining = total_utilization
+    for i in range(1, num_tasks):
+        next_remaining = remaining * rng.random() ** (1.0 / (num_tasks - i))
+        utilizations.append(remaining - next_remaining)
+        remaining = next_remaining
+    utilizations.append(remaining)
+    return utilizations
+
+
+def random_offloading_task_set(
+    rng: np.random.Generator,
+    num_tasks: int = 8,
+    total_utilization: float = 0.7,
+    period_range: Sequence[float] = (0.1, 1.0),
+    setup_ratio: float = 0.3,
+    num_benefit_points: int = 4,
+    response_time_fraction: Sequence[float] = (0.1, 0.6),
+    benefit_scale: float = 10.0,
+) -> TaskSet:
+    """Parameterized random task set for the ablation studies.
+
+    Parameters
+    ----------
+    total_utilization:
+        Target ``Σ C_i/T_i`` distributed by UUniFast.
+    setup_ratio:
+        ``C_{i,1} = setup_ratio · C_i`` (compensation is ``C_i``).
+    response_time_fraction:
+        Benefit points get ``r_{i,j}`` uniform in
+        ``[lo·D_i, hi·D_i]``, sorted increasing.
+    benefit_scale:
+        Benefit at the top point; intermediate points interpolate
+        concavely (diminishing returns, the realistic shape).
+    """
+    if not 0 < setup_ratio:
+        raise ValueError("setup_ratio must be positive")
+    utilizations = uunifast(rng, num_tasks, total_utilization)
+    lo_f, hi_f = response_time_fraction
+    if not 0 < lo_f < hi_f < 1:
+        raise ValueError("response_time_fraction must satisfy 0<lo<hi<1")
+
+    tasks = TaskSet()
+    for i, u in enumerate(utilizations):
+        period = float(rng.uniform(*period_range))
+        wcet = max(u * period, 1e-6)
+        if wcet > period:  # extreme UUniFast draw; clamp to feasible
+            wcet = 0.95 * period
+        setup = setup_ratio * wcet
+        rs = np.sort(rng.uniform(lo_f * period, hi_f * period,
+                                 size=num_benefit_points))
+        points = [BenefitPoint(0.0, 0.0, label="local")]
+        for j, r in enumerate(rs, start=1):
+            frac = j / num_benefit_points
+            points.append(
+                BenefitPoint(float(r), benefit_scale * np.sqrt(frac))
+            )
+        tasks.add(
+            OffloadableTask(
+                task_id=f"abl{i}",
+                wcet=wcet,
+                period=period,
+                setup_time=setup,
+                compensation_time=wcet,
+                benefit=BenefitFunction(points),
+            )
+        )
+    return tasks

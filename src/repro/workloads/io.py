@@ -1,0 +1,149 @@
+"""Task-set serialization: save and load workloads as JSON.
+
+A stable, human-editable interchange format so workloads can be
+version-controlled, shared, and fed back into the pipeline without
+Python in the loop.  Covers the full task model: plain and offloadable
+tasks, benefit functions with per-level overrides, weights, constrained
+deadlines and the §3 server-response-bound extension.
+
+Format (version 1)::
+
+    {
+      "format": "repro-taskset",
+      "version": 1,
+      "tasks": [
+        {"task_id": "tau1", "wcet": 0.5, "period": 1.8,
+         "deadline": 1.8, "weight": 1.0,
+         "offloadable": true,
+         "setup_time": 0.02, "compensation_time": 0.5,
+         "post_time": 0.1, "server_response_bound": null,
+         "benefit": [
+            {"response_time": 0.0, "benefit": 22.5},
+            {"response_time": 0.195, "benefit": 30.6,
+             "setup_time": 0.017, "compensation_time": 0.5,
+             "label": "factor-0.6"}
+         ]},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..core.benefit import BenefitFunction, BenefitPoint
+from ..core.task import OffloadableTask, Task, TaskSet
+
+__all__ = ["task_set_to_dict", "task_set_from_dict", "dumps", "loads"]
+
+_FORMAT = "repro-taskset"
+_VERSION = 1
+
+
+def _point_to_dict(point: BenefitPoint) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "response_time": point.response_time,
+        "benefit": point.benefit,
+    }
+    if point.setup_time is not None:
+        out["setup_time"] = point.setup_time
+    if point.compensation_time is not None:
+        out["compensation_time"] = point.compensation_time
+    if point.label:
+        out["label"] = point.label
+    return out
+
+
+def task_set_to_dict(tasks: TaskSet) -> Dict[str, Any]:
+    """Serialize ``tasks`` to a JSON-ready dict."""
+    records: List[Dict[str, Any]] = []
+    for task in tasks:
+        record: Dict[str, Any] = {
+            "task_id": task.task_id,
+            "wcet": task.wcet,
+            "period": task.period,
+            "deadline": task.deadline,
+            "weight": task.weight,
+            "offloadable": isinstance(task, OffloadableTask),
+        }
+        if isinstance(task, OffloadableTask):
+            record.update(
+                setup_time=task.setup_time,
+                compensation_time=task.compensation_time,
+                post_time=task.post_time,
+                server_response_bound=task.server_response_bound,
+                benefit=[_point_to_dict(p) for p in task.benefit.points],
+            )
+        records.append(record)
+    return {"format": _FORMAT, "version": _VERSION, "tasks": records}
+
+
+def task_set_from_dict(data: Dict[str, Any]) -> TaskSet:
+    """Reconstruct a :class:`TaskSet` from :func:`task_set_to_dict`
+    output.
+
+    Validates the envelope and re-runs all task-model validation, so a
+    hand-edited file that violates the model (e.g. ``C_{i,3} > C_{i,2}``)
+    fails loudly here rather than corrupting an experiment.
+    """
+    if data.get("format") != _FORMAT:
+        raise ValueError(
+            f"not a {_FORMAT} document (format={data.get('format')!r})"
+        )
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported version {data.get('version')!r} "
+            f"(this library reads version {_VERSION})"
+        )
+    tasks = TaskSet()
+    for record in data.get("tasks", []):
+        common = dict(
+            task_id=record["task_id"],
+            wcet=record["wcet"],
+            period=record["period"],
+            deadline=record.get("deadline"),
+            weight=record.get("weight", 1.0),
+        )
+        if record.get("offloadable"):
+            points = [
+                BenefitPoint(
+                    response_time=p["response_time"],
+                    benefit=p["benefit"],
+                    setup_time=p.get("setup_time"),
+                    compensation_time=p.get("compensation_time"),
+                    label=p.get("label", ""),
+                )
+                for p in record.get("benefit", [])
+            ]
+            benefit = (
+                BenefitFunction(points)
+                if points
+                else BenefitFunction([BenefitPoint(0.0, 0.0)])
+            )
+            tasks.add(
+                OffloadableTask(
+                    **common,
+                    setup_time=record["setup_time"],
+                    compensation_time=record["compensation_time"],
+                    post_time=record.get("post_time", 0.0),
+                    server_response_bound=record.get(
+                        "server_response_bound"
+                    ),
+                    benefit=benefit,
+                )
+            )
+        else:
+            tasks.add(Task(**common))
+    return tasks
+
+
+def dumps(tasks: TaskSet, indent: int = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(task_set_to_dict(tasks), indent=indent)
+
+
+def loads(text: str) -> TaskSet:
+    """Parse a JSON string produced by :func:`dumps`."""
+    return task_set_from_dict(json.loads(text))

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.task import OffloadableTask, Task, TaskSet
+from repro.sim.engine import Simulator
+from repro.vision.tasks import table1_task_set
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def simple_benefit():
+    """A small well-formed benefit function: local 1.0, then 3 points."""
+    return BenefitFunction(
+        [
+            BenefitPoint(0.0, 1.0),
+            BenefitPoint(0.10, 2.0),
+            BenefitPoint(0.20, 4.0),
+            BenefitPoint(0.30, 5.0),
+        ]
+    )
+
+
+@pytest.fixture
+def offload_task(simple_benefit):
+    """One offloadable task with comfortable slack."""
+    return OffloadableTask(
+        task_id="off1",
+        wcet=0.10,
+        period=1.0,
+        setup_time=0.02,
+        compensation_time=0.10,
+        post_time=0.01,
+        benefit=simple_benefit,
+    )
+
+
+@pytest.fixture
+def local_task():
+    return Task(task_id="loc1", wcet=0.05, period=0.5)
+
+
+@pytest.fixture
+def small_task_set(offload_task, local_task):
+    return TaskSet([offload_task, local_task])
+
+
+@pytest.fixture
+def table1_tasks():
+    return table1_task_set()

@@ -1,0 +1,233 @@
+"""Unit + property tests for benefit functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+
+
+class TestBenefitPoint:
+    def test_negative_response_time_rejected(self):
+        with pytest.raises(ValueError):
+            BenefitPoint(-0.1, 1.0)
+
+    def test_negative_setup_rejected(self):
+        with pytest.raises(ValueError):
+            BenefitPoint(0.1, 1.0, setup_time=-0.01)
+
+    def test_negative_compensation_rejected(self):
+        with pytest.raises(ValueError):
+            BenefitPoint(0.1, 1.0, compensation_time=-0.01)
+
+    def test_is_local(self):
+        assert BenefitPoint(0.0, 1.0).is_local
+        assert not BenefitPoint(0.1, 1.0).is_local
+
+
+class TestConstruction:
+    def test_requires_at_least_one_point(self):
+        with pytest.raises(ValueError):
+            BenefitFunction([])
+
+    def test_requires_local_point(self):
+        with pytest.raises(ValueError, match="r=0"):
+            BenefitFunction([BenefitPoint(0.1, 1.0)])
+
+    def test_rejects_decreasing_benefit(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            BenefitFunction(
+                [BenefitPoint(0.0, 2.0), BenefitPoint(0.1, 1.0)]
+            )
+
+    def test_rejects_duplicate_response_times(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            BenefitFunction(
+                [
+                    BenefitPoint(0.0, 1.0),
+                    BenefitPoint(0.1, 2.0),
+                    BenefitPoint(0.1, 3.0),
+                ]
+            )
+
+    def test_points_sorted_regardless_of_input_order(self):
+        fn = BenefitFunction(
+            [
+                BenefitPoint(0.2, 3.0),
+                BenefitPoint(0.0, 1.0),
+                BenefitPoint(0.1, 2.0),
+            ]
+        )
+        assert fn.response_times == (0.0, 0.1, 0.2)
+
+    def test_equal_benefits_allowed(self):
+        fn = BenefitFunction(
+            [BenefitPoint(0.0, 1.0), BenefitPoint(0.1, 1.0)]
+        )
+        assert fn.num_points == 2
+
+    def test_from_pairs_inserts_local_point(self):
+        fn = BenefitFunction.from_pairs([(0.1, 2.0)], local_benefit=0.5)
+        assert fn.local_benefit == 0.5
+        assert fn.num_points == 2
+
+
+class TestEvaluation:
+    def test_value_is_step_function(self, simple_benefit):
+        assert simple_benefit.value(0.0) == 1.0
+        assert simple_benefit.value(0.05) == 1.0
+        assert simple_benefit.value(0.10) == 2.0
+        assert simple_benefit.value(0.15) == 2.0
+        assert simple_benefit.value(0.30) == 5.0
+        assert simple_benefit.value(10.0) == 5.0
+
+    def test_value_negative_raises(self, simple_benefit):
+        with pytest.raises(ValueError):
+            simple_benefit.value(-0.1)
+
+    def test_point_at_exact(self, simple_benefit):
+        assert simple_benefit.point_at(0.20).benefit == 4.0
+
+    def test_point_at_non_point_raises(self, simple_benefit):
+        with pytest.raises(KeyError):
+            simple_benefit.point_at(0.15)
+
+    def test_metadata(self, simple_benefit):
+        assert simple_benefit.num_points == 4
+        assert simple_benefit.local_benefit == 1.0
+        assert simple_benefit.max_benefit == 5.0
+
+
+class TestFromSamples:
+    def test_empirical_fractions(self):
+        fn = BenefitFunction.from_samples(
+            samples=[0.1, 0.2, 0.3, 0.4], response_times=[0.25, 0.45]
+        )
+        assert fn.value(0.25) == pytest.approx(0.5)
+        assert fn.value(0.45) == pytest.approx(1.0)
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(ValueError):
+            BenefitFunction.from_samples([], [0.1])
+
+    def test_nonpositive_candidates_skipped(self):
+        fn = BenefitFunction.from_samples([0.1], [0.0, -1.0, 0.2])
+        assert fn.response_times == (0.0, 0.2)
+
+    def test_local_benefit_floors_values(self):
+        fn = BenefitFunction.from_samples(
+            samples=[1.0], response_times=[0.1], local_benefit=0.3
+        )
+        # at 0.1 no samples arrived yet, but floor is the local benefit
+        assert fn.value(0.1) == pytest.approx(0.3)
+
+
+class TestScaled:
+    def test_zero_ratio_is_identity(self, simple_benefit):
+        assert simple_benefit.scaled(0.0) == simple_benefit
+
+    def test_positive_ratio_raises_believed_values(self, simple_benefit):
+        believed = simple_benefit.scaled(0.5)
+        # 0.10 * 1.5 = 0.15 -> true step still 2.0; 0.20*1.5=0.30 -> 5.0
+        assert believed.value(0.10) == 2.0
+        assert believed.value(0.20) == 5.0
+
+    def test_negative_ratio_lowers_believed_values(self, simple_benefit):
+        believed = simple_benefit.scaled(-0.5)
+        # 0.20 * 0.5 = 0.10 -> benefit 2.0 instead of 4.0
+        assert believed.point_at(0.20).benefit == 2.0
+
+    def test_ratio_below_minus_one_rejected(self, simple_benefit):
+        with pytest.raises(ValueError):
+            simple_benefit.scaled(-1.0)
+
+    def test_local_point_untouched(self, simple_benefit):
+        assert simple_benefit.scaled(0.3).local_benefit == 1.0
+
+    def test_preserves_level_overrides(self):
+        fn = BenefitFunction(
+            [
+                BenefitPoint(0.0, 0.0),
+                BenefitPoint(0.1, 1.0, setup_time=0.02,
+                             compensation_time=0.05),
+            ]
+        )
+        scaled = fn.scaled(0.2)
+        pt = scaled.point_at(0.1)
+        assert pt.setup_time == 0.02
+        assert pt.compensation_time == 0.05
+
+
+class TestTransforms:
+    def test_weighted_scales_benefits(self, simple_benefit):
+        doubled = simple_benefit.weighted(2.0)
+        assert doubled.local_benefit == 2.0
+        assert doubled.max_benefit == 10.0
+
+    def test_weighted_negative_rejected(self, simple_benefit):
+        with pytest.raises(ValueError):
+            simple_benefit.weighted(-1.0)
+
+    def test_truncated_drops_late_points(self, simple_benefit):
+        cut = simple_benefit.truncated(0.15)
+        assert cut.response_times == (0.0, 0.10)
+
+    def test_hash_and_eq(self, simple_benefit):
+        clone = BenefitFunction(simple_benefit.points)
+        assert clone == simple_benefit
+        assert hash(clone) == hash(simple_benefit)
+
+
+# ----------------------------------------------------------------------
+# property-based tests
+# ----------------------------------------------------------------------
+@st.composite
+def benefit_functions(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.001, max_value=10.0,
+                          allow_nan=False),
+                min_size=n, max_size=n, unique=True,
+            )
+        )
+    )
+    base = draw(st.floats(min_value=0.0, max_value=5.0))
+    increments = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=3.0),
+            min_size=n, max_size=n,
+        )
+    )
+    points = [BenefitPoint(0.0, base)]
+    value = base
+    for t, inc in zip(times, increments):
+        value += inc
+        points.append(BenefitPoint(t, value))
+    return BenefitFunction(points)
+
+
+@given(benefit_functions(), st.floats(min_value=0.0, max_value=20.0))
+@settings(max_examples=60)
+def test_value_is_monotone(fn, r):
+    """G(r) <= G(r') whenever r <= r'."""
+    assert fn.value(r) <= fn.value(r + 1.0) + 1e-12
+
+
+@given(benefit_functions(), st.floats(min_value=-0.5, max_value=0.5))
+@settings(max_examples=60)
+def test_scaled_stays_valid_and_bounded(fn, ratio):
+    scaled = fn.scaled(ratio)
+    # still a valid (monotone) benefit function over the same points
+    assert scaled.response_times == fn.response_times
+    assert scaled.local_benefit == fn.local_benefit
+    for p in scaled.points:
+        assert fn.local_benefit <= p.benefit <= fn.max_benefit
+
+
+@given(benefit_functions())
+@settings(max_examples=60)
+def test_value_at_points_equals_point_benefit(fn):
+    for p in fn.points:
+        assert fn.value(p.response_time) == p.benefit

@@ -1,0 +1,173 @@
+"""Unit + property tests for demand bound functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.dbf import (
+    dbf_local_linear_bound,
+    dbf_offloaded_linear_bound,
+    dbf_offloaded_steps,
+    dbf_sporadic,
+    demand_checkpoints,
+    processor_demand_test,
+)
+from repro.core.task import OffloadableTask, Task
+
+
+def _offload_task(setup=0.02, comp=0.1, period=1.0):
+    return OffloadableTask(
+        task_id="o", wcet=comp, period=period,
+        setup_time=setup, compensation_time=comp,
+        benefit=BenefitFunction(
+            [BenefitPoint(0.0, 0.0), BenefitPoint(0.3, 1.0)]
+        ),
+    )
+
+
+class TestSporadicDbf:
+    def test_zero_before_deadline(self):
+        assert dbf_sporadic(1.0, 10.0, 5.0, 4.99) == 0.0
+
+    def test_one_job_at_deadline(self):
+        assert dbf_sporadic(1.0, 10.0, 5.0, 5.0) == 1.0
+
+    def test_steps_at_period_boundaries(self):
+        # D=5, T=10: jobs at t=5, 15, 25...
+        assert dbf_sporadic(1.0, 10.0, 5.0, 14.99) == 1.0
+        assert dbf_sporadic(1.0, 10.0, 5.0, 15.0) == 2.0
+        assert dbf_sporadic(1.0, 10.0, 5.0, 25.0) == 3.0
+
+    @given(
+        wcet=st.floats(min_value=0.01, max_value=1.0),
+        period=st.floats(min_value=0.5, max_value=10.0),
+        t=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=60)
+    def test_linear_bound_dominates_exact(self, wcet, period, t):
+        """Theorem 2's (C/T)·t upper-bounds the exact dbf (implicit D)."""
+        if wcet > period:
+            return
+        exact = dbf_sporadic(wcet, period, period, t)
+        assert exact <= (wcet / period) * t + 1e-9
+
+
+class TestLinearBounds:
+    def test_local_linear_bound_uses_density(self):
+        task = Task("t", wcet=0.2, period=1.0, deadline=0.5)
+        assert dbf_local_linear_bound(task, 2.0) == pytest.approx(0.8)
+
+    def test_offloaded_linear_bound_matches_theorem1(self):
+        task = _offload_task()
+        t = 3.0
+        expected = (0.02 + 0.1) / (1.0 - 0.3) * t
+        assert dbf_offloaded_linear_bound(task, 0.3, t) == pytest.approx(
+            expected
+        )
+
+
+class TestOffloadedSteps:
+    def test_zero_for_tiny_windows(self):
+        assert dbf_offloaded_steps(_offload_task(), 0.3, 0.01) == 0.0
+
+    def test_step_dbf_can_exceed_the_line_at_small_windows(self):
+        """Documented non-dominance: the independent-stream sum counts
+        both sub-jobs of one job in windows too short to hold both, so
+        it can exceed the Theorem 1 line (which is why the refined test
+        takes the pointwise min of the two bounds)."""
+        task = _offload_task()
+        t = 0.625  # just above D2 = 0.5833 for these parameters
+        steps = dbf_offloaded_steps(task, 0.3, t)
+        line = dbf_offloaded_linear_bound(task, 0.3, t)
+        assert steps > line
+
+    @given(t=st.floats(min_value=0.0, max_value=20.0))
+    @settings(max_examples=80)
+    def test_combined_bound_below_theorem1_line(self, t):
+        """min(step bound, line) — what the refined test uses — never
+        exceeds the paper's linear bound."""
+        task = _offload_task()
+        steps = dbf_offloaded_steps(task, 0.3, t)
+        line = dbf_offloaded_linear_bound(task, 0.3, t)
+        assert min(steps, line) <= line + 1e-9
+
+    def test_asymptotic_slope_is_utilization_not_density(self):
+        """Long-window growth is (C1+C2)/T — strictly below the Theorem 1
+        line's (C1+C2)/(D−R) slope whenever R > 0.  This gap is exactly
+        the pessimism the A3 ablation measures."""
+        task = _offload_task()
+        t = 50.0
+        steps = dbf_offloaded_steps(task, 0.3, t)
+        utilization_slope = (0.02 + 0.1) / task.period
+        assert steps == pytest.approx(utilization_slope * t, rel=0.1)
+        assert steps < dbf_offloaded_linear_bound(task, 0.3, t)
+
+
+class TestCheckpoints:
+    def test_enumerates_deadline_plus_periods(self):
+        pts = demand_checkpoints([(0.5, 1.0)], horizon=2.6)
+        assert pts == [0.5, 1.5, 2.5]
+
+    def test_merges_streams_sorted(self):
+        pts = demand_checkpoints([(0.5, 1.0), (0.7, 2.0)], horizon=2.0)
+        assert pts == [0.5, 0.7, 1.5]
+
+
+class TestProcessorDemandTest:
+    def test_empty_is_feasible(self):
+        assert processor_demand_test([]).feasible
+
+    def test_single_feasible_stream(self):
+        result = processor_demand_test([(0.5, 1.0, 1.0)])
+        assert result.feasible
+        assert result.margin >= 0
+
+    def test_overloaded_stream_infeasible(self):
+        # two streams each demanding 0.8 within deadline 1.0
+        result = processor_demand_test(
+            [(0.8, 1.0, 1.0), (0.8, 1.0, 1.0)]
+        )
+        assert not result.feasible
+        assert result.critical_time == pytest.approx(1.0)
+        assert result.demand == pytest.approx(1.6)
+
+    def test_tight_but_feasible(self):
+        result = processor_demand_test(
+            [(0.5, 1.0, 1.0), (0.5, 1.0, 1.0)]
+        )
+        assert result.feasible
+        assert result.margin == pytest.approx(0.0)
+
+    def test_constrained_deadline_violation_detected(self):
+        # U = 0.6 but both must finish within 0.3 -> infeasible
+        result = processor_demand_test(
+            [(0.3, 1.0, 0.3), (0.3, 1.0, 0.3)]
+        )
+        assert not result.feasible
+
+    def test_invalid_stream_rejected(self):
+        with pytest.raises(ValueError):
+            processor_demand_test([(0.1, -1.0, 0.5)])
+
+    def test_extra_demand_term(self):
+        base = [(0.4, 1.0, 1.0)]
+        assert processor_demand_test(base).feasible
+        result = processor_demand_test(
+            base, extra_demand=lambda t: 0.7 * t
+        )
+        assert not result.feasible
+
+    @given(
+        utilization=st.floats(min_value=0.05, max_value=0.95),
+        n=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40)
+    def test_implicit_deadline_streams_feasible_iff_u_le_1(
+        self, utilization, n
+    ):
+        """For implicit-deadline streams EDF feasibility is U <= 1, and
+        the demand test must agree."""
+        per = utilization / n
+        streams = [(per * 1.0, 1.0, 1.0) for _ in range(n)]
+        assert processor_demand_test(streams).feasible

@@ -1,0 +1,115 @@
+"""Unit + property tests for the §5.1 deadline split."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.deadlines import split_deadlines
+from repro.core.task import OffloadableTask
+
+
+def _task(wcet=0.1, period=1.0, setup=0.02, comp=0.1, points=None):
+    benefit = BenefitFunction(
+        points
+        if points is not None
+        else [BenefitPoint(0.0, 0.0), BenefitPoint(0.3, 1.0)]
+    )
+    return OffloadableTask(
+        task_id="o", wcet=wcet, period=period,
+        setup_time=setup, compensation_time=comp, benefit=benefit,
+    )
+
+
+class TestFormula:
+    def test_paper_formula(self):
+        """D_{i,1} = C1 (D - R) / (C1 + C2)."""
+        split = split_deadlines(_task(), response_time=0.3)
+        expected = 0.02 * (1.0 - 0.3) / (0.02 + 0.1)
+        assert split.setup_deadline == pytest.approx(expected)
+
+    def test_budgets_partition_the_deadline(self):
+        split = split_deadlines(_task(), response_time=0.3)
+        total = (
+            split.setup_deadline
+            + split.response_budget
+            + split.compensation_budget
+        )
+        assert total == pytest.approx(split.total_deadline)
+
+    def test_densities_equal_for_both_subjobs(self):
+        """The proportional split equalizes sub-job densities at
+        (C1+C2)/(D-R) — the Theorem 3 per-task term."""
+        split = split_deadlines(_task(), response_time=0.3)
+        setup_density = split.setup_wcet / split.setup_deadline
+        comp_density = split.compensation_wcet / split.compensation_budget
+        assert setup_density == pytest.approx(comp_density)
+        assert setup_density == pytest.approx(split.density)
+        assert split.density == pytest.approx((0.02 + 0.1) / (1.0 - 0.3))
+
+    def test_latest_compensation_release(self):
+        split = split_deadlines(_task(), response_time=0.3)
+        assert split.latest_compensation_release == pytest.approx(
+            split.setup_deadline + 0.3
+        )
+
+
+class TestValidation:
+    def test_zero_response_time_rejected(self):
+        with pytest.raises(ValueError, match="positive R_i"):
+            split_deadlines(_task(), response_time=0.0)
+
+    def test_response_time_at_deadline_rejected(self):
+        with pytest.raises(ValueError, match="no time remains"):
+            split_deadlines(_task(), response_time=1.0)
+
+    def test_budget_overflow_rejected(self):
+        """C1 + C2 > D - R has no feasible split."""
+        task = _task(setup=0.4, comp=0.5)
+        with pytest.raises(ValueError, match="infeasible"):
+            split_deadlines(task, response_time=0.2)
+
+
+class TestPerLevelParameters:
+    def test_level_overrides_used(self):
+        points = [
+            BenefitPoint(0.0, 0.0),
+            BenefitPoint(0.3, 1.0, setup_time=0.05,
+                         compensation_time=0.2),
+        ]
+        split = split_deadlines(_task(points=points), response_time=0.3)
+        assert split.setup_wcet == 0.05
+        assert split.compensation_wcet == 0.2
+
+    def test_non_point_response_time_uses_defaults(self):
+        split = split_deadlines(_task(), response_time=0.25)
+        assert split.setup_wcet == 0.02
+        assert split.compensation_wcet == 0.1
+
+
+@given(
+    setup=st.floats(min_value=0.001, max_value=0.2),
+    comp=st.floats(min_value=0.001, max_value=0.3),
+    response=st.floats(min_value=0.01, max_value=0.4),
+)
+@settings(max_examples=80)
+def test_split_properties_hold_generally(setup, comp, response):
+    """For any feasible parameters: positive budgets, exact partition,
+    equal densities."""
+    deadline = 1.0
+    if setup + comp > deadline - response:
+        return  # infeasible by construction; covered by validation tests
+    task = _task(setup=setup, comp=comp)
+    split = split_deadlines(task, response_time=response)
+    assert split.setup_deadline > 0
+    assert split.compensation_budget > 0
+    assert (
+        split.setup_deadline + split.response_budget
+        + split.compensation_budget
+    ) == pytest.approx(deadline)
+    assert split.setup_wcet / split.setup_deadline == pytest.approx(
+        split.compensation_wcet / split.compensation_budget
+    )
+    # each sub-job fits its own budget in isolation
+    assert split.setup_wcet <= split.setup_deadline + 1e-12
+    assert split.compensation_wcet <= split.compensation_budget + 1e-12

@@ -1,0 +1,89 @@
+"""QPA tests: agreement with the forward demand scan, and efficiency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dbf import processor_demand_test
+from repro.core.qpa import qpa_test
+
+
+class TestKnownCases:
+    def test_empty_feasible(self):
+        assert qpa_test([]).feasible
+
+    def test_single_feasible_stream(self):
+        assert qpa_test([(0.5, 1.0, 1.0)]).feasible
+
+    def test_overload_detected(self):
+        result = qpa_test([(0.8, 1.0, 1.0), (0.8, 1.0, 1.0)])
+        assert not result.feasible
+        assert result.demand > result.critical_time
+
+    def test_tight_boundary_feasible(self):
+        assert qpa_test([(0.5, 1.0, 1.0), (0.5, 1.0, 1.0)]).feasible
+
+    def test_constrained_deadline_violation(self):
+        result = qpa_test([(0.3, 1.0, 0.3), (0.3, 1.0, 0.3)])
+        assert not result.feasible
+        assert result.critical_time == pytest.approx(0.3)
+
+    def test_zero_wcet_streams_ignored(self):
+        assert qpa_test([(0.0, 1.0, 0.5)]).feasible
+
+    def test_invalid_stream_rejected(self):
+        with pytest.raises(ValueError):
+            qpa_test([(0.1, 0.0, 0.5)])
+
+
+class TestAgreementWithForwardScan:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_streams_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 6))
+        streams = []
+        for _ in range(n):
+            period = float(rng.uniform(0.2, 2.0))
+            deadline = float(rng.uniform(0.3, 1.0)) * period
+            wcet = float(rng.uniform(0.05, 0.9)) * deadline
+            streams.append((wcet, period, deadline))
+        forward = processor_demand_test(streams)
+        qpa = qpa_test(streams)
+        assert forward.feasible == qpa.feasible, (
+            f"disagreement on {streams}: forward={forward}, qpa={qpa}"
+        )
+
+    def test_qpa_visits_fewer_points_on_long_busy_periods(self):
+        """QPA's jump step skips flat dbf regions the forward scan
+        visits one by one (same horizon for a fair count)."""
+        streams = [
+            (0.14, 0.4, 0.4),
+            (0.18, 0.7, 0.7),
+            (0.22, 1.1, 1.1),
+            (0.15, 1.3, 1.3),
+        ]
+        horizon = 40.0
+        forward = processor_demand_test(streams, horizon=horizon)
+        qpa = qpa_test(streams, horizon=horizon)
+        assert forward.feasible and qpa.feasible
+        assert qpa.checkpoints_tested < forward.checkpoints_tested
+
+
+@given(
+    n=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_qpa_agrees_property(n, seed):
+    rng = np.random.default_rng(seed)
+    streams = []
+    for _ in range(n):
+        period = float(rng.uniform(0.1, 3.0))
+        deadline = float(rng.uniform(0.2, 1.0)) * period
+        wcet = float(rng.uniform(0.01, 1.0)) * deadline
+        streams.append((wcet, period, deadline))
+    assert (
+        qpa_test(streams).feasible
+        == processor_demand_test(streams).feasible
+    )

@@ -1,0 +1,173 @@
+"""Unit tests for the Theorem 3 test and the exact demand refinement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.schedulability import (
+    OffloadAssignment,
+    exact_demand_test,
+    local_edf_test,
+    theorem3_test,
+)
+from repro.core.task import OffloadableTask, Task, TaskSet
+
+
+def _offloadable(task_id="o", wcet=0.1, period=1.0, setup=0.02, comp=0.1,
+                 r=0.3):
+    return OffloadableTask(
+        task_id=task_id, wcet=wcet, period=period,
+        setup_time=setup, compensation_time=comp,
+        benefit=BenefitFunction(
+            [BenefitPoint(0.0, 0.0), BenefitPoint(r, 1.0)]
+        ),
+    )
+
+
+class TestOffloadAssignment:
+    def test_requires_positive_response_time(self):
+        with pytest.raises(ValueError):
+            OffloadAssignment("t", 0.0)
+
+
+class TestTheorem3:
+    def test_all_local_equals_utilization(self):
+        tasks = TaskSet([Task("a", 0.2, 1.0), Task("b", 0.3, 1.0)])
+        result = theorem3_test(tasks)
+        assert result.feasible
+        assert result.total_demand_rate == pytest.approx(0.5)
+        assert result.contributions["a"] == pytest.approx(0.2)
+        assert result.slack == pytest.approx(0.5)
+
+    def test_offloaded_term_matches_paper(self):
+        task = _offloadable()
+        tasks = TaskSet([task])
+        result = theorem3_test(tasks, [OffloadAssignment("o", 0.3)])
+        expected = (0.02 + 0.1) / (1.0 - 0.3)
+        assert result.total_demand_rate == pytest.approx(expected)
+
+    def test_mixed_partition(self):
+        tasks = TaskSet([_offloadable(), Task("l", 0.4, 1.0)])
+        result = theorem3_test(tasks, [OffloadAssignment("o", 0.3)])
+        expected = (0.02 + 0.1) / 0.7 + 0.4
+        assert result.total_demand_rate == pytest.approx(expected)
+        assert result.feasible
+
+    def test_infeasible_when_budget_exceeded(self):
+        tasks = TaskSet(
+            [_offloadable("o1"), _offloadable("o2"), Task("l", 0.9, 1.0)]
+        )
+        result = theorem3_test(
+            tasks,
+            [OffloadAssignment("o1", 0.3), OffloadAssignment("o2", 0.3)],
+        )
+        assert not result.feasible
+        assert not bool(result)
+
+    def test_structurally_infeasible_assignment_reports_inf(self):
+        task = _offloadable(r=0.95)
+        tasks = TaskSet([task])
+        result = theorem3_test(tasks, [OffloadAssignment("o", 1.0)])
+        assert not result.feasible
+        assert result.total_demand_rate == float("inf")
+
+    def test_unknown_assignment_rejected(self):
+        tasks = TaskSet([Task("a", 0.1, 1.0)])
+        with pytest.raises(ValueError, match="not offloadable"):
+            theorem3_test(tasks, [OffloadAssignment("a", 0.3)])
+        with pytest.raises(ValueError, match="unknown"):
+            theorem3_test(tasks, [OffloadAssignment("zzz", 0.3)])
+
+    def test_duplicate_assignment_rejected(self):
+        tasks = TaskSet([_offloadable()])
+        with pytest.raises(ValueError, match="duplicate"):
+            theorem3_test(
+                tasks,
+                [OffloadAssignment("o", 0.3), OffloadAssignment("o", 0.3)],
+            )
+
+    def test_per_level_overrides_respected(self):
+        benefit = BenefitFunction(
+            [
+                BenefitPoint(0.0, 0.0),
+                BenefitPoint(0.3, 1.0, setup_time=0.05,
+                             compensation_time=0.2),
+            ]
+        )
+        task = OffloadableTask(
+            task_id="o", wcet=0.1, period=1.0,
+            setup_time=0.02, compensation_time=0.1, benefit=benefit,
+        )
+        result = theorem3_test(
+            TaskSet([task]), [OffloadAssignment("o", 0.3)]
+        )
+        assert result.total_demand_rate == pytest.approx(
+            (0.05 + 0.2) / 0.7
+        )
+
+
+class TestExactDemandTest:
+    def test_feasible_configuration(self):
+        tasks = TaskSet([_offloadable(), Task("l", 0.4, 1.0)])
+        result = exact_demand_test(tasks, [OffloadAssignment("o", 0.3)])
+        assert result.feasible
+
+    def test_dominates_theorem3(self):
+        """Whenever Theorem 3 accepts, the exact test must accept too."""
+        for comp in (0.05, 0.1, 0.2, 0.3):
+            task = _offloadable(comp=comp, wcet=comp)
+            tasks = TaskSet([task, Task("l", 0.3, 1.0)])
+            assignments = [OffloadAssignment("o", 0.3)]
+            if theorem3_test(tasks, assignments).feasible:
+                assert exact_demand_test(tasks, assignments).feasible
+
+    def test_accepts_some_theorem3_rejections(self):
+        """The step dbf is strictly tighter: find a configuration the
+        linear bound rejects but exact analysis accepts."""
+        # Offloaded task with large density (big R_i eats the deadline)
+        # but small utilization: the linear bound charges density*t
+        # everywhere, the step dbf only at its (rare) deadlines.
+        task = _offloadable(wcet=0.4, comp=0.4, setup=0.02, period=2.0,
+                            r=1.3)
+        tasks = TaskSet([task, Task("l", 0.45, 1.0)])
+        assignments = [OffloadAssignment("o", 1.3)]
+        t3 = theorem3_test(tasks, assignments)
+        exact = exact_demand_test(tasks, assignments)
+        assert not t3.feasible
+        assert exact.feasible
+
+
+class TestLocalEdfTest:
+    def test_matches_utilization_condition(self):
+        ok = TaskSet([Task("a", 0.5, 1.0), Task("b", 0.5, 1.0)])
+        assert local_edf_test(ok).feasible
+        over = TaskSet([Task("a", 0.6, 1.0), Task("b", 0.5, 1.0)])
+        assert not local_edf_test(over).feasible
+
+
+@given(
+    setup=st.floats(min_value=0.01, max_value=0.1),
+    comp=st.floats(min_value=0.05, max_value=0.3),
+    r=st.floats(min_value=0.05, max_value=0.5),
+    local_u=st.floats(min_value=0.0, max_value=0.9),
+)
+@settings(max_examples=60)
+def test_theorem3_is_sum_of_contributions(setup, comp, r, local_u):
+    tasks = TaskSet(
+        [
+            OffloadableTask(
+                task_id="o", wcet=comp, period=1.0,
+                setup_time=setup, compensation_time=comp,
+                benefit=BenefitFunction(
+                    [BenefitPoint(0.0, 0.0), BenefitPoint(r, 1.0)]
+                ),
+            ),
+        ]
+    )
+    if local_u > 0:
+        tasks.add(Task("l", local_u, 1.0))
+    result = theorem3_test(tasks, [OffloadAssignment("o", r)])
+    assert result.total_demand_rate == pytest.approx(
+        sum(result.contributions.values())
+    )

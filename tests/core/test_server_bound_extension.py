@@ -1,0 +1,148 @@
+"""Tests for the §3 extension: pessimistic server response bound.
+
+When the unreliable component has a (pessimistic) upper bound on its
+response time and ``R_i`` is set at or above it, the result is
+guaranteed to arrive — so the second execution phase is budgeted as
+``C_{i,3}`` (post-processing) instead of ``C_{i,2}`` (compensation),
+across the analysis, the MCKP reduction and the scheduler.
+"""
+
+import pytest
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.deadlines import split_deadlines
+from repro.core.odm import OffloadingDecisionManager, build_mckp
+from repro.core.schedulability import OffloadAssignment, theorem3_test
+from repro.core.task import OffloadableTask, Task, TaskSet
+from repro.sched.offload_scheduler import OffloadingScheduler
+from repro.sched.transport import (
+    FixedLatencyTransport,
+    NeverRespondsTransport,
+)
+from repro.sim.engine import Simulator
+
+
+def _bounded_task(bound=0.25, post=0.02, r_points=(0.2, 0.3)):
+    return OffloadableTask(
+        task_id="b",
+        wcet=0.15,
+        period=1.0,
+        setup_time=0.03,
+        compensation_time=0.15,
+        post_time=post,
+        server_response_bound=bound,
+        benefit=BenefitFunction(
+            [BenefitPoint(0.0, 1.0)]
+            + [
+                BenefitPoint(r, 2.0 + k)
+                for k, r in enumerate(r_points)
+            ]
+        ),
+    )
+
+
+class TestTaskModel:
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError, match="server_response_bound"):
+            _bounded_task(bound=0.0)
+
+    def test_result_guaranteed_threshold(self):
+        task = _bounded_task(bound=0.25)
+        assert not task.result_guaranteed(0.2)
+        assert task.result_guaranteed(0.25)
+        assert task.result_guaranteed(0.3)
+
+    def test_no_bound_never_guarantees(self):
+        task = OffloadableTask(
+            task_id="u", wcet=0.1, period=1.0,
+            setup_time=0.02, compensation_time=0.1,
+        )
+        assert not task.result_guaranteed(10.0)
+
+    def test_second_phase_wcet_switches(self):
+        task = _bounded_task(bound=0.25, post=0.02)
+        assert task.second_phase_wcet(0.2) == pytest.approx(0.15)  # C2
+        assert task.second_phase_wcet(0.3) == pytest.approx(0.02)  # C3
+
+    def test_demand_rate_cheaper_beyond_bound(self):
+        task = _bounded_task(bound=0.25, post=0.02)
+        below = task.offload_demand_rate(0.2)  # (0.03+0.15)/0.8
+        above = task.offload_demand_rate(0.3)  # (0.03+0.02)/0.7
+        assert below == pytest.approx(0.18 / 0.8)
+        assert above == pytest.approx(0.05 / 0.7)
+        assert above < below
+
+
+class TestAnalysis:
+    def test_split_uses_post_budget_beyond_bound(self):
+        task = _bounded_task(bound=0.25, post=0.02)
+        split = split_deadlines(task, 0.3)
+        assert split.compensation_wcet == pytest.approx(0.02)
+        # proportional split over C1=0.03, C3=0.02
+        assert split.setup_deadline == pytest.approx(
+            0.03 * (1.0 - 0.3) / 0.05
+        )
+
+    def test_theorem3_reflects_the_bound(self):
+        task = _bounded_task(bound=0.25, post=0.02)
+        tasks = TaskSet([task])
+        result = theorem3_test(tasks, [OffloadAssignment("b", 0.3)])
+        assert result.total_demand_rate == pytest.approx(0.05 / 0.7)
+
+    def test_mckp_items_cheaper_beyond_bound(self):
+        tasks = TaskSet([_bounded_task(bound=0.25, post=0.02)])
+        cls = build_mckp(tasks).class_by_id("b")
+        weights = {item.tag: item.weight for item in cls.items}
+        assert weights[0.3] < weights[0.2]
+
+    def test_odm_prefers_guaranteed_high_benefit_point(self):
+        """With the bound, the 0.3 point is both higher-benefit AND
+        cheaper — the ODM must pick it."""
+        tasks = TaskSet(
+            [_bounded_task(bound=0.25, post=0.02), Task("l", 0.7, 1.0)]
+        )
+        decision = OffloadingDecisionManager("dp").decide(tasks)
+        assert decision.response_time_of("b") == pytest.approx(0.3)
+
+
+class TestScheduler:
+    def test_result_within_bound_takes_post_path(self):
+        tasks = TaskSet([_bounded_task(bound=0.25, post=0.02)])
+        sim = Simulator()
+        scheduler = OffloadingScheduler(
+            sim, tasks, response_times={"b": 0.3},
+            transport=FixedLatencyTransport(sim, latency=0.2),
+        )
+        trace = scheduler.run(3.0)
+        assert trace.all_deadlines_met
+        assert trace.model_violations == 0
+        assert all(rec.result_returned for rec in trace.jobs_of("b"))
+
+    def test_bound_violation_is_surfaced(self):
+        """If the 'guaranteed' server still fails, the run records a
+        model violation instead of silently compensating."""
+        tasks = TaskSet([_bounded_task(bound=0.25, post=0.02)])
+        sim = Simulator()
+        scheduler = OffloadingScheduler(
+            sim, tasks, response_times={"b": 0.3},
+            transport=NeverRespondsTransport(),
+        )
+        trace = scheduler.run(2.5)
+        assert trace.model_violations == len(trace.jobs_of("b"))
+
+    def test_unbounded_compensation_is_not_a_violation(self):
+        task = OffloadableTask(
+            task_id="u", wcet=0.1, period=1.0,
+            setup_time=0.02, compensation_time=0.1,
+            benefit=BenefitFunction(
+                [BenefitPoint(0.0, 0.0), BenefitPoint(0.3, 1.0)]
+            ),
+        )
+        sim = Simulator()
+        scheduler = OffloadingScheduler(
+            sim, TaskSet([task]), response_times={"u": 0.3},
+            transport=NeverRespondsTransport(),
+        )
+        trace = scheduler.run(2.5)
+        assert trace.model_violations == 0
+        assert trace.compensation_rate() == 1.0

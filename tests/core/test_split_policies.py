@@ -1,0 +1,103 @@
+"""Tests for the alternative deadline-split policies (A4 substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.deadlines import SPLIT_POLICIES, split_deadlines
+from repro.core.task import OffloadableTask
+from repro.experiments.split_policies import run_split_policy_ablation
+
+
+def _task(setup=0.02, comp=0.1):
+    return OffloadableTask(
+        task_id="o", wcet=comp, period=1.0,
+        setup_time=setup, compensation_time=comp,
+        benefit=BenefitFunction(
+            [BenefitPoint(0.0, 0.0), BenefitPoint(0.3, 1.0)]
+        ),
+    )
+
+
+class TestPolicies:
+    def test_all_policies_registered(self):
+        assert set(SPLIT_POLICIES) == {
+            "proportional", "equal_slack", "setup_minimal", "sqrt",
+        }
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown split policy"):
+            split_deadlines(_task(), 0.3, policy="random")
+
+    def test_proportional_is_default(self):
+        a = split_deadlines(_task(), 0.3)
+        b = split_deadlines(_task(), 0.3, policy="proportional")
+        assert a == b
+
+    def test_equal_slack_halves_the_window(self):
+        split = split_deadlines(_task(), 0.3, policy="equal_slack")
+        assert split.setup_deadline == pytest.approx(0.35)
+
+    def test_setup_minimal_gives_setup_its_wcet(self):
+        split = split_deadlines(_task(), 0.3, policy="setup_minimal")
+        assert split.setup_deadline == pytest.approx(0.02)
+        assert split.compensation_budget == pytest.approx(0.68)
+
+    def test_sqrt_minimizes_density_sum(self):
+        """The sqrt rule's density sum must not exceed any other
+        policy's."""
+        task = _task(setup=0.03, comp=0.12)
+
+        def density_sum(policy):
+            s = split_deadlines(task, 0.3, policy=policy)
+            return (
+                s.setup_wcet / s.setup_deadline
+                + s.compensation_wcet / s.compensation_budget
+            )
+
+        sqrt_sum = density_sum("sqrt")
+        for policy in SPLIT_POLICIES:
+            assert sqrt_sum <= density_sum(policy) + 1e-9
+
+    @pytest.mark.parametrize("policy", sorted(SPLIT_POLICIES))
+    def test_every_policy_produces_feasible_budgets(self, policy):
+        split = split_deadlines(_task(), 0.3, policy=policy)
+        assert split.setup_wcet <= split.setup_deadline + 1e-12
+        assert (
+            split.compensation_wcet <= split.compensation_budget + 1e-12
+        )
+        total = (
+            split.setup_deadline
+            + split.response_budget
+            + split.compensation_budget
+        )
+        assert total == pytest.approx(1.0)
+
+
+@given(
+    setup=st.floats(min_value=0.005, max_value=0.15),
+    comp=st.floats(min_value=0.01, max_value=0.3),
+    policy=st.sampled_from(sorted(SPLIT_POLICIES)),
+)
+@settings(max_examples=80)
+def test_policies_always_fit_in_isolation(setup, comp, policy):
+    if setup + comp > 0.7:  # slack at r=0.3, D=1
+        return
+    task = _task(setup=setup, comp=comp)
+    split = split_deadlines(task, 0.3, policy=policy)
+    assert split.setup_wcet <= split.setup_deadline + 1e-9
+    assert split.compensation_wcet <= split.compensation_budget + 1e-9
+
+
+class TestAblationDriver:
+    def test_proportional_dominates_and_all_sound(self):
+        result = run_split_policy_ablation(
+            num_configurations=12, seed=1, validate_with_des=True
+        )
+        assert result.configurations > 0
+        prop = result.accepts["proportional"]
+        assert prop >= result.accepts["equal_slack"]
+        assert prop >= result.accepts["setup_minimal"]
+        for policy, count in result.unsound.items():
+            assert count == 0, f"{policy} accepted an unschedulable config"

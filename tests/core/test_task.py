@@ -1,0 +1,180 @@
+"""Unit tests for the task model."""
+
+import pytest
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.task import OffloadableTask, Task, TaskSet
+
+
+class TestTaskValidation:
+    def test_basic_construction(self):
+        t = Task("t", wcet=0.1, period=1.0)
+        assert t.deadline == 1.0  # implicit deadline
+        assert t.is_implicit_deadline
+
+    def test_constrained_deadline_allowed(self):
+        t = Task("t", wcet=0.1, period=1.0, deadline=0.5)
+        assert t.deadline == 0.5
+        assert not t.is_implicit_deadline
+
+    def test_deadline_beyond_period_rejected(self):
+        with pytest.raises(ValueError, match="exceeds period"):
+            Task("t", wcet=0.1, period=1.0, deadline=1.5)
+
+    def test_wcet_beyond_deadline_rejected(self):
+        with pytest.raises(ValueError, match="exceeds deadline"):
+            Task("t", wcet=0.6, period=1.0, deadline=0.5)
+
+    @pytest.mark.parametrize("field,value", [
+        ("wcet", 0.0), ("wcet", -1.0), ("period", 0.0), ("period", -1.0),
+    ])
+    def test_nonpositive_times_rejected(self, field, value):
+        kwargs = {"task_id": "t", "wcet": 0.1, "period": 1.0}
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            Task(**kwargs)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Task("", wcet=0.1, period=1.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Task("t", wcet=0.1, period=1.0, weight=-1.0)
+
+    def test_utilization_and_density(self):
+        t = Task("t", wcet=0.2, period=1.0, deadline=0.5)
+        assert t.utilization == pytest.approx(0.2)
+        assert t.density == pytest.approx(0.4)
+
+    def test_plain_task_not_offloadable(self):
+        assert not Task("t", wcet=0.1, period=1.0).offloadable
+
+
+class TestOffloadableTaskValidation:
+    def _make(self, **overrides):
+        kwargs = dict(
+            task_id="o",
+            wcet=0.1,
+            period=1.0,
+            setup_time=0.02,
+            compensation_time=0.1,
+            post_time=0.01,
+        )
+        kwargs.update(overrides)
+        return OffloadableTask(**kwargs)
+
+    def test_valid(self):
+        assert self._make().offloadable
+
+    def test_post_exceeding_compensation_rejected(self):
+        """The model assumption C_i,3 <= C_i,2 is enforced."""
+        with pytest.raises(ValueError, match="C_i,3"):
+            self._make(post_time=0.2)
+
+    def test_zero_setup_rejected(self):
+        with pytest.raises(ValueError):
+            self._make(setup_time=0.0)
+
+    def test_zero_compensation_rejected(self):
+        with pytest.raises(ValueError):
+            self._make(compensation_time=0.0)
+
+    def test_default_benefit_is_degenerate_local(self):
+        task = self._make()
+        assert task.benefit.num_points == 1
+        assert task.benefit.local_benefit == 0.0
+
+
+class TestPerLevelResolution:
+    def _task(self):
+        benefit = BenefitFunction(
+            [
+                BenefitPoint(0.0, 0.0),
+                BenefitPoint(0.2, 1.0, setup_time=0.03,
+                             compensation_time=0.12),
+                BenefitPoint(0.4, 2.0),  # no overrides -> task defaults
+            ]
+        )
+        return OffloadableTask(
+            task_id="o", wcet=0.1, period=1.0,
+            setup_time=0.02, compensation_time=0.1, benefit=benefit,
+        )
+
+    def test_override_used_when_present(self):
+        task = self._task()
+        assert task.setup_time_at(0.2) == 0.03
+        assert task.compensation_time_at(0.2) == 0.12
+
+    def test_defaults_used_when_absent(self):
+        task = self._task()
+        assert task.setup_time_at(0.4) == 0.02
+        assert task.compensation_time_at(0.4) == 0.1
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(KeyError):
+            self._task().setup_time_at(0.3)
+
+    def test_offload_demand_rate_formula(self):
+        task = self._task()
+        # (C1 + C2) / (D - R) with level overrides at r=0.2
+        expected = (0.03 + 0.12) / (1.0 - 0.2)
+        assert task.offload_demand_rate(0.2) == pytest.approx(expected)
+
+    def test_offload_demand_rate_requires_positive_r(self):
+        with pytest.raises(ValueError):
+            self._task().offload_demand_rate(0.0)
+
+    def test_offload_demand_rate_requires_slack(self):
+        benefit = BenefitFunction(
+            [BenefitPoint(0.0, 0.0), BenefitPoint(1.0, 1.0)]
+        )
+        task = OffloadableTask(
+            task_id="o", wcet=0.1, period=1.0,
+            setup_time=0.02, compensation_time=0.1, benefit=benefit,
+        )
+        with pytest.raises(ValueError, match="slack"):
+            task.offload_demand_rate(1.0)
+
+
+class TestTaskSet:
+    def test_iteration_preserves_order(self):
+        a, b = Task("a", 0.1, 1.0), Task("b", 0.1, 2.0)
+        ts = TaskSet([a, b])
+        assert list(ts) == [a, b]
+        assert ts.task_ids == ("a", "b")
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TaskSet([Task("a", 0.1, 1.0), Task("a", 0.2, 2.0)])
+
+    def test_lookup_by_id_and_index(self):
+        a = Task("a", 0.1, 1.0)
+        ts = TaskSet([a])
+        assert ts["a"] is a
+        assert ts[0] is a
+        assert "a" in ts
+        assert "z" not in ts
+
+    def test_total_utilization(self):
+        ts = TaskSet([Task("a", 0.2, 1.0), Task("b", 0.3, 1.0)])
+        assert ts.total_utilization == pytest.approx(0.5)
+
+    def test_offloadable_tasks_filter(self, offload_task, local_task):
+        ts = TaskSet([offload_task, local_task])
+        assert ts.offloadable_tasks == [offload_task]
+
+    def test_hyperperiod(self):
+        ts = TaskSet([Task("a", 0.1, 0.5), Task("b", 0.1, 0.75)])
+        assert ts.hyperperiod == pytest.approx(1.5)
+
+    def test_validate_rejects_overutilization(self):
+        ts = TaskSet([Task("a", 0.9, 1.0), Task("b", 0.2, 1.0)])
+        with pytest.raises(ValueError, match="exceeds 1"):
+            ts.validate()
+
+    def test_validate_accepts_feasible(self, small_task_set):
+        small_task_set.validate()  # must not raise
+
+    def test_len(self, small_task_set):
+        assert len(small_task_set) == 2

@@ -1,0 +1,185 @@
+"""Tests for server probing, benefit building, and error injection."""
+
+import numpy as np
+import pytest
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.task import OffloadableTask, Task, TaskSet
+from repro.estimator.benefit_builder import (
+    probability_benefit,
+    quality_benefit,
+)
+from repro.estimator.errors import evaluate_true_benefit, perturb_task_set
+from repro.estimator.response_time import EmpiricalResponseTimes
+from repro.estimator.sampling import probe_server
+from repro.server.scenarios import SCENARIOS
+
+
+class TestProbeServer:
+    def test_collects_samples_per_level(self):
+        collections = probe_server(
+            SCENARIOS["idle"], levels=[0.1, 0.2],
+            samples_per_level=20, inter_arrival=0.3, seed=1,
+        )
+        assert set(collections) == {0.1, 0.2}
+        for est in collections.values():
+            assert len(est) >= 15  # a few may be lost
+
+    def test_bigger_levels_take_longer(self):
+        collections = probe_server(
+            SCENARIOS["idle"], levels=[0.1, 0.4],
+            samples_per_level=30, inter_arrival=0.3, seed=2,
+        )
+        assert (
+            collections[0.4].percentile(50)
+            > collections[0.1].percentile(50)
+        )
+
+    def test_busy_scenario_slower_than_idle(self):
+        idle = probe_server(
+            SCENARIOS["idle"], levels=[0.2], samples_per_level=30, seed=3
+        )[0.2]
+        busy = probe_server(
+            SCENARIOS["busy"], levels=[0.2], samples_per_level=30, seed=3
+        )[0.2]
+        assert busy.percentile(50) > idle.percentile(50)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            probe_server(SCENARIOS["idle"], levels=[])
+        with pytest.raises(ValueError):
+            probe_server(SCENARIOS["idle"], levels=[0.1],
+                         samples_per_level=0)
+
+
+class TestQualityBenefit:
+    def _samples(self, center):
+        return EmpiricalResponseTimes(
+            [center * (0.9 + 0.01 * k) for k in range(20)]
+        )
+
+    def test_builds_increasing_function(self):
+        levels = {0.5: self._samples(0.10), 0.8: self._samples(0.20)}
+        qualities = {0.5: 25.0, 0.8: 35.0}
+        fn = quality_benefit(20.0, levels, qualities, percentile=90)
+        assert fn.local_benefit == 20.0
+        assert fn.num_points == 3
+        assert fn.max_benefit == 35.0
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="keys"):
+            quality_benefit(20.0, {0.5: self._samples(0.1)}, {0.8: 30.0})
+
+    def test_overlapping_levels_merged(self):
+        """Two levels with identical distributions collapse to the better
+        quality."""
+        levels = {0.5: self._samples(0.10), 0.6: self._samples(0.10)}
+        qualities = {0.5: 25.0, 0.6: 30.0}
+        fn = quality_benefit(20.0, levels, qualities)
+        assert fn.num_points == 2
+        assert fn.max_benefit == 30.0
+
+    def test_worse_quality_slower_level_dropped(self):
+        levels = {0.5: self._samples(0.10), 0.3: self._samples(0.20)}
+        qualities = {0.5: 30.0, 0.3: 25.0}  # slower AND worse
+        fn = quality_benefit(20.0, levels, qualities)
+        assert fn.num_points == 2
+        assert fn.max_benefit == 30.0
+
+    def test_empty_level_skipped(self):
+        levels = {0.5: self._samples(0.1), 0.8: EmpiricalResponseTimes()}
+        qualities = {0.5: 25.0, 0.8: 35.0}
+        fn = quality_benefit(20.0, levels, qualities)
+        assert fn.num_points == 2
+
+    def test_setup_overrides_attached(self):
+        levels = {0.5: self._samples(0.1)}
+        qualities = {0.5: 25.0}
+        fn = quality_benefit(
+            20.0, levels, qualities,
+            level_setup_times={0.5: 0.03},
+            level_compensation_times={0.5: 0.2},
+        )
+        point = fn.points[1]
+        assert point.setup_time == 0.03
+        assert point.compensation_time == 0.2
+
+
+class TestProbabilityBenefit:
+    def test_matches_empirical_cdf(self):
+        samples = EmpiricalResponseTimes([0.1, 0.2, 0.3, 0.4])
+        fn = probability_benefit(samples, [0.25, 0.45])
+        assert fn.value(0.25) == pytest.approx(0.5)
+        assert fn.value(0.45) == pytest.approx(1.0)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            probability_benefit(EmpiricalResponseTimes(), [0.1])
+
+
+class TestErrorInjection:
+    def _tasks(self):
+        benefit = BenefitFunction(
+            [
+                BenefitPoint(0.0, 0.0),
+                BenefitPoint(0.10, 0.4),
+                BenefitPoint(0.20, 0.8),
+            ]
+        )
+        return TaskSet(
+            [
+                OffloadableTask(
+                    task_id="o", wcet=0.02, period=0.6,
+                    setup_time=0.01, compensation_time=0.02,
+                    benefit=benefit,
+                ),
+                Task("plain", 0.05, 1.0),
+            ]
+        )
+
+    def test_zero_ratio_preserves_values(self):
+        tasks = self._tasks()
+        perturbed = perturb_task_set(tasks, 0.0)
+        assert perturbed["o"].benefit == tasks["o"].benefit
+
+    def test_positive_ratio_inflates_beliefs(self):
+        perturbed = perturb_task_set(self._tasks(), 1.0)
+        # believed G(0.10) = true G(0.20) = 0.8
+        assert perturbed["o"].benefit.point_at(0.10).benefit == pytest.approx(
+            0.8
+        )
+
+    def test_negative_ratio_deflates_beliefs(self):
+        perturbed = perturb_task_set(self._tasks(), -0.6)
+        # believed G(0.20) = true G(0.08) = 0.0
+        assert perturbed["o"].benefit.point_at(0.20).benefit == pytest.approx(
+            0.0
+        )
+
+    def test_plain_tasks_pass_through(self):
+        perturbed = perturb_task_set(self._tasks(), 0.3)
+        assert perturbed["plain"].wcet == 0.05
+
+    def test_timing_parameters_unchanged(self):
+        perturbed = perturb_task_set(self._tasks(), 0.3)
+        task = perturbed["o"]
+        assert task.wcet == 0.02
+        assert task.setup_time == 0.01
+        assert task.period == 0.6
+
+    def test_evaluate_true_benefit(self):
+        tasks = self._tasks()
+        score = evaluate_true_benefit(tasks, {"o": 0.20, "plain": 0.0})
+        assert score == pytest.approx(0.8)
+        score_local = evaluate_true_benefit(tasks, {"o": 0.0})
+        assert score_local == pytest.approx(0.0)
+
+    def test_evaluate_respects_weights(self):
+        tasks = self._tasks()
+        from dataclasses import replace
+
+        weighted = TaskSet(
+            [replace(tasks["o"], weight=3.0), tasks["plain"]]
+        )
+        score = evaluate_true_benefit(weighted, {"o": 0.20})
+        assert score == pytest.approx(2.4)

@@ -1,0 +1,171 @@
+"""Shape tests for the experiment drivers (small-scale runs).
+
+Each test checks the *reproduction contract* of its artifact: the
+qualitative shape the paper reports must hold, not the absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    greedy_assignments,
+    run_pessimism_ablation,
+    run_solver_ablation,
+    run_split_ablation,
+)
+from repro.experiments.fig2 import (
+    WEIGHT_PERMUTATIONS,
+    format_fig2,
+    run_fig2,
+)
+from repro.experiments.fig3 import format_fig3, run_fig3
+from repro.experiments.table1 import format_table1, regenerate_table1
+from repro.workloads.generator import random_offloading_task_set
+
+
+class TestTable1Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return regenerate_table1(samples_per_level=30, seed=1)
+
+    def test_rows_for_all_four_tasks(self, result):
+        assert set(result.rows) == {"tau1", "tau2", "tau3", "tau4"}
+
+    def test_response_times_increase_with_level(self, result):
+        for rows in result.rows.values():
+            rs = [r for r, _ in rows]
+            assert rs == sorted(rs)
+
+    def test_benefits_increase_with_level(self, result):
+        for rows in result.rows.values():
+            gs = [g for _, g in rows]
+            assert gs == sorted(gs)
+
+    def test_top_level_is_capped_psnr(self, result):
+        for rows in result.rows.values():
+            assert rows[-1][1] == pytest.approx(99.0)
+
+    def test_magnitudes_comparable_to_published(self, result):
+        """Measured r values live in the same hundreds-of-ms regime as
+        the published ones (same order of magnitude)."""
+        for task_id, rows in result.rows.items():
+            measured = [r for r, _ in rows if r > 0]
+            assert all(0.01 < r < 5.0 for r in measured)
+
+    def test_formatting(self, result):
+        text = format_table1(result)
+        assert "tau1" in text and "published" in text
+
+
+class TestFig2Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2(
+            permutations=list(WEIGHT_PERMUTATIONS[:4]),
+            horizon=10.0,
+            seed=0,
+        )
+
+    def test_all_series_normalized_at_least_one(self, result):
+        for scenario in ("busy", "not_busy", "idle"):
+            assert all(v >= 1.0 - 1e-9 for v in result.series(scenario))
+
+    def test_scenario_ordering(self, result):
+        """The paper's headline shape: more contention, less benefit."""
+        assert (
+            result.mean_normalized("idle")
+            >= result.mean_normalized("not_busy")
+            >= result.mean_normalized("busy")
+        )
+
+    def test_idle_strictly_better_than_busy(self, result):
+        assert result.mean_normalized("idle") > result.mean_normalized(
+            "busy"
+        ) + 0.1
+
+    def test_no_deadline_misses_anywhere(self, result):
+        """The hard real-time guarantee across all 12 runs."""
+        assert result.total_misses == 0
+
+    def test_formatting(self, result):
+        text = format_fig2(result)
+        assert "Figure 2" in text
+        assert "mean" in text
+
+    def test_all_24_permutations_available(self):
+        assert len(WEIGHT_PERMUTATIONS) == 24
+        assert len(set(WEIGHT_PERMUTATIONS)) == 24
+
+
+class TestFig3Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(
+            accuracy_ratios=(-0.4, -0.2, 0.0, 0.2, 0.4),
+            num_task_sets=4,
+            num_tasks=15,
+            seed=1,
+        )
+
+    def test_peak_at_perfect_estimation(self, result):
+        assert result.peak_ratio("dp") == 0.0
+        assert result.normalized["dp"][2] == pytest.approx(1.0)
+
+    def test_degradation_on_both_sides(self, result):
+        dp = result.normalized["dp"]
+        assert dp[0] < 1.0 and dp[-1] < 1.0
+
+    def test_heu_close_to_dp(self, result):
+        for dp_v, heu_v in zip(result.normalized["dp"],
+                               result.normalized["heu_oe"]):
+            assert heu_v >= 0.9 * dp_v
+
+    def test_dp_wins_at_perfect_estimation(self, result):
+        assert (
+            result.normalized["dp"][2]
+            >= result.normalized["heu_oe"][2] - 1e-9
+        )
+
+    def test_requires_dp_for_normalization(self):
+        with pytest.raises(ValueError):
+            run_fig3(solvers=("heu_oe",), num_task_sets=1)
+
+    def test_formatting(self, result):
+        text = format_fig3(result)
+        assert "Figure 3" in text
+
+
+class TestAblations:
+    def test_split_beats_naive(self):
+        result = run_split_ablation(
+            utilizations=(0.7, 0.9), sets_per_level=6, seed=2
+        )
+        # split must never miss on Theorem-3-vetted assignments
+        assert all(m == 0 for m in result.missed_sets["split"])
+        # naive must miss at least once in the high-utilization bucket
+        assert sum(result.missed_sets["naive"]) > 0
+
+    def test_solver_ablation_quality(self):
+        result = run_solver_ablation(num_instances=6, seed=1)
+        assert result.quality["branch_bound"] == pytest.approx(1.0)
+        assert result.quality["dp"] >= 0.99
+        assert 0.9 <= result.quality["heu_oe"] <= 1.0
+
+    def test_pessimism_ablation_sound_and_ordered(self):
+        result = run_pessimism_ablation(
+            num_configurations=15, seed=3, validate_with_des=True
+        )
+        assert result.configurations > 0
+        # exact accepts everything theorem3 accepts (dominance)
+        assert result.exact_accepts >= result.theorem3_accepts
+        # and the DES never catches an exact-accepted config missing
+        assert result.unsound == 0
+
+    def test_greedy_assignments_respect_budget(self, rng):
+        from repro.core.schedulability import theorem3_test
+
+        tasks = random_offloading_task_set(
+            rng, num_tasks=6, total_utilization=0.8
+        )
+        assignments = greedy_assignments(tasks)
+        assert theorem3_test(tasks, assignments).feasible

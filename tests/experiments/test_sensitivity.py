@@ -1,0 +1,109 @@
+"""Tests for the sensitivity-analysis sweeps."""
+
+import pytest
+
+from repro.experiments.sensitivity import budget_sweep, price_curve
+from repro.vision.tasks import table1_task_set
+
+
+class TestPriceCurve:
+    def test_local_point_first(self, table1_tasks):
+        curve = price_curve(table1_tasks["tau3"])
+        assert curve[0].response_time == 0.0
+        assert curve[0].demand_rate == pytest.approx(
+            table1_tasks["tau3"].utilization
+        )
+
+    def test_sorted_by_demand(self, table1_tasks):
+        curve = price_curve(table1_tasks["tau4"])
+        rates = [p.demand_rate for p in curve]
+        assert rates == sorted(rates)
+
+    def test_weights_match_odm(self, table1_tasks):
+        """The curve and the MCKP must price points identically."""
+        from repro.core.odm import build_mckp
+
+        instance = build_mckp(table1_tasks)
+        for task in table1_tasks:
+            cls = instance.class_by_id(task.task_id)
+            curve = {p.response_time: p.demand_rate
+                     for p in price_curve(task)}
+            for item in cls.items:
+                assert curve[item.tag] == pytest.approx(item.weight)
+
+    def test_infeasible_points_excluded(self, table1_tasks):
+        for task in table1_tasks:
+            for p in price_curve(task):
+                if p.response_time > 0:
+                    assert p.response_time < task.deadline
+
+    def test_marginal_efficiency(self, table1_tasks):
+        curve = price_curve(table1_tasks["tau1"])
+        for p in curve:
+            assert 0 < p.marginal_efficiency < float("inf")
+
+
+class TestBudgetSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return budget_sweep(
+            table1_task_set(), budgets=(0.5, 0.92, 0.95, 1.0, 1.1)
+        )
+
+    def test_below_local_utilization_infeasible(self, sweep):
+        # all-local needs U ~ 0.91
+        assert sweep[0].benefit is None
+
+    def test_non_decreasing_in_budget(self, sweep):
+        values = [p.benefit for p in sweep if p.benefit is not None]
+        assert values == sorted(values)
+
+    def test_larger_budget_offloads_more_or_same(self, sweep):
+        feasible = [p for p in sweep if p.benefit is not None]
+        counts = [len(p.offloaded_tasks) for p in feasible]
+        assert counts[-1] >= counts[0]
+
+    def test_budget_one_matches_odm(self, sweep):
+        from repro.core.odm import OffloadingDecisionManager
+
+        decision = OffloadingDecisionManager("dp").decide(
+            table1_task_set()
+        )
+        at_one = next(p for p in sweep if p.budget == 1.0)
+        assert at_one.benefit == pytest.approx(
+            decision.expected_benefit, rel=1e-6
+        )
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            budget_sweep(table1_task_set(), budgets=(-0.1,))
+
+
+class TestPercentileTradeoff:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.experiments.sensitivity import percentile_tradeoff
+
+        return percentile_tradeoff(
+            percentiles=(50.0, 90.0, 99.0),
+            samples_per_level=40,
+            horizon=10.0,
+            seed=1,
+        )
+
+    def test_no_misses_at_any_percentile(self, sweep):
+        """The guarantee never depends on estimation quality."""
+        assert all(p.deadline_misses == 0 for p in sweep)
+
+    def test_higher_percentile_never_offloads_more(self, sweep):
+        """Pessimistic estimates make every offload point costlier, so
+        the offloaded set can only shrink (or stay) with the
+        percentile."""
+        counts = [len(p.offloaded_tasks) for p in sweep]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_everything_measured(self, sweep):
+        for point in sweep:
+            assert 0.0 <= point.return_rate <= 1.0
+            assert 0.0 <= point.compensation_rate <= 1.0
+            assert point.realized_benefit > 0

@@ -1,0 +1,176 @@
+"""Unit + property tests for the MCKP instance model and preprocessing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knapsack.mckp import (
+    MCKPClass,
+    MCKPInstance,
+    MCKPItem,
+    Selection,
+    lp_efficient_frontier,
+    prune_dominated,
+)
+
+
+def _instance(capacity=1.0):
+    return MCKPInstance(
+        classes=(
+            MCKPClass("a", (MCKPItem(1.0, 0.2), MCKPItem(3.0, 0.5))),
+            MCKPClass("b", (MCKPItem(0.0, 0.1), MCKPItem(2.0, 0.4))),
+        ),
+        capacity=capacity,
+    )
+
+
+class TestItem:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            MCKPItem(1.0, -0.1)
+
+    def test_dominates(self):
+        better = MCKPItem(2.0, 0.1)
+        worse = MCKPItem(1.0, 0.2)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_equal_items_do_not_dominate(self):
+        a, b = MCKPItem(1.0, 0.1), MCKPItem(1.0, 0.1)
+        assert not a.dominates(b)
+
+
+class TestClassAndInstance:
+    def test_empty_class_rejected(self):
+        with pytest.raises(ValueError):
+            MCKPClass("x", ())
+
+    def test_duplicate_class_ids_rejected(self):
+        cls = MCKPClass("a", (MCKPItem(1.0, 0.1),))
+        with pytest.raises(ValueError, match="duplicate"):
+            MCKPInstance(classes=(cls, cls), capacity=1.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MCKPInstance(classes=(), capacity=-1.0)
+
+    def test_counts(self):
+        inst = _instance()
+        assert inst.num_classes == 2
+        assert inst.num_items == 4
+
+    def test_min_total_weight_and_feasibility(self):
+        inst = _instance(capacity=0.25)
+        assert inst.min_total_weight == pytest.approx(0.3)
+        assert not inst.is_feasible()
+        assert _instance(capacity=0.3).is_feasible()
+
+    def test_lightest_item_prefers_higher_value_on_ties(self):
+        cls = MCKPClass(
+            "x", (MCKPItem(1.0, 0.2), MCKPItem(2.0, 0.2))
+        )
+        assert cls.lightest_item_index() == 1
+
+    def test_class_by_id_missing(self):
+        with pytest.raises(KeyError):
+            _instance().class_by_id("zzz")
+
+
+class TestSelection:
+    def test_totals(self):
+        inst = _instance()
+        sel = Selection(inst, {"a": 1, "b": 0})
+        assert sel.total_value == pytest.approx(3.0)
+        assert sel.total_weight == pytest.approx(0.6)
+        assert sel.is_feasible
+
+    def test_missing_class_rejected(self):
+        with pytest.raises(ValueError, match="misses"):
+            Selection(_instance(), {"a": 0})
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Selection(_instance(), {"a": 5, "b": 0})
+
+    def test_infeasible_detected(self):
+        inst = _instance(capacity=0.5)
+        sel = Selection(inst, {"a": 1, "b": 1})
+        assert not sel.is_feasible
+
+    def test_item_for(self):
+        sel = Selection(_instance(), {"a": 1, "b": 0})
+        assert sel.item_for("a").value == 3.0
+
+
+class TestPruneDominated:
+    def test_removes_strictly_worse(self):
+        items = [MCKPItem(1.0, 0.2), MCKPItem(0.5, 0.3), MCKPItem(2.0, 0.4)]
+        kept = prune_dominated(items)
+        assert [i for i, _ in kept] == [0, 2]
+
+    def test_keeps_best_of_equal_weights(self):
+        items = [MCKPItem(1.0, 0.2), MCKPItem(3.0, 0.2)]
+        kept = prune_dominated(items)
+        assert [i for i, _ in kept] == [1]
+
+    def test_sorted_by_weight(self):
+        items = [MCKPItem(5.0, 0.9), MCKPItem(1.0, 0.1), MCKPItem(3.0, 0.5)]
+        kept = prune_dominated(items)
+        weights = [item.weight for _, item in kept]
+        assert weights == sorted(weights)
+
+
+class TestLpFrontier:
+    def test_concave_chain_kept(self):
+        items = [
+            MCKPItem(0.0, 0.0),
+            MCKPItem(4.0, 1.0),
+            MCKPItem(6.0, 2.0),
+            MCKPItem(7.0, 3.0),
+        ]
+        hull = lp_efficient_frontier(items)
+        assert [i for i, _ in hull] == [0, 1, 2, 3]
+
+    def test_lp_dominated_removed(self):
+        items = [
+            MCKPItem(0.0, 0.0),
+            MCKPItem(1.0, 1.0),  # below the segment (0,0)-(4,2)
+            MCKPItem(4.0, 2.0),
+        ]
+        hull = lp_efficient_frontier(items)
+        assert [i for i, _ in hull] == [0, 2]
+
+
+@st.composite
+def item_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    return [
+        MCKPItem(
+            value=draw(st.floats(min_value=0, max_value=100)),
+            weight=draw(st.floats(min_value=0, max_value=10)),
+        )
+        for _ in range(n)
+    ]
+
+
+@given(item_lists())
+@settings(max_examples=80)
+def test_frontier_efficiencies_strictly_decrease(items):
+    """The defining property the HEU-OE upgrade loop relies on."""
+    hull = lp_efficient_frontier(items)
+    slopes = []
+    for (_, a), (_, b) in zip(hull, hull[1:]):
+        assert b.weight > a.weight  # strictly increasing weights
+        assert b.value >= a.value
+        slopes.append((b.value - a.value) / (b.weight - a.weight))
+    for s1, s2 in zip(slopes, slopes[1:]):
+        assert s1 > s2 - 1e-9
+
+
+@given(item_lists())
+@settings(max_examples=80)
+def test_no_kept_item_dominated(items):
+    kept = prune_dominated(items)
+    for _, a in kept:
+        for item in items:
+            assert not item.dominates(a)

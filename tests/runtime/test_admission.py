@@ -1,0 +1,125 @@
+"""Tests for online admission control."""
+
+import pytest
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.odm import OffloadingDecisionManager
+from repro.core.schedulability import theorem3_test
+from repro.core.task import OffloadableTask, Task, TaskSet
+from repro.runtime.admission import AdmissionController
+
+
+def _base_controller(extra_local: float = 0.0):
+    tasks = TaskSet(
+        [
+            OffloadableTask(
+                task_id="o", wcet=0.2, period=1.0,
+                setup_time=0.02, compensation_time=0.2,
+                benefit=BenefitFunction(
+                    [BenefitPoint(0.0, 1.0), BenefitPoint(0.3, 5.0)]
+                ),
+            ),
+        ]
+        + ([Task("bg", extra_local, 1.0)] if extra_local else [])
+    )
+    decision = OffloadingDecisionManager("dp").decide(tasks)
+    return AdmissionController(tasks, decision)
+
+
+class TestIncrementalAdmission:
+    def test_small_task_admitted_incrementally(self):
+        controller = _base_controller()
+        verdict = controller.try_admit(Task("new", 0.1, 1.0))
+        assert verdict.admitted
+        assert verdict.mode == "incremental"
+        assert verdict.changed_tasks == ()
+        # existing decision untouched
+        assert verdict.response_times["o"] == pytest.approx(0.3)
+        assert verdict.response_times["new"] == 0.0
+
+    def test_offloadable_newcomer_gets_best_feasible_point(self):
+        controller = _base_controller()
+        newcomer = OffloadableTask(
+            task_id="new", wcet=0.15, period=1.0,
+            setup_time=0.02, compensation_time=0.15,
+            benefit=BenefitFunction(
+                [BenefitPoint(0.0, 1.0), BenefitPoint(0.2, 9.0)]
+            ),
+        )
+        verdict = controller.try_admit(newcomer)
+        assert verdict.admitted
+        assert verdict.mode == "incremental"
+        assert verdict.response_times["new"] == pytest.approx(0.2)
+
+    def test_verdict_is_feasible(self):
+        controller = _base_controller()
+        newcomer = Task("new", 0.3, 1.0)
+        verdict = controller.try_admit(newcomer)
+        union = TaskSet(list(controller.tasks) + [newcomer])
+        from repro.core.schedulability import OffloadAssignment
+
+        assignments = [
+            OffloadAssignment(tid, r)
+            for tid, r in verdict.response_times.items() if r > 0
+        ]
+        assert theorem3_test(union, assignments).feasible
+
+
+class TestReplanAdmission:
+    def test_big_task_forces_replan(self):
+        """The newcomer doesn't fit next to the existing offload; the
+        controller re-plans (existing task may fall back to local)."""
+        controller = _base_controller()
+        # current: o offloaded at rate (0.02+0.2)/0.7 ~ 0.314
+        newcomer = Task("new", 0.75, 1.0)
+        verdict = controller.try_admit(newcomer)
+        assert verdict.admitted
+        assert verdict.mode == "replan"
+        assert "o" in verdict.changed_tasks
+        assert verdict.response_times["o"] == 0.0  # forced local
+
+    def test_impossible_task_rejected(self):
+        controller = _base_controller(extra_local=0.5)
+        verdict = controller.try_admit(Task("new", 0.4, 1.0))
+        assert not verdict.admitted
+        assert verdict.mode == "rejected"
+
+
+class TestApply:
+    def test_apply_updates_state(self):
+        controller = _base_controller()
+        newcomer = Task("new", 0.1, 1.0)
+        verdict = controller.try_admit(newcomer)
+        controller.apply(newcomer, verdict)
+        assert "new" in controller.tasks
+        assert controller.decision.response_times["new"] == 0.0
+        # a second admission builds on the updated state
+        second = controller.try_admit(Task("new2", 0.1, 1.0))
+        assert second.admitted
+
+    def test_apply_rejected_verdict_raises(self):
+        controller = _base_controller(extra_local=0.5)
+        newcomer = Task("new", 0.4, 1.0)
+        verdict = controller.try_admit(newcomer)
+        with pytest.raises(ValueError):
+            controller.apply(newcomer, verdict)
+
+    def test_duplicate_admission_rejected(self):
+        controller = _base_controller()
+        with pytest.raises(ValueError, match="already admitted"):
+            controller.try_admit(Task("o", 0.1, 1.0))
+
+    def test_sequential_admissions_until_full(self):
+        """Admit small tasks until the budget is exhausted; every
+        intermediate state stays feasible."""
+        controller = _base_controller()
+        admitted = 0
+        for k in range(12):
+            newcomer = Task(f"n{k}", 0.08, 1.0)
+            verdict = controller.try_admit(newcomer)
+            if not verdict.admitted:
+                break
+            controller.apply(newcomer, verdict)
+            admitted += 1
+            assert controller.decision.schedulability.feasible
+        assert 3 <= admitted < 12  # budget genuinely binds

@@ -1,0 +1,121 @@
+"""Tests for the energy accounting extension."""
+
+import pytest
+
+from repro.runtime.energy import (
+    EnergyReport,
+    PowerModel,
+    compare_energy,
+    energy_report,
+)
+from repro.runtime.system import OffloadingSystem
+from repro.sched.offload_scheduler import OffloadingScheduler
+from repro.sim.engine import Simulator
+from repro.sim.trace import Trace
+from repro.vision.tasks import table1_task_set
+
+
+class TestPowerModel:
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(active_power=-1.0)
+
+    def test_idle_above_active_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(active_power=0.5, idle_power=1.0)
+
+
+class TestEnergyReport:
+    def _trace(self):
+        trace = Trace()
+        trace.record_segment("a", 0, "local", 0.0, 2.0)
+        trace.record_segment("a", 1, "setup", 3.0, 4.0)
+        trace.record_segment("a", 1, "compensation", 5.0, 6.0)
+        return trace
+
+    def test_phase_breakdown(self):
+        report = energy_report(self._trace(), horizon=10.0)
+        assert report.phase_time == {
+            "local": 2.0, "setup": 1.0, "compensation": 1.0,
+        }
+        assert report.idle_time == pytest.approx(6.0)
+
+    def test_energy_integration(self):
+        power = PowerModel(active_power=2.0, idle_power=0.5, tx_power=1.0)
+        report = energy_report(self._trace(), horizon=10.0, power=power)
+        # local 2s*2W + setup 1s*(2+1)W + comp 1s*2W + idle 6s*0.5W
+        assert report.total_energy == pytest.approx(4 + 3 + 2 + 3)
+        assert report.average_power == pytest.approx(1.2)
+
+    def test_segments_clipped_to_horizon(self):
+        trace = Trace()
+        trace.record_segment("a", 0, "local", 0.0, 5.0)
+        report = energy_report(trace, horizon=2.0)
+        assert report.phase_time["local"] == pytest.approx(2.0)
+        assert report.idle_time == pytest.approx(0.0)
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            energy_report(Trace(), horizon=0.0)
+
+    def test_empty_trace_is_all_idle(self):
+        report = energy_report(Trace(), horizon=4.0)
+        assert report.busy_time == 0.0
+        assert report.total_energy == pytest.approx(0.3 * 4.0)
+
+
+class TestCompare:
+    def test_horizon_mismatch_rejected(self):
+        a = EnergyReport(horizon=1.0)
+        b = EnergyReport(horizon=2.0)
+        with pytest.raises(ValueError):
+            compare_energy(a, b)
+
+    def test_offloading_saves_energy_on_idle_server(self):
+        """The case study tasks are compute-heavy: shipping them to the
+        server (tiny setup vs large avoided C_i) cuts client energy."""
+        tasks = table1_task_set()
+        horizon = 10.0
+
+        offload_trace = OffloadingSystem(
+            tasks, scenario="idle", seed=1
+        ).run(horizon).trace
+
+        sim = Simulator()
+        local_trace = OffloadingScheduler(sim, table1_task_set()).run(
+            horizon
+        )
+
+        saving = compare_energy(
+            energy_report(offload_trace, horizon),
+            energy_report(local_trace, horizon),
+        )
+        assert saving > 0.1  # clearly positive, not a rounding artifact
+
+    def test_dead_server_erases_most_savings(self):
+        """When every offload compensates locally, energy is the local
+        cost *plus* the wasted setup/tx — worse than pure local."""
+        from repro.sched.transport import NeverRespondsTransport
+
+        tasks = table1_task_set()
+        from repro.core.odm import OffloadingDecisionManager
+
+        decision = OffloadingDecisionManager("dp").decide(tasks)
+        horizon = 10.0
+
+        sim = Simulator()
+        dead_trace = OffloadingScheduler(
+            sim, tasks, response_times=decision.response_times,
+            transport=NeverRespondsTransport(),
+        ).run(horizon)
+
+        sim2 = Simulator()
+        local_trace = OffloadingScheduler(sim2, table1_task_set()).run(
+            horizon
+        )
+
+        saving = compare_energy(
+            energy_report(dead_trace, horizon),
+            energy_report(local_trace, horizon),
+        )
+        assert saving < 0.0

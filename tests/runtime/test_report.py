@@ -1,0 +1,76 @@
+"""Unit tests for SystemReport computations on synthetic traces."""
+
+import pytest
+
+from repro.core.odm import OffloadingDecisionManager
+from repro.runtime.report import SystemReport
+from repro.sim.trace import Trace
+from repro.vision.tasks import table1_task_set
+
+
+def _decision():
+    return OffloadingDecisionManager("dp").decide(table1_task_set())
+
+
+def _report(jobs):
+    """Build a report from (offloaded, returned, compensated, benefit,
+    finished) tuples."""
+    trace = Trace()
+    for idx, (off, ret, comp, benefit, finished) in enumerate(jobs):
+        rec = trace.record_release("t", idx, 0.0, 1.0)
+        rec.offloaded = off
+        rec.result_returned = ret
+        rec.compensated = comp
+        rec.benefit = benefit
+        if finished:
+            trace.record_finish("t", idx, 0.5)
+    return SystemReport(decision=_decision(), trace=trace, horizon=10.0)
+
+
+class TestCounting:
+    def test_counts(self):
+        report = _report([
+            (True, True, False, 5.0, True),
+            (True, False, True, 1.0, True),
+            (False, False, False, 1.0, True),
+            (False, False, False, 0.0, False),  # unfinished
+        ])
+        assert report.jobs_completed == 3
+        assert report.offloaded_jobs == 2
+        assert report.returned_jobs == 1
+        assert report.compensated_jobs == 1
+        assert report.realized_benefit == pytest.approx(7.0)
+
+    def test_return_rate(self):
+        report = _report([
+            (True, True, False, 5.0, True),
+            (True, False, True, 1.0, True),
+        ])
+        assert report.return_rate == pytest.approx(0.5)
+
+    def test_return_rate_no_offloads_is_zero(self):
+        report = _report([(False, False, False, 1.0, True)])
+        assert report.return_rate == 0.0
+
+    def test_deadlines(self):
+        report = _report([(False, False, False, 1.0, True)])
+        assert report.all_deadlines_met
+        assert report.deadline_misses == 0
+
+    def test_summary_text(self):
+        report = _report([(True, True, False, 5.0, True)])
+        text = report.summary()
+        assert "server return rate: 100.0%" in text
+        assert "realized benefit: 5.0000" in text
+
+
+class TestQuickstartDocstring:
+    def test_package_docstring_example_runs(self):
+        """The >>> example in repro/__init__.py must actually work."""
+        import doctest
+
+        import repro
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted > 0

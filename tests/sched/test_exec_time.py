@@ -1,0 +1,81 @@
+"""Unit tests for execution-time models."""
+
+import numpy as np
+import pytest
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.task import OffloadableTask, Task
+from repro.sched.exec_time import UniformScaleModel, WcetModel
+
+
+def _task():
+    benefit = BenefitFunction(
+        [
+            BenefitPoint(0.0, 0.0),
+            BenefitPoint(0.3, 1.0, setup_time=0.04,
+                         compensation_time=0.15),
+        ]
+    )
+    return OffloadableTask(
+        task_id="o", wcet=0.2, period=1.0,
+        setup_time=0.02, compensation_time=0.2, post_time=0.05,
+        benefit=benefit,
+    )
+
+
+class TestWcetModel:
+    def test_local_phase(self):
+        assert WcetModel().duration(_task(), "local", 0.0, 0) == 0.2
+
+    def test_setup_uses_level_override(self):
+        assert WcetModel().duration(_task(), "setup", 0.3, 0) == 0.04
+
+    def test_setup_falls_back_to_task_default(self):
+        assert WcetModel().duration(_task(), "setup", 0.25, 0) == 0.02
+
+    def test_compensation_uses_level_override(self):
+        assert WcetModel().duration(_task(), "compensation", 0.3, 0) == 0.15
+
+    def test_post_phase(self):
+        assert WcetModel().duration(_task(), "post", 0.3, 0) == 0.05
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            WcetModel().duration(_task(), "cleanup", 0.3, 0)
+
+    def test_plain_task_has_no_offload_phases(self):
+        with pytest.raises(ValueError):
+            WcetModel().duration(Task("p", 0.1, 1.0), "setup", 0.3, 0)
+
+
+class TestUniformScaleModel:
+    def test_bounded_by_wcet(self):
+        model = UniformScaleModel(
+            low_fraction=0.5, rng=np.random.default_rng(0)
+        )
+        task = _task()
+        for j in range(50):
+            d = model.duration(task, "local", 0.0, j)
+            assert 0.1 <= d <= 0.2
+
+    def test_zero_wcet_stays_zero(self):
+        model = UniformScaleModel(rng=np.random.default_rng(0))
+        task = OffloadableTask(
+            task_id="o", wcet=0.2, period=1.0,
+            setup_time=0.02, compensation_time=0.2, post_time=0.0,
+        )
+        assert model.duration(task, "post", 0.0, 0) == 0.0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            UniformScaleModel(low_fraction=0.0)
+        with pytest.raises(ValueError):
+            UniformScaleModel(low_fraction=1.5)
+
+    def test_deterministic_with_seeded_rng(self):
+        a = UniformScaleModel(rng=np.random.default_rng(7))
+        b = UniformScaleModel(rng=np.random.default_rng(7))
+        task = _task()
+        assert a.duration(task, "local", 0.0, 0) == b.duration(
+            task, "local", 0.0, 0
+        )

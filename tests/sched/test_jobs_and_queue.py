@@ -1,0 +1,90 @@
+"""Unit tests for job objects and the EDF ready queue."""
+
+import pytest
+
+from repro.core.task import Task
+from repro.sched.jobs import Job, SubJob
+from repro.sched.ready_queue import EDFReadyQueue
+
+
+def _subjob(deadline, phase="local", remaining=0.1, priority=None):
+    task = Task("t", wcet=0.5, period=10.0)
+    job = Job(task=task, job_id=0, release=0.0, absolute_deadline=deadline)
+    return SubJob(
+        job=job,
+        phase=phase,
+        wcet=remaining,
+        remaining=remaining,
+        absolute_deadline=deadline,
+        release=0.0,
+        priority_override=priority,
+    )
+
+
+class TestSubJob:
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError, match="phase"):
+            _subjob(1.0, phase="warmup")
+
+    def test_negative_remaining_rejected(self):
+        with pytest.raises(ValueError):
+            _subjob(1.0, remaining=-0.1)
+
+    def test_edf_key_orders_by_deadline(self):
+        early, late = _subjob(1.0), _subjob(2.0)
+        assert early.edf_key < late.edf_key
+
+    def test_edf_key_fifo_on_equal_deadline(self):
+        first, second = _subjob(1.0), _subjob(1.0)
+        assert first.edf_key < second.edf_key
+
+    def test_priority_override_takes_precedence(self):
+        """Fixed-priority mode: a later deadline with higher priority
+        (smaller override) wins."""
+        fp_high = _subjob(9.0, priority=0.0)
+        fp_low = _subjob(1.0, priority=5.0)
+        assert fp_high.edf_key < fp_low.edf_key
+
+    def test_task_id_passthrough(self):
+        assert _subjob(1.0).task_id == "t"
+
+
+class TestEDFReadyQueue:
+    def test_pop_returns_earliest_deadline(self):
+        q = EDFReadyQueue()
+        a, b, c = _subjob(3.0), _subjob(1.0), _subjob(2.0)
+        for sj in (a, b, c):
+            q.push(sj)
+        assert q.pop() is b
+        assert q.pop() is c
+        assert q.pop() is a
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EDFReadyQueue().pop()
+
+    def test_peek_does_not_remove(self):
+        q = EDFReadyQueue()
+        sj = _subjob(1.0)
+        q.push(sj)
+        assert q.peek() is sj
+        assert len(q) == 1
+
+    def test_peek_empty_returns_none(self):
+        assert EDFReadyQueue().peek() is None
+
+    def test_len_and_bool(self):
+        q = EDFReadyQueue()
+        assert not q
+        q.push(_subjob(1.0))
+        assert q
+        assert len(q) == 1
+
+    def test_drain_returns_edf_order(self):
+        q = EDFReadyQueue()
+        deadlines = [5.0, 1.0, 3.0, 2.0]
+        for d in deadlines:
+            q.push(_subjob(d))
+        drained = q.drain()
+        assert [sj.absolute_deadline for sj in drained] == sorted(deadlines)
+        assert not q

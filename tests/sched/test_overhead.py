@@ -1,0 +1,116 @@
+"""Tests for context-switch overhead: processor behaviour + analysis
+inflation, and their agreement."""
+
+import pytest
+
+from repro.core.schedulability import theorem3_test
+from repro.core.task import Task, TaskSet
+from repro.sched.jobs import Job, SubJob
+from repro.sched.offload_scheduler import OffloadingScheduler
+from repro.sched.overhead import inflate_for_overhead
+from repro.sched.uniprocessor import Uniprocessor
+from repro.sim.engine import Simulator
+from repro.vision.tasks import table1_task_set
+
+
+def _subjob(deadline, remaining, task_id="t", on_complete=None):
+    task = Task(task_id, wcet=max(remaining, 1e-9), period=100.0)
+    job = Job(task=task, job_id=0, release=0.0, absolute_deadline=deadline)
+    return SubJob(
+        job=job, phase="local", wcet=remaining, remaining=remaining,
+        absolute_deadline=deadline, release=0.0, on_complete=on_complete,
+    )
+
+
+class TestProcessorOverhead:
+    def test_single_dispatch_adds_one_overhead(self, sim):
+        done = []
+        cpu = Uniprocessor(sim, context_switch_overhead=0.01)
+        cpu.submit(_subjob(10.0, 0.5, on_complete=lambda sj, t: done.append(t)))
+        sim.run_until(1.0)
+        assert done == [pytest.approx(0.51)]
+        assert cpu.context_switches == 1
+
+    def test_preemption_charges_both_jobs(self, sim):
+        finish = {}
+        cpu = Uniprocessor(sim, context_switch_overhead=0.01)
+        cpu.submit(_subjob(10.0, 1.0, task_id="low",
+                           on_complete=lambda sj, t: finish.update(low=t)))
+        sim.schedule_at(
+            0.3,
+            lambda ev: cpu.submit(
+                _subjob(1.0, 0.2, task_id="high",
+                        on_complete=lambda sj, t: finish.update(high=t))
+            ),
+        )
+        sim.run_until(3.0)
+        # high: dispatched once (0.2 + 0.01) starting at 0.3
+        assert finish["high"] == pytest.approx(0.51)
+        # low: two dispatches (2 x 0.01) on 1.0 of work + the 0.21 gap
+        assert finish["low"] == pytest.approx(1.23)
+        assert cpu.context_switches == 3
+
+    def test_zero_overhead_default_unchanged(self, sim):
+        done = []
+        cpu = Uniprocessor(sim)
+        cpu.submit(_subjob(10.0, 0.5, on_complete=lambda sj, t: done.append(t)))
+        sim.run_until(1.0)
+        assert done == [pytest.approx(0.5)]
+        assert cpu.context_switches == 0
+
+    def test_negative_overhead_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Uniprocessor(sim, context_switch_overhead=-0.01)
+
+
+class TestInflation:
+    def test_zero_overhead_is_identity(self):
+        tasks = table1_task_set()
+        assert inflate_for_overhead(tasks, 0.0) is tasks
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            inflate_for_overhead(table1_task_set(), -0.1)
+
+    def test_all_budgets_inflated(self):
+        tasks = table1_task_set()
+        inflated = inflate_for_overhead(tasks, 0.005)
+        for before, after in zip(tasks, inflated):
+            assert after.wcet == pytest.approx(before.wcet + 0.01)
+            assert after.setup_time == pytest.approx(
+                before.setup_time + 0.01
+            )
+            for pb, pa in zip(before.benefit.points, after.benefit.points):
+                if pb.setup_time is not None:
+                    assert pa.setup_time == pytest.approx(
+                        pb.setup_time + 0.01
+                    )
+
+    def test_plain_tasks_inflated(self):
+        tasks = TaskSet([Task("p", 0.1, 1.0)])
+        inflated = inflate_for_overhead(tasks, 0.01)
+        assert inflated["p"].wcet == pytest.approx(0.12)
+
+
+class TestAnalysisMatchesSimulation:
+    def test_inflated_analysis_covers_overheaded_run(self):
+        """If the inflated task set passes Theorem 3, the simulation
+        with that overhead must meet all deadlines (WCET + dead server
+        worst case)."""
+        from repro.core.odm import OffloadingDecisionManager
+        from repro.sched.transport import NeverRespondsTransport
+
+        overhead = 0.002
+        tasks = table1_task_set()
+        inflated = inflate_for_overhead(tasks, overhead)
+        decision = OffloadingDecisionManager("dp").decide(inflated)
+        assert decision.schedulability.feasible
+
+        sim = Simulator()
+        scheduler = OffloadingScheduler(
+            sim, tasks, response_times=decision.response_times,
+            transport=NeverRespondsTransport(),
+        )
+        scheduler.processor.context_switch_overhead = overhead
+        trace = scheduler.run(10.0)
+        assert trace.all_deadlines_met

@@ -1,0 +1,75 @@
+"""Unit tests for the network channel model."""
+
+import numpy as np
+import pytest
+
+from repro.server.network import NetworkChannel
+
+
+class TestValidation:
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkChannel(bandwidth=0.0)
+
+    def test_negative_base_latency_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkChannel(bandwidth=1e6, base_latency=-0.1)
+
+    def test_loss_probability_range(self):
+        with pytest.raises(ValueError):
+            NetworkChannel(bandwidth=1e6, loss_probability=1.5)
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            NetworkChannel(bandwidth=1e6, jitter_scale=0.01)
+
+    def test_loss_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            NetworkChannel(bandwidth=1e6, loss_probability=0.1)
+
+
+class TestDeterministicChannel:
+    def test_transfer_time_formula(self):
+        ch = NetworkChannel(bandwidth=1e6, base_latency=0.002)
+        assert ch.transfer_time(500_000) == pytest.approx(0.502)
+
+    def test_zero_bytes_is_base_latency(self):
+        ch = NetworkChannel(bandwidth=1e6, base_latency=0.002)
+        assert ch.transfer_time(0) == pytest.approx(0.002)
+
+    def test_negative_bytes_rejected(self):
+        ch = NetworkChannel(bandwidth=1e6)
+        with pytest.raises(ValueError):
+            ch.transfer_time(-1)
+
+    def test_never_lost_without_loss(self):
+        ch = NetworkChannel(bandwidth=1e6)
+        assert not any(ch.is_lost() for _ in range(100))
+
+
+class TestStochasticChannel:
+    def test_jitter_adds_positive_delay(self):
+        rng = np.random.default_rng(0)
+        ch = NetworkChannel(
+            bandwidth=1e6, base_latency=0.002, jitter_scale=0.005, rng=rng
+        )
+        base = 0.002 + 0.1
+        samples = [ch.transfer_time(100_000) for _ in range(200)]
+        assert all(s > base for s in samples)
+
+    def test_mean_transfer_time_analytic(self):
+        rng = np.random.default_rng(1)
+        ch = NetworkChannel(
+            bandwidth=1e6, base_latency=0.002, jitter_scale=0.005,
+            jitter_sigma=0.5, rng=rng,
+        )
+        samples = [ch.transfer_time(0) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(
+            ch.mean_transfer_time(0), rel=0.05
+        )
+
+    def test_loss_rate_statistics(self):
+        rng = np.random.default_rng(2)
+        ch = NetworkChannel(bandwidth=1e6, loss_probability=0.3, rng=rng)
+        losses = sum(ch.is_lost() for _ in range(10_000))
+        assert 0.25 < losses / 10_000 < 0.35

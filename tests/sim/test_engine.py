@@ -1,0 +1,172 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.events import (
+    PRIORITY_DISPATCH,
+    PRIORITY_RELEASE,
+    SimulationError,
+)
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_schedule_relative_delay(self, sim):
+        fired = []
+        sim.schedule(2.5, lambda ev: fired.append(ev.time))
+        sim.run_until(10.0)
+        assert fired == [2.5]
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(3.0, lambda ev: fired.append(ev.time))
+        sim.run_until(10.0)
+        assert fired == [3.0]
+
+    def test_schedule_in_past_raises(self, sim):
+        sim.schedule(1.0, lambda ev: None)
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(2.0, lambda ev: None)
+
+    def test_negative_delay_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda ev: None)
+
+    def test_nan_time_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("nan"), lambda ev: None)
+
+    def test_schedule_at_current_instant_allowed(self, sim):
+        fired = []
+        sim.schedule_at(0.0, lambda ev: fired.append(ev.time))
+        sim.run_until(1.0)
+        assert fired == [0.0]
+
+
+class TestExecutionOrder:
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(3.0, lambda ev: order.append("c"))
+        sim.schedule(1.0, lambda ev: order.append("a"))
+        sim.schedule(2.0, lambda ev: order.append("b"))
+        sim.run_until(5.0)
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_priority_order(self, sim):
+        order = []
+        sim.schedule(1.0, lambda ev: order.append("dispatch"),
+                     priority=PRIORITY_DISPATCH)
+        sim.schedule(1.0, lambda ev: order.append("release"),
+                     priority=PRIORITY_RELEASE)
+        sim.run_until(2.0)
+        assert order == ["release", "dispatch"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(1.5, lambda ev: times.append(sim.now))
+        sim.run_until(2.0)
+        assert times == [1.5]
+
+    def test_callbacks_can_schedule_more_events(self, sim):
+        fired = []
+
+        def chain(ev):
+            fired.append(ev.time)
+            if len(fired) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestRunSemantics:
+    def test_run_until_includes_horizon_events(self, sim):
+        fired = []
+        sim.schedule_at(5.0, lambda ev: fired.append(ev.time))
+        sim.run_until(5.0)
+        assert fired == [5.0]
+
+    def test_run_until_advances_clock_to_horizon(self, sim):
+        sim.run_until(7.0)
+        assert sim.now == 7.0
+
+    def test_run_until_backward_raises(self, sim):
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(3.0)
+
+    def test_events_after_horizon_survive(self, sim):
+        fired = []
+        sim.schedule_at(8.0, lambda ev: fired.append(ev.time))
+        sim.run_until(5.0)
+        assert fired == []
+        sim.run_until(10.0)
+        assert fired == [8.0]
+
+    def test_run_all_drains_heap(self, sim):
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda ev: fired.append(ev.time))
+        sim.run_all()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_all_guards_against_cascade(self, sim):
+        def rearm(ev):
+            sim.schedule(0.001, rearm)
+
+        sim.schedule(0.0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run_all(max_events=100)
+
+    def test_stop_halts_run(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda ev: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda ev: fired.append(2))
+        sim.run_until(5.0)
+        assert fired == [1]
+        sim.resume()
+        sim.run_until(5.0)
+        assert fired == [1, 2]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        ev = sim.schedule(1.0, lambda e: fired.append(1))
+        ev.cancel()
+        sim.run_until(5.0)
+        assert fired == []
+
+    def test_peek_time_skips_cancelled(self, sim):
+        ev = sim.schedule(1.0, lambda e: None)
+        sim.schedule(2.0, lambda e: None)
+        ev.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_peek_time_empty(self, sim):
+        assert sim.peek_time() is None
+
+
+class TestIntrospection:
+    def test_events_processed_counts_fired_only(self, sim):
+        ev = sim.schedule(1.0, lambda e: None)
+        sim.schedule(2.0, lambda e: None)
+        ev.cancel()
+        sim.run_until(5.0)
+        assert sim.events_processed == 1
+
+    def test_pending_events_sorted_and_live(self, sim):
+        sim.schedule(2.0, lambda e: None, name="b")
+        ev = sim.schedule(1.0, lambda e: None, name="a")
+        sim.schedule(3.0, lambda e: None, name="c")
+        ev.cancel()
+        names = [e.name for e in sim.pending_events()]
+        assert names == ["b", "c"]

@@ -1,0 +1,64 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.sim.events import (
+    PRIORITY_DISPATCH,
+    PRIORITY_NORMAL,
+    PRIORITY_RELEASE,
+    PRIORITY_TIMER,
+    Event,
+)
+
+
+class TestEventOrdering:
+    def test_ordered_by_time_first(self):
+        early = Event(time=1.0, priority=PRIORITY_DISPATCH)
+        late = Event(time=2.0, priority=PRIORITY_RELEASE)
+        assert early < late
+
+    def test_same_time_ordered_by_priority(self):
+        release = Event(time=1.0, priority=PRIORITY_RELEASE)
+        normal = Event(time=1.0, priority=PRIORITY_NORMAL)
+        dispatch = Event(time=1.0, priority=PRIORITY_DISPATCH)
+        assert release < normal < dispatch
+
+    def test_same_time_same_priority_fifo(self):
+        first = Event(time=1.0)
+        second = Event(time=1.0)
+        assert first < second  # sequence numbers increase
+
+    def test_priority_constants_are_ordered(self):
+        assert (
+            PRIORITY_RELEASE
+            < PRIORITY_TIMER
+            < PRIORITY_NORMAL
+            < PRIORITY_DISPATCH
+        )
+
+
+class TestEventLifecycle:
+    def test_fire_invokes_callback_with_event(self):
+        seen = []
+        ev = Event(time=1.0, callback=seen.append)
+        ev.fire()
+        assert seen == [ev]
+
+    def test_fire_without_callback_is_noop(self):
+        Event(time=1.0).fire()  # must not raise
+
+    def test_cancel_marks_event(self):
+        ev = Event(time=1.0)
+        assert not ev.cancelled
+        ev.cancel()
+        assert ev.cancelled
+
+    def test_cancel_is_idempotent(self):
+        ev = Event(time=1.0)
+        ev.cancel()
+        ev.cancel()
+        assert ev.cancelled
+
+    def test_payload_carried(self):
+        ev = Event(time=0.0, payload={"k": 1})
+        assert ev.payload == {"k": 1}

@@ -1,0 +1,133 @@
+"""Unit tests for schedule tracing."""
+
+import pytest
+
+from repro.sim.trace import Trace
+
+
+def _trace_with_one_job(finish=0.5, deadline=1.0):
+    trace = Trace()
+    trace.record_release("t1", 0, 0.0, deadline)
+    trace.record_segment("t1", 0, "local", 0.0, finish)
+    trace.record_finish("t1", 0, finish)
+    return trace
+
+
+class TestJobLifecycle:
+    def test_release_creates_record(self):
+        trace = Trace()
+        rec = trace.record_release("t1", 0, 1.0, 2.0)
+        assert rec.release == 1.0
+        assert rec.absolute_deadline == 2.0
+        assert rec.finish is None
+        assert rec.response_time is None
+        assert rec.met_deadline is None
+
+    def test_finish_sets_response_time(self):
+        trace = _trace_with_one_job(finish=0.5)
+        rec = trace.job("t1", 0)
+        assert rec.response_time == 0.5
+        assert rec.met_deadline is True
+
+    def test_finish_for_unknown_job_raises(self):
+        with pytest.raises(KeyError):
+            Trace().record_finish("ghost", 0, 1.0)
+
+    def test_jobs_of_returns_in_order(self):
+        trace = Trace()
+        for j in range(3):
+            trace.record_release("t1", j, float(j), float(j) + 1.0)
+        trace.record_release("t2", 0, 0.0, 1.0)
+        assert [r.job_id for r in trace.jobs_of("t1")] == [0, 1, 2]
+
+
+class TestDeadlineMisses:
+    def test_on_time_is_not_a_miss(self):
+        trace = _trace_with_one_job(finish=1.0, deadline=1.0)
+        assert trace.all_deadlines_met
+        assert trace.deadline_miss_count == 0
+
+    def test_late_finish_recorded_as_miss(self):
+        trace = _trace_with_one_job(finish=1.5, deadline=1.0)
+        assert not trace.all_deadlines_met
+        assert trace.deadline_miss_count == 1
+        miss = trace.misses[0]
+        assert miss.lateness == pytest.approx(0.5)
+
+    def test_tiny_float_overrun_tolerated(self):
+        trace = _trace_with_one_job(finish=1.0 + 1e-12, deadline=1.0)
+        assert trace.all_deadlines_met
+
+
+class TestSegments:
+    def test_zero_length_segment_dropped(self):
+        trace = Trace()
+        trace.record_segment("t1", 0, "local", 1.0, 1.0)
+        assert trace.segments == []
+
+    def test_negative_segment_raises(self):
+        with pytest.raises(ValueError):
+            Trace().record_segment("t1", 0, "local", 2.0, 1.0)
+
+    def test_busy_time_sums_segments(self):
+        trace = Trace()
+        trace.record_segment("a", 0, "local", 0.0, 1.0)
+        trace.record_segment("b", 0, "setup", 2.0, 2.5)
+        assert trace.busy_time() == pytest.approx(1.5)
+
+    def test_busy_time_clips_to_window(self):
+        trace = Trace()
+        trace.record_segment("a", 0, "local", 0.0, 4.0)
+        assert trace.busy_time(1.0, 3.0) == pytest.approx(2.0)
+
+    def test_utilization(self):
+        trace = Trace()
+        trace.record_segment("a", 0, "local", 0.0, 2.0)
+        assert trace.utilization(4.0) == pytest.approx(0.5)
+
+    def test_utilization_requires_positive_horizon(self):
+        with pytest.raises(ValueError):
+            Trace().utilization(0.0)
+
+
+class TestAggregates:
+    def test_compensation_rate_counts_offloaded_only(self):
+        trace = Trace()
+        for j, (off, comp) in enumerate(
+            [(True, True), (True, False), (False, False)]
+        ):
+            rec = trace.record_release("t1", j, 0.0, 1.0)
+            rec.offloaded = off
+            rec.compensated = comp
+        assert trace.compensation_rate() == pytest.approx(0.5)
+
+    def test_compensation_rate_empty_is_zero(self):
+        assert Trace().compensation_rate() == 0.0
+
+    def test_total_benefit_sums(self):
+        trace = Trace()
+        for j, benefit in enumerate([1.0, 2.5]):
+            rec = trace.record_release("t1", j, 0.0, 1.0)
+            rec.benefit = benefit
+        assert trace.total_benefit() == pytest.approx(3.5)
+
+    def test_response_times_finished_only(self):
+        trace = Trace()
+        trace.record_release("t1", 0, 0.0, 1.0)
+        trace.record_finish("t1", 0, 0.4)
+        trace.record_release("t1", 1, 1.0, 2.0)  # unfinished
+        assert trace.response_times("t1") == [pytest.approx(0.4)]
+
+
+class TestGantt:
+    def test_empty_trace(self):
+        assert Trace().gantt() == "(empty trace)"
+
+    def test_rows_per_task_and_glyphs(self):
+        trace = Trace()
+        trace.record_segment("a", 0, "local", 0.0, 1.0)
+        trace.record_segment("b", 0, "setup", 1.0, 2.0)
+        art = trace.gantt(width=20)
+        lines = art.splitlines()
+        assert "a" in lines[0] and "#" in lines[0]
+        assert "b" in lines[1] and "s" in lines[1]

@@ -1,0 +1,158 @@
+"""Tests for the prior-art baselines ([8] greedy, [10] reservation)."""
+
+import pytest
+
+from repro.baselines.greedy import GreedyOffloadScheduler
+from repro.baselines.reservation import ReservationTransport
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.task import OffloadableTask, Task, TaskSet
+from repro.experiments.baselines_comparison import (
+    format_comparison,
+    run_baseline_comparison,
+)
+from repro.sched.transport import (
+    FixedLatencyTransport,
+    NeverRespondsTransport,
+    OffloadRequest,
+)
+from repro.sim.engine import Simulator
+
+
+def _task(task_id="g", wcet=0.3, period=1.0, r=0.1, benefit_value=5.0):
+    return OffloadableTask(
+        task_id=task_id, wcet=wcet, period=period,
+        setup_time=0.02, compensation_time=wcet, post_time=0.01,
+        benefit=BenefitFunction(
+            [BenefitPoint(0.0, 1.0), BenefitPoint(r, benefit_value)]
+        ),
+    )
+
+
+class TestGreedyScheduler:
+    def test_offloads_when_estimate_beats_local(self):
+        tasks = TaskSet([_task()])
+        sim = Simulator()
+        scheduler = GreedyOffloadScheduler(
+            sim, tasks, estimated_response={"g": 0.1},
+            transport=FixedLatencyTransport(sim, latency=0.05),
+        )
+        trace = scheduler.run(2.5)
+        assert all(rec.offloaded for rec in trace.jobs_of("g"))
+        assert trace.all_deadlines_met
+        # realized benefit = the offloaded level's quality
+        assert trace.jobs_of("g")[0].benefit == pytest.approx(5.0)
+
+    def test_stays_local_when_estimate_worse(self):
+        tasks = TaskSet([_task(wcet=0.05)])  # local faster than estimate
+        sim = Simulator()
+        scheduler = GreedyOffloadScheduler(
+            sim, tasks, estimated_response={"g": 0.1},
+            transport=FixedLatencyTransport(sim, latency=0.05),
+        )
+        trace = scheduler.run(2.5)
+        assert not any(rec.offloaded for rec in trace.jobs_of("g"))
+
+    def test_dead_server_causes_misses(self):
+        """The §2 critique: no compensation = hanging jobs = misses."""
+        tasks = TaskSet([_task()])
+        sim = Simulator()
+        scheduler = GreedyOffloadScheduler(
+            sim, tasks, estimated_response={"g": 0.1},
+            transport=NeverRespondsTransport(),
+        )
+        trace = scheduler.run(3.0)
+        assert trace.deadline_miss_count > 0
+
+    def test_rejected_admission_falls_back_to_local(self):
+        tasks = TaskSet([_task()])
+        sim = Simulator()
+        scheduler = GreedyOffloadScheduler(
+            sim, tasks, estimated_response={"g": 0.1},
+            transport=NeverRespondsTransport(),
+            admission=lambda request: False,
+        )
+        trace = scheduler.run(2.5)
+        assert trace.all_deadlines_met
+        assert all(rec.compensated for rec in trace.jobs_of("g"))
+        assert trace.jobs_of("g")[0].benefit == pytest.approx(1.0)
+
+    def test_unknown_estimate_rejected(self):
+        tasks = TaskSet([Task("t", 0.1, 1.0)])
+        with pytest.raises(ValueError, match="unknown task"):
+            GreedyOffloadScheduler(
+                Simulator(), tasks, estimated_response={"zzz": 0.1},
+                transport=NeverRespondsTransport(),
+            )
+
+
+class TestReservationTransport:
+    def _request(self, sim, level=0.1):
+        task = _task(r=level)
+        return OffloadRequest(
+            task=task, job_id=0, submitted_at=sim.now,
+            response_budget=level, level_response_time=level,
+        )
+
+    def test_contract_bound(self, sim):
+        reserved = ReservationTransport(sim, pessimism=2.0)
+        assert reserved.contract_bound(0.1) == pytest.approx(0.2)
+
+    def test_pessimism_below_one_rejected(self, sim):
+        with pytest.raises(ValueError):
+            ReservationTransport(sim, pessimism=0.9)
+
+    def test_deterministic_delivery_at_bound(self, sim):
+        reserved = ReservationTransport(sim, pessimism=1.5)
+        arrivals = []
+        request = self._request(sim, level=0.2)
+        assert reserved.admit(request)
+        reserved.submit(request, arrivals.append)
+        sim.run_until(1.0)
+        assert arrivals == [pytest.approx(0.3)]
+
+    def test_admission_cap(self, sim):
+        reserved = ReservationTransport(sim, max_inflight=2)
+        requests = [self._request(sim) for _ in range(3)]
+        assert reserved.admit(requests[0])
+        assert reserved.admit(requests[1])
+        assert not reserved.admit(requests[2])
+        assert reserved.rejected == 1
+
+    def test_slot_released_after_delivery(self, sim):
+        reserved = ReservationTransport(sim, max_inflight=1)
+        first = self._request(sim)
+        assert reserved.admit(first)
+        reserved.submit(first, lambda t: None)
+        sim.run_until(1.0)
+        assert reserved.admit(self._request(sim))
+
+
+class TestComparisonDriver:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_baseline_comparison(seed=0)
+
+    def test_compensation_never_misses(self, comparison):
+        for scenario in comparison.outcomes:
+            assert comparison.get(scenario, "compensation").deadline_misses == 0
+
+    def test_greedy_fails_on_busy_server(self, comparison):
+        assert comparison.get("busy", "greedy").deadline_misses > 0
+
+    def test_greedy_safe_on_idle_server(self, comparison):
+        assert comparison.get("idle", "greedy").deadline_misses == 0
+
+    def test_reservation_always_safe(self, comparison):
+        for scenario in comparison.outcomes:
+            assert comparison.get(scenario, "reservation").deadline_misses == 0
+
+    def test_compensation_beats_reservation_on_idle(self, comparison):
+        """The paper's value proposition: exploit the unreliable
+        component's real capacity instead of a pessimistic slice."""
+        comp = comparison.get("idle", "compensation").useful_benefit
+        reserved = comparison.get("idle", "reservation").useful_benefit
+        assert comp > reserved
+
+    def test_formatting(self, comparison):
+        text = format_comparison(comparison)
+        assert "compensation" in text and "reservation" in text

@@ -1,0 +1,74 @@
+"""Tests for the SVG chart renderers."""
+
+import pytest
+
+from repro.reporting.charts import svg_bar_chart, svg_line_chart
+
+
+class TestLineChart:
+    def test_basic_structure(self):
+        svg = svg_line_chart(
+            [0, 1, 2], {"dp": [1.0, 0.9, 0.8], "heu": [0.98, 0.89, 0.79]},
+            title="Figure 3", x_label="ratio", y_label="benefit",
+        )
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert svg.count("<polyline") == 2
+        assert svg.count("<circle") == 6
+        assert "Figure 3" in svg
+        assert "dp" in svg and "heu" in svg
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            svg_line_chart([0, 1], {"s": [1.0]})
+
+    def test_single_x_rejected(self):
+        with pytest.raises(ValueError, match="two x values"):
+            svg_line_chart([0], {"s": [1.0]})
+
+    def test_constant_series_renders(self):
+        svg = svg_line_chart([0, 1], {"s": [1.0, 1.0]})
+        assert "<polyline" in svg
+
+    def test_fig3_result_plugs_in(self):
+        from repro.experiments.fig3 import run_fig3
+
+        result = run_fig3(
+            accuracy_ratios=(-0.2, 0.0, 0.2), num_task_sets=2,
+            num_tasks=8, seed=1,
+        )
+        svg = svg_line_chart(
+            result.ratios, result.normalized, title="Fig 3",
+        )
+        assert svg.count("<polyline") == 2
+
+
+class TestBarChart:
+    def test_basic_structure(self):
+        svg = svg_bar_chart(
+            ["a", "b", "c"],
+            {"busy": [1.0, 1.1, 1.0], "idle": [2.0, 2.2, 1.9]},
+            baseline=1.0,
+        )
+        assert svg.count("<rect") >= 6  # 6 bars + legend swatches
+        assert "stroke-dasharray" in svg  # the baseline
+
+    def test_category_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="values"):
+            svg_bar_chart(["a", "b"], {"s": [1.0]})
+
+    def test_empty_categories_rejected(self):
+        with pytest.raises(ValueError, match="categories"):
+            svg_bar_chart([], {"s": []})
+
+    def test_many_categories_drop_tick_labels(self):
+        categories = list(range(40))
+        svg = svg_bar_chart(
+            categories, {"s": [1.0] * 40},
+        )
+        # bars drawn but per-category tick labels suppressed
+        assert svg.count("<rect") >= 40
+        assert ">39<" not in svg
+
+    def test_tooltips_carry_values(self):
+        svg = svg_bar_chart(["x"], {"s": [1.234]})
+        assert "s @ x: 1.234" in svg

@@ -1,0 +1,72 @@
+"""CLI smoke tests: every subcommand runs and prints its artifact."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestSubcommands:
+    def test_demo(self, capsys):
+        assert main(["demo", "--horizon", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "realized benefit" in out
+        assert "deadline misses: 0" in out
+
+    def test_demo_busy_scenario(self, capsys):
+        assert main(["demo", "--scenario", "busy", "--horizon", "4"]) == 0
+        assert "decision" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--samples", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "tau4" in out and "measured" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--task-sets", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "dp" in out
+
+    def test_ablation_solvers(self, capsys):
+        assert main(["ablation-solvers", "--instances", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "heu_oe" in out
+
+    def test_ablation_pessimism(self, capsys):
+        assert main(["ablation-pessimism", "--configs", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "unsound (must be 0): 0" in out
+
+    def test_ablation_split(self, capsys):
+        assert main(["ablation-split", "--sets", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "split" in out and "naive" in out
+
+    def test_seed_flag_changes_nothing_structural(self, capsys):
+        assert main(["--seed", "5", "demo", "--horizon", "3"]) == 0
+        assert "decision" in capsys.readouterr().out
+
+    def test_ablation_split_policy(self, capsys):
+        assert main(["ablation-split-policy", "--configs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "proportional" in out and "unsound=0" in out
+
+    def test_ablation_baselines(self, capsys):
+        assert main(["ablation-baselines", "--horizon", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "compensation" in out and "reservation" in out
+
+    def test_energy(self, capsys):
+        assert main(["energy", "--horizon", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "saving" in out and "J" in out

@@ -1,0 +1,45 @@
+"""Documentation sanity: the API tour's snippets must actually run.
+
+Extracts every ``python`` code fence from docs/API_TOUR.md and executes
+them sequentially in one namespace (later snippets build on earlier
+ones, as a reader would run them).
+"""
+
+import pathlib
+import re
+
+import pytest
+
+DOC = pathlib.Path(__file__).parent.parent / "docs" / "API_TOUR.md"
+
+
+def _snippets():
+    text = DOC.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestApiTour:
+    def test_doc_exists_with_snippets(self):
+        assert DOC.exists()
+        assert len(_snippets()) >= 8
+
+    def test_all_snippets_execute(self, capsys):
+        namespace = {}
+        for index, snippet in enumerate(_snippets()):
+            try:
+                exec(compile(snippet, f"<api-tour:{index}>", "exec"),
+                     namespace)
+            except Exception as error:  # pragma: no cover - diagnostic
+                pytest.fail(
+                    f"API tour snippet {index} failed: {error}\n{snippet}"
+                )
+
+    def test_readme_quickstart_executes(self):
+        readme = pathlib.Path(__file__).parent.parent / "README.md"
+        snippets = re.findall(
+            r"```python\n(.*?)```", readme.read_text(), flags=re.DOTALL
+        )
+        assert snippets, "README lost its quickstart"
+        namespace = {}
+        for snippet in snippets:
+            exec(compile(snippet, "<readme>", "exec"), namespace)

@@ -1,0 +1,163 @@
+"""Edge-case coverage across layers: boundaries the main suites skip."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.deadlines import split_deadlines
+from repro.core.odm import OffloadingDecisionManager
+from repro.core.schedulability import OffloadAssignment, theorem3_test
+from repro.core.task import OffloadableTask, Task, TaskSet
+from repro.experiments.ablations import random_mckp
+from repro.knapsack import solve_brute_force, solve_dp
+from repro.sched.offload_scheduler import OffloadingScheduler
+from repro.sched.transport import FixedLatencyTransport
+from repro.sim.engine import Simulator
+
+
+class TestConstrainedDeadlinesEndToEnd:
+    """The paper's announced D_i <= T_i extension, exercised through the
+    entire pipeline."""
+
+    def _constrained_task(self):
+        return OffloadableTask(
+            task_id="c", wcet=0.2, period=2.0, deadline=1.0,
+            setup_time=0.03, compensation_time=0.2,
+            benefit=BenefitFunction(
+                [BenefitPoint(0.0, 1.0), BenefitPoint(0.4, 6.0)]
+            ),
+        )
+
+    def test_theorem3_charges_density_not_utilization(self):
+        task = self._constrained_task()
+        result = theorem3_test(TaskSet([task]))
+        assert result.total_demand_rate == pytest.approx(0.2)  # C/D
+
+    def test_split_uses_the_deadline(self):
+        split = split_deadlines(self._constrained_task(), 0.4)
+        assert split.total_deadline == 1.0
+        assert split.setup_deadline == pytest.approx(
+            0.03 * 0.6 / 0.23
+        )
+
+    def test_odm_and_scheduler_respect_constrained_deadline(self):
+        tasks = TaskSet([self._constrained_task(), Task("l", 0.2, 1.0)])
+        decision = OffloadingDecisionManager("dp").decide(tasks)
+        sim = Simulator()
+        trace = OffloadingScheduler(
+            sim, tasks, response_times=decision.response_times,
+            transport=FixedLatencyTransport(sim, latency=0.1),
+        ).run(8.0)
+        assert trace.all_deadlines_met
+        for rec in trace.jobs_of("c"):
+            assert rec.absolute_deadline == pytest.approx(rec.release + 1.0)
+
+
+class TestZeroPostTime:
+    def test_zero_post_completes_instantly_on_return(self):
+        task = OffloadableTask(
+            task_id="z", wcet=0.1, period=1.0,
+            setup_time=0.02, compensation_time=0.1, post_time=0.0,
+            benefit=BenefitFunction(
+                [BenefitPoint(0.0, 1.0), BenefitPoint(0.3, 4.0)]
+            ),
+        )
+        sim = Simulator()
+        trace = OffloadingScheduler(
+            sim, TaskSet([task]), response_times={"z": 0.3},
+            transport=FixedLatencyTransport(sim, latency=0.05),
+        ).run(2.5)
+        assert trace.all_deadlines_met
+        for rec in trace.jobs_of("z"):
+            assert rec.result_returned
+            # finish == setup end + latency (no post execution time)
+            assert rec.response_time == pytest.approx(0.02 + 0.05)
+
+
+class TestBoundBoundaries:
+    def test_r_exactly_at_server_bound_counts_as_guaranteed(self):
+        task = OffloadableTask(
+            task_id="b", wcet=0.1, period=1.0,
+            setup_time=0.02, compensation_time=0.1, post_time=0.01,
+            server_response_bound=0.3,
+            benefit=BenefitFunction(
+                [BenefitPoint(0.0, 0.0), BenefitPoint(0.3, 1.0)]
+            ),
+        )
+        assert task.result_guaranteed(0.3)
+        assert task.second_phase_wcet(0.3) == 0.01
+
+    def test_max_feasible_response_time_boundary(self):
+        """R_i such that C1 + C2 == D − R exactly: the split is feasible
+        with zero slack in the budgets."""
+        task = OffloadableTask(
+            task_id="x", wcet=0.3, period=1.0,
+            setup_time=0.1, compensation_time=0.3,
+            benefit=BenefitFunction(
+                [BenefitPoint(0.0, 0.0), BenefitPoint(0.6, 1.0)]
+            ),
+        )
+        split = split_deadlines(task, 0.6)  # slack = 0.4 = C1 + C2
+        assert split.setup_deadline == pytest.approx(0.1)
+        assert split.compensation_budget == pytest.approx(0.3)
+        # alone on the CPU this is exactly schedulable
+        result = theorem3_test(
+            TaskSet([task]), [OffloadAssignment("x", 0.6)]
+        )
+        assert result.total_demand_rate == pytest.approx(1.0)
+        assert result.feasible
+
+
+class TestSchedulerTimingDetails:
+    def test_back_to_back_jobs_no_drift(self):
+        """Strictly periodic releases must not accumulate float drift
+        over many periods."""
+        tasks = TaskSet([Task("p", 0.01, 0.1)])
+        sim = Simulator()
+        trace = OffloadingScheduler(sim, tasks).run(9.95)
+        releases = [j.release for j in trace.jobs_of("p")]
+        assert len(releases) == 100
+        assert releases[-1] == pytest.approx(9.9, abs=1e-9)
+
+    def test_simultaneous_releases_all_served(self):
+        tasks = TaskSet(
+            [Task(f"t{i}", 0.05, 1.0) for i in range(8)]
+        )
+        sim = Simulator()
+        trace = OffloadingScheduler(sim, tasks).run(1.0)
+        assert len(trace.jobs) == 8
+        assert trace.all_deadlines_met
+        assert trace.busy_time() == pytest.approx(0.4)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    low_res=st.integers(min_value=50, max_value=200),
+)
+@settings(max_examples=25, deadline=None)
+def test_dp_resolution_monotonicity(seed, low_res):
+    """A finer capacity quantization can never produce a worse DP value
+    (weights are rounded up, so feasible sets only grow)."""
+    rng = np.random.default_rng(seed)
+    instance = random_mckp(rng, num_classes=4, items_per_class=3)
+    coarse = solve_dp(instance, resolution=low_res)
+    fine = solve_dp(instance, resolution=low_res * 20)
+    if coarse is None:
+        # infeasible at coarse quantization; fine may recover it
+        return
+    assert fine is not None
+    assert fine.total_value >= coarse.total_value - 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=5_000))
+@settings(max_examples=20, deadline=None)
+def test_odm_decision_weight_never_exceeds_capacity(seed):
+    rng = np.random.default_rng(seed)
+    from repro.workloads.generator import paper_simulation_task_set
+
+    tasks = paper_simulation_task_set(rng, num_tasks=8)
+    decision = OffloadingDecisionManager("dp").decide(tasks)
+    assert decision.total_demand_rate <= 1.0 + 1e-9
+    assert decision.schedulability.feasible

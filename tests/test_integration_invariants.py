@@ -1,0 +1,128 @@
+"""Cross-layer integration invariants.
+
+These tests tie the analytical layer to the simulation layer: what the
+ODM *expects* must match what the DES *realizes* under the conditions
+the expectation was computed for.
+"""
+
+import pytest
+
+from repro.core.odm import OffloadingDecisionManager
+from repro.runtime.system import OffloadingSystem
+from repro.sched.offload_scheduler import OffloadingScheduler
+from repro.sched.transport import FixedLatencyTransport
+from repro.sim.engine import Simulator
+from repro.vision.tasks import table1_task_set
+
+
+class TestExpectedVsRealized:
+    def test_perfect_server_realizes_expected_benefit_per_round(self):
+        """With every result arriving instantly, each task's job earns
+        exactly the benefit the MCKP valued it at."""
+        tasks = table1_task_set()
+        decision = OffloadingDecisionManager("dp").decide(tasks)
+        sim = Simulator()
+        scheduler = OffloadingScheduler(
+            sim, tasks, response_times=decision.response_times,
+            transport=FixedLatencyTransport(sim, latency=0.001),
+        )
+        trace = scheduler.run(10.0)
+
+        # per-job realized benefit == the decision's per-task value
+        for task in tasks:
+            r = decision.response_times[task.task_id]
+            expected = (
+                task.benefit.value(r) if r > 0
+                else task.benefit.local_benefit
+            ) * task.weight
+            for rec in trace.jobs_of(task.task_id):
+                assert rec.benefit == pytest.approx(expected)
+
+    def test_total_benefit_scales_with_job_count(self):
+        tasks = table1_task_set()
+        decision = OffloadingDecisionManager("dp").decide(tasks)
+        sim = Simulator()
+        scheduler = OffloadingScheduler(
+            sim, tasks, response_times=decision.response_times,
+            transport=FixedLatencyTransport(sim, latency=0.001),
+        )
+        trace = scheduler.run(10.0)
+        expected_total = 0.0
+        for task in tasks:
+            r = decision.response_times[task.task_id]
+            per_job = (
+                task.benefit.value(r) if r > 0
+                else task.benefit.local_benefit
+            ) * task.weight
+            expected_total += per_job * len(trace.jobs_of(task.task_id))
+        assert trace.total_benefit() == pytest.approx(expected_total)
+
+
+class TestTraceConservation:
+    def test_busy_time_equals_executed_work(self):
+        """Every unit of CPU time in the trace is attributable work;
+        under the WCET model the totals are computable exactly."""
+        tasks = table1_task_set()
+        decision = OffloadingDecisionManager("dp").decide(tasks)
+        sim = Simulator()
+        scheduler = OffloadingScheduler(
+            sim, tasks, response_times=decision.response_times,
+            transport=FixedLatencyTransport(sim, latency=0.001),
+        )
+        trace = scheduler.run(10.0)
+
+        expected_work = 0.0
+        for task in tasks:
+            r = decision.response_times[task.task_id]
+            n_jobs = len(
+                [j for j in trace.jobs_of(task.task_id)
+                 if j.finish is not None]
+            )
+            if r > 0:
+                per_job = task.setup_time_at(r) + task.post_time
+            else:
+                per_job = task.wcet
+            expected_work += per_job * n_jobs
+        assert trace.busy_time() == pytest.approx(expected_work, rel=1e-6)
+
+    def test_segments_never_overlap(self):
+        """One CPU: execution segments must be disjoint."""
+        report = OffloadingSystem(
+            table1_task_set(), scenario="not_busy", seed=4
+        ).run(8.0)
+        segments = sorted(
+            report.trace.segments, key=lambda s: (s.start, s.end)
+        )
+        for a, b in zip(segments, segments[1:]):
+            assert a.end <= b.start + 1e-9, f"{a} overlaps {b}"
+
+    def test_utilization_below_demand_rate(self):
+        """Observed utilization can never exceed the admitted demand
+        rate (the analysis budgets worst cases)."""
+        tasks = table1_task_set()
+        system = OffloadingSystem(tasks, scenario="idle", seed=2)
+        report = system.run(10.0)
+        assert report.trace.utilization(10.0) <= (
+            report.decision.total_demand_rate + 1e-6
+        )
+
+
+class TestDecisionStability:
+    def test_heu_never_beats_dp_on_believed_values(self):
+        """DP is exact on the believed objective; the heuristic can only
+        tie or lose there."""
+        tasks = table1_task_set()
+        dp = OffloadingDecisionManager("dp").decide(tasks)
+        heu = OffloadingDecisionManager("heu_oe").decide(tasks)
+        assert heu.expected_benefit <= dp.expected_benefit + 1e-9
+
+    def test_weights_reorder_decisions(self):
+        """Weight permutations must actually influence the decision —
+        otherwise Figure 2's x-axis is meaningless."""
+        decisions = set()
+        for weights in [(1, 2, 3, 4), (4, 3, 2, 1), (4, 1, 3, 2)]:
+            decision = OffloadingDecisionManager("dp").decide(
+                table1_task_set(weights=weights)
+            )
+            decisions.add(tuple(sorted(decision.response_times.items())))
+        assert len(decisions) > 1

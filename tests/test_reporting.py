@@ -1,0 +1,100 @@
+"""Tests for the reporting/export module."""
+
+import json
+
+import pytest
+
+from repro.reporting.export import (
+    series_to_csv,
+    trace_to_json,
+    trace_to_records,
+    trace_to_svg,
+)
+from repro.runtime.system import OffloadingSystem
+from repro.sim.trace import Trace
+from repro.vision.tasks import table1_task_set
+
+
+@pytest.fixture(scope="module")
+def real_trace():
+    return OffloadingSystem(
+        table1_task_set(), scenario="idle", seed=1
+    ).run(6.0).trace
+
+
+class TestRecords:
+    def test_shapes(self, real_trace):
+        records = trace_to_records(real_trace)
+        assert set(records) == {
+            "jobs", "segments", "misses", "subjob_events",
+        }
+        assert len(records["jobs"]) == len(real_trace.jobs)
+        assert len(records["segments"]) == len(real_trace.segments)
+        assert len(records["subjob_events"]) == len(
+            real_trace.subjob_events
+        )
+        kinds = {e["kind"] for e in records["subjob_events"]}
+        assert kinds <= {"submitted", "completed"}
+
+    def test_job_fields_plain_types(self, real_trace):
+        job = trace_to_records(real_trace)["jobs"][0]
+        for key in ("task_id", "release", "benefit", "offloaded"):
+            assert key in job
+        assert isinstance(job["offloaded"], bool)
+
+    def test_json_round_trips(self, real_trace):
+        parsed = json.loads(trace_to_json(real_trace))
+        assert parsed["jobs"]
+        assert parsed["misses"] == []
+
+    def test_miss_records(self):
+        trace = Trace()
+        trace.record_release("t", 0, 0.0, 1.0)
+        trace.record_finish("t", 0, 1.5)
+        records = trace_to_records(trace)
+        assert records["misses"][0]["lateness"] == pytest.approx(0.5)
+
+
+class TestCsv:
+    def test_columns_to_rows(self):
+        text = series_to_csv({"x": [1, 2], "y": [0.5, 0.25]})
+        lines = text.strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,0.5"
+        assert lines[2] == "2,0.25"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            series_to_csv({"x": [1], "y": [1, 2]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_to_csv({})
+
+
+class TestSvg:
+    def test_empty_trace_placeholder(self):
+        svg = trace_to_svg(Trace())
+        assert svg.startswith("<svg")
+        assert "empty trace" in svg
+
+    def test_real_trace_renders_all_tasks(self, real_trace):
+        svg = trace_to_svg(real_trace)
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        for task_id in ("tau1", "tau2", "tau3", "tau4"):
+            assert task_id in svg
+        assert "<rect" in svg
+
+    def test_misses_marked(self):
+        trace = Trace()
+        trace.record_release("t", 0, 0.0, 1.0)
+        trace.record_segment("t", 0, "local", 0.0, 1.5)
+        trace.record_finish("t", 0, 1.5)
+        svg = trace_to_svg(trace, horizon=2.0)
+        assert "&#10007;" in svg  # the miss cross
+
+    def test_phase_colors_distinct(self, real_trace):
+        svg = trace_to_svg(real_trace)
+        # setup and post phases from offloaded tasks must be present
+        assert "#e3a85c" in svg  # setup
+        assert "#6aa86a" in svg or "#c85c5c" in svg  # post or comp

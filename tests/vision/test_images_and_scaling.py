@@ -1,0 +1,154 @@
+"""Tests for synthetic image generation, scaling and PSNR."""
+
+import numpy as np
+import pytest
+
+from repro.vision.images import (
+    embed_template,
+    generate_motion_sequence,
+    generate_scene,
+    generate_stereo_pair,
+)
+from repro.vision.psnr import PSNR_CAP, mse, psnr
+from repro.vision.scaling import downscale, roundtrip, scaled_shape, upscale
+
+
+class TestSceneGeneration:
+    def test_shape_and_range(self, rng):
+        scene = generate_scene(120, 160, rng=rng)
+        assert scene.shape == (120, 160)
+        assert scene.min() >= 0.0
+        assert scene.max() <= 1.0
+
+    def test_has_structure(self, rng):
+        """Scenes must not be flat — kernels need content."""
+        scene = generate_scene(rng=rng)
+        assert scene.std() > 0.05
+
+    def test_deterministic_per_seed(self):
+        a = generate_scene(rng=np.random.default_rng(5))
+        b = generate_scene(rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_too_small_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_scene(4, 4, rng=rng)
+
+
+class TestStereoPair:
+    def test_right_is_shifted_left(self, rng):
+        left, right, disparity = generate_stereo_pair(
+            80, 120, max_disparity=8, rng=rng
+        )
+        assert left.shape == right.shape == disparity.shape
+        # top band shifted by max disparity
+        band = slice(10, 20)
+        np.testing.assert_allclose(
+            right[band, : 120 - 8], left[band, 8:120], atol=1e-12
+        )
+
+    def test_disparity_bands_decrease_with_depth(self, rng):
+        _, _, disparity = generate_stereo_pair(90, 120, max_disparity=12,
+                                               rng=rng)
+        assert disparity[0, 0] == 12
+        assert disparity[89, 0] <= 3
+
+
+class TestMotionSequence:
+    def test_frames_differ_only_near_object(self, rng):
+        frames = generate_motion_sequence(num_frames=3, rng=rng)
+        delta = np.abs(frames[1] - frames[0])
+        assert (delta > 0.05).sum() > 0  # something moved
+        assert (delta > 0.05).mean() < 0.2  # most of the scene is static
+
+    def test_needs_two_frames(self, rng):
+        with pytest.raises(ValueError):
+            generate_motion_sequence(num_frames=1, rng=rng)
+
+
+class TestEmbedTemplate:
+    def test_pastes_at_position(self, rng):
+        scene = generate_scene(50, 50, rng=rng)
+        template = np.full((5, 5), 0.42)
+        out = embed_template(scene, template, (10, 20))
+        np.testing.assert_array_equal(out[10:15, 20:25], template)
+        # original untouched
+        assert not np.array_equal(scene[10:15, 20:25], template)
+
+    def test_out_of_bounds_rejected(self, rng):
+        scene = generate_scene(50, 50, rng=rng)
+        with pytest.raises(ValueError):
+            embed_template(scene, np.zeros((10, 10)), (45, 45))
+
+
+class TestScaling:
+    def test_scaled_shape(self):
+        assert scaled_shape((200, 300), 0.5) == (100, 150)
+        assert scaled_shape((200, 300), 1.0) == (200, 300)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_shape((10, 10), 0.0)
+        with pytest.raises(ValueError):
+            scaled_shape((10, 10), 1.5)
+
+    def test_downscale_shape(self, rng):
+        scene = generate_scene(100, 200, rng=rng)
+        assert downscale(scene, 0.5).shape == (50, 100)
+
+    def test_factor_one_is_copy(self, rng):
+        scene = generate_scene(40, 40, rng=rng)
+        out = downscale(scene, 1.0)
+        np.testing.assert_array_equal(out, scene)
+        assert out is not scene
+
+    def test_upscale_restores_shape(self, rng):
+        scene = generate_scene(64, 64, rng=rng)
+        small = downscale(scene, 0.5)
+        assert upscale(small, (64, 64)).shape == (64, 64)
+
+    def test_roundtrip_loses_information_monotonically(self, rng):
+        """Smaller scaling factors lose more information — the case
+        study's premise that quality increases with level."""
+        scene = generate_scene(rng=rng)
+        qualities = [
+            psnr(scene, roundtrip(scene, f)) for f in (0.3, 0.5, 0.8, 1.0)
+        ]
+        assert qualities == sorted(qualities)
+        assert qualities[-1] == PSNR_CAP  # factor 1.0 is lossless
+
+    def test_values_stay_in_range(self, rng):
+        scene = generate_scene(rng=rng)
+        out = roundtrip(scene, 0.4)
+        assert out.min() >= -1e-9
+        assert out.max() <= 1.0 + 1e-9
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            downscale(np.zeros((3, 3, 3)), 0.5)
+
+
+class TestPsnr:
+    def test_identical_images_capped(self):
+        img = np.ones((10, 10)) * 0.5
+        assert psnr(img, img) == PSNR_CAP
+
+    def test_known_mse(self):
+        a = np.zeros((10, 10))
+        b = np.full((10, 10), 0.1)
+        assert mse(a, b) == pytest.approx(0.01)
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((5, 5)), np.zeros((6, 6)))
+
+    def test_peak_validation(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2)), np.zeros((2, 2)), peak=0.0)
+
+    def test_worse_distortion_lower_psnr(self):
+        ref = np.zeros((10, 10))
+        assert psnr(ref, np.full((10, 10), 0.2)) < psnr(
+            ref, np.full((10, 10), 0.1)
+        )

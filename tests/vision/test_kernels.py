@@ -1,0 +1,112 @@
+"""Functional tests for the four vision kernels — they must actually
+work on the synthetic scenes, not just run."""
+
+import numpy as np
+import pytest
+
+from repro.vision.images import (
+    embed_template,
+    generate_motion_sequence,
+    generate_scene,
+    generate_stereo_pair,
+)
+from repro.vision.kernels import (
+    block_matching_disparity,
+    match_template,
+    motion_mask,
+    sobel_edges,
+)
+
+
+class TestSobelEdges:
+    def test_detects_a_sharp_edge(self):
+        image = np.zeros((20, 20))
+        image[:, 10:] = 1.0
+        magnitude, mask = sobel_edges(image)
+        assert mask[:, 9:11].any(axis=1).all()  # edge column detected
+        assert not mask[:, :5].any()  # flat region clean
+        assert not mask[:, 15:].any()
+
+    def test_magnitude_normalized(self, rng):
+        magnitude, _ = sobel_edges(generate_scene(rng=rng))
+        assert magnitude.max() <= 1.0
+        assert magnitude.min() >= 0.0
+
+    def test_flat_image_has_no_edges(self):
+        _, mask = sobel_edges(np.full((10, 10), 0.5))
+        assert not mask.any()
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            sobel_edges(np.zeros((3, 3, 3)))
+
+
+class TestBlockMatching:
+    def test_recovers_known_disparity(self, rng):
+        left, right, truth = generate_stereo_pair(
+            90, 140, max_disparity=8, rng=rng
+        )
+        estimated = block_matching_disparity(left, right, max_disparity=10)
+        # evaluate away from image and band borders
+        inner = estimated[8:22, 20:120]
+        truth_inner = truth[8:22, 20:120]
+        accuracy = (np.abs(inner - truth_inner) <= 1).mean()
+        assert accuracy > 0.6
+
+    def test_identical_pair_zero_disparity(self, rng):
+        scene = generate_scene(40, 60, rng=rng)
+        disparity = block_matching_disparity(scene, scene, max_disparity=5)
+        assert (disparity == 0).mean() > 0.9
+
+    def test_validation(self, rng):
+        scene = generate_scene(20, 20, rng=rng)
+        with pytest.raises(ValueError):
+            block_matching_disparity(scene, scene[:10], max_disparity=4)
+        with pytest.raises(ValueError):
+            block_matching_disparity(scene, scene, block_size=4)
+        with pytest.raises(ValueError):
+            block_matching_disparity(scene, scene, max_disparity=0)
+
+
+class TestMotionMask:
+    def test_detects_moving_object(self, rng):
+        frames = generate_motion_sequence(num_frames=2, rng=rng)
+        mask = motion_mask(frames[0], frames[1])
+        assert mask.any()
+        assert mask.mean() < 0.2  # change is localized
+
+    def test_static_frames_no_motion(self, rng):
+        scene = generate_scene(rng=rng)
+        assert not motion_mask(scene, scene).any()
+
+    def test_shape_mismatch_rejected(self, rng):
+        scene = generate_scene(20, 20, rng=rng)
+        with pytest.raises(ValueError):
+            motion_mask(scene, scene[:10])
+
+
+class TestTemplateMatching:
+    def test_finds_embedded_template(self, rng):
+        scene = generate_scene(80, 100, rng=rng)
+        template = generate_scene(12, 12, num_objects=2,
+                                  rng=np.random.default_rng(9))
+        stamped = embed_template(scene, template, (30, 55))
+        (row, col), score = match_template(stamped, template)
+        assert (row, col) == (30, 55)
+        assert score > 0.99
+
+    def test_score_is_bounded_correlation(self, rng):
+        scene = generate_scene(40, 40, rng=rng)
+        template = scene[5:15, 5:15].copy()
+        _, score = match_template(scene, template)
+        assert -1.0 <= score <= 1.0
+
+    def test_template_larger_than_image_rejected(self, rng):
+        scene = generate_scene(20, 20, rng=rng)
+        with pytest.raises(ValueError):
+            match_template(scene, np.zeros((30, 30)))
+
+    def test_flat_template_rejected(self, rng):
+        scene = generate_scene(20, 20, rng=rng)
+        with pytest.raises(ValueError, match="variance"):
+            match_template(scene, np.full((5, 5), 0.5))

@@ -1,0 +1,146 @@
+"""Functional tests for the SIFT-lite pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.vision.images import embed_template, generate_scene
+from repro.vision.sift import (
+    compute_descriptors,
+    detect_keypoints,
+    dog_pyramid,
+    gaussian_blur,
+    match_descriptors,
+    sift_match,
+)
+
+
+class TestGaussianBlur:
+    def test_preserves_mean(self, rng):
+        image = generate_scene(40, 40, rng=rng)
+        blurred = gaussian_blur(image, sigma=1.5)
+        assert blurred.mean() == pytest.approx(image.mean(), abs=0.01)
+
+    def test_reduces_variance(self, rng):
+        image = generate_scene(40, 40, rng=rng)
+        assert gaussian_blur(image, 2.0).std() < image.std()
+
+    def test_zero_sigma_is_copy(self, rng):
+        image = generate_scene(20, 20, rng=rng)
+        out = gaussian_blur(image, 0.0)
+        np.testing.assert_array_equal(out, image)
+        assert out is not image
+
+
+class TestDogPyramid:
+    def test_layer_counts(self, rng):
+        image = generate_scene(40, 40, rng=rng)
+        gaussians, dogs = dog_pyramid(image, num_scales=5)
+        assert len(gaussians) == 5
+        assert len(dogs) == 4
+
+    def test_needs_three_scales(self, rng):
+        with pytest.raises(ValueError):
+            dog_pyramid(generate_scene(20, 20, rng=rng), num_scales=2)
+
+    def test_flat_image_gives_zero_dog(self):
+        flat = np.full((30, 30), 0.5)
+        _, dogs = dog_pyramid(flat)
+        for dog in dogs:
+            assert np.abs(dog).max() < 1e-9
+
+
+class TestKeypoints:
+    def test_structured_scene_yields_keypoints(self, rng):
+        image = generate_scene(80, 80, rng=rng)
+        keypoints = detect_keypoints(image)
+        assert len(keypoints) > 5
+
+    def test_flat_image_yields_none(self):
+        assert detect_keypoints(np.full((40, 40), 0.5)) == []
+
+    def test_sorted_by_response(self, rng):
+        keypoints = detect_keypoints(generate_scene(60, 60, rng=rng))
+        responses = [kp.response for kp in keypoints]
+        assert responses == sorted(responses, reverse=True)
+
+    def test_max_keypoints_respected(self, rng):
+        keypoints = detect_keypoints(
+            generate_scene(80, 80, rng=rng), max_keypoints=7
+        )
+        assert len(keypoints) <= 7
+
+    def test_corner_detected_near_blob(self):
+        image = np.full((40, 40), 0.2)
+        image[18:23, 18:23] = 1.0  # a bright blob
+        keypoints = detect_keypoints(image, contrast_threshold=0.01)
+        assert any(
+            abs(kp.row - 20) <= 4 and abs(kp.col - 20) <= 4
+            for kp in keypoints
+        )
+
+
+class TestDescriptors:
+    def test_dimension_and_normalization(self, rng):
+        image = generate_scene(80, 80, rng=rng)
+        kps = detect_keypoints(image)
+        kept, descriptors = compute_descriptors(image, kps)
+        assert descriptors.shape[1] == 128  # 4*4 grid * 8 bins
+        assert len(kept) == descriptors.shape[0]
+        norms = np.linalg.norm(descriptors, axis=1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-9)
+
+    def test_border_keypoints_dropped(self, rng):
+        image = generate_scene(40, 40, rng=rng)
+        from repro.vision.sift import Keypoint
+
+        edge_kp = [Keypoint(row=1, col=1, scale=1, response=1.0)]
+        kept, descriptors = compute_descriptors(image, edge_kp)
+        assert kept == []
+        assert descriptors.shape == (0, 128)
+
+
+class TestMatching:
+    def test_self_match_is_identity(self, rng):
+        image = generate_scene(80, 80, rng=rng)
+        kps = detect_keypoints(image)
+        _, desc = compute_descriptors(image, kps)
+        # against itself plus a decoy set, each descriptor finds itself
+        noise = rng.random(desc.shape)
+        noise /= np.linalg.norm(noise, axis=1, keepdims=True)
+        train = np.vstack([desc, noise])
+        matches = match_descriptors(desc, train, ratio=0.9)
+        hits = sum(1 for qi, ti in matches if qi == ti)
+        assert hits >= 0.8 * len(desc)
+
+    def test_empty_inputs(self):
+        assert match_descriptors(np.zeros((0, 128)), np.zeros((0, 128))) == []
+
+    def test_invalid_ratio(self, rng):
+        d = rng.random((3, 128))
+        with pytest.raises(ValueError):
+            match_descriptors(d, d, ratio=1.5)
+
+
+class TestSiftMatch:
+    def test_relocates_embedded_template(self, rng):
+        scene = generate_scene(120, 160, num_objects=8, rng=rng)
+        template = generate_scene(
+            40, 40, num_objects=4, rng=np.random.default_rng(99)
+        )
+        stamped = embed_template(scene, template, (50, 70))
+        position, votes = sift_match(stamped, template)
+        assert votes >= 3
+        assert position is not None
+        row, col = position
+        assert abs(row - 50) <= 3
+        assert abs(col - 70) <= 3
+
+    def test_absent_template_few_votes(self, rng):
+        scene = generate_scene(100, 100, rng=rng)
+        template = generate_scene(
+            40, 40, num_objects=4, rng=np.random.default_rng(123)
+        )
+        _, votes_absent = sift_match(scene, template, ratio=0.7)
+        stamped = embed_template(scene, template, (30, 30))
+        _, votes_present = sift_match(stamped, template, ratio=0.7)
+        assert votes_present > votes_absent

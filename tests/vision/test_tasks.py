@@ -1,0 +1,143 @@
+"""Tests for the case-study task set construction (Table 1)."""
+
+import pytest
+
+from repro.core.odm import OffloadingDecisionManager
+from repro.core.task import OffloadableTask
+from repro.estimator.response_time import EmpiricalResponseTimes
+from repro.vision.tasks import (
+    DEFAULT_LEVEL_FACTORS,
+    TABLE1,
+    build_measured_task_set,
+    level_quality,
+    measured_benefit_functions,
+    table1_task_set,
+)
+
+
+class TestTable1Data:
+    def test_four_tasks(self):
+        assert len(TABLE1) == 4
+        assert [row.task_id for row in TABLE1] == [
+            "tau1", "tau2", "tau3", "tau4",
+        ]
+
+    def test_published_values_preserved(self):
+        """Spot-check exact values against the paper's Table 1."""
+        tau1 = TABLE1[0]
+        assert tau1.local_benefit == pytest.approx(22.4897)
+        assert tau1.points[0] == (pytest.approx(0.1952814), 30.5918)
+        assert tau1.points[-1][1] == 99.0
+        tau4 = TABLE1[3]
+        assert tau4.points[-1][0] == pytest.approx(0.89136)
+
+    def test_deadlines_match_paper(self):
+        assert [row.deadline for row in TABLE1] == [1.8, 1.8, 2.0, 2.0]
+
+    def test_default_weights_match_paper(self):
+        assert [row.weight for row in TABLE1] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_benefits_nondecreasing_per_row(self):
+        for row in TABLE1:
+            values = [row.local_benefit] + [g for _, g in row.points]
+            assert values == sorted(values)
+
+
+class TestTable1TaskSet:
+    def test_structure(self, table1_tasks):
+        assert len(table1_tasks) == 4
+        for task in table1_tasks:
+            assert isinstance(task, OffloadableTask)
+            assert task.benefit.num_points == 5  # local + 4 levels
+
+    def test_all_local_configuration_feasible_but_tight(self, table1_tasks):
+        u = table1_tasks.total_utilization
+        assert 0.8 < u <= 1.0  # the regime where offloading is a trade-off
+
+    def test_compensation_equals_local_wcet(self, table1_tasks):
+        """The paper's suggestion C_{i,2} = C_i."""
+        for task in table1_tasks:
+            assert task.compensation_time == pytest.approx(task.wcet)
+
+    def test_benefit_points_match_published(self, table1_tasks):
+        for row in TABLE1:
+            task = table1_tasks[row.task_id]
+            for (r, g) in row.points:
+                assert task.benefit.value(r) == pytest.approx(g)
+
+    def test_setup_grows_with_level(self, table1_tasks):
+        for task in table1_tasks:
+            setups = [
+                p.setup_time for p in task.benefit.points if not p.is_local
+            ]
+            assert setups == sorted(setups)
+
+    def test_weight_override(self):
+        tasks = table1_task_set(weights=(4, 3, 2, 1))
+        assert tasks["tau1"].weight == 4.0
+        assert tasks["tau4"].weight == 1.0
+
+    def test_wrong_weight_count_rejected(self):
+        with pytest.raises(ValueError):
+            table1_task_set(weights=(1, 2))
+
+    def test_not_all_tasks_can_offload_at_max(self, table1_tasks):
+        """The MCKP must be non-trivial: offloading everything at the
+        top level exceeds the Theorem 3 budget."""
+        total = sum(
+            task.offload_demand_rate(task.benefit.response_times[-1])
+            for task in table1_tasks
+        )
+        assert total > 1.0
+
+    def test_odm_finds_profitable_offloading(self, table1_tasks):
+        decision = OffloadingDecisionManager("dp").decide(table1_tasks)
+        assert len(decision.offloaded_task_ids) >= 1
+        all_local = sum(
+            t.weight * t.benefit.local_benefit for t in table1_tasks
+        )
+        assert decision.expected_benefit > all_local
+
+
+class TestLevelQuality:
+    def test_full_resolution_capped(self):
+        assert level_quality(1.0) == 99.0
+
+    def test_monotone_in_factor(self):
+        qualities = [level_quality(f) for f in (0.4, 0.6, 0.8, 1.0)]
+        assert qualities == sorted(qualities)
+
+
+class TestMeasuredConstruction:
+    def _fake_samples(self):
+        """Synthetic per-level response-time distributions: larger levels
+        respond slower, mimicking the probe campaign."""
+        out = {}
+        for row in TABLE1:
+            per_level = {}
+            for k, factor in enumerate(DEFAULT_LEVEL_FACTORS):
+                center = 0.1 + 0.05 * k
+                per_level[factor] = EmpiricalResponseTimes(
+                    [center * (0.9 + 0.01 * j) for j in range(20)]
+                )
+            out[row.task_id] = per_level
+        return out
+
+    def test_functions_built_for_every_task(self):
+        functions = measured_benefit_functions(self._fake_samples())
+        assert set(functions) == {"tau1", "tau2", "tau3", "tau4"}
+        for fn in functions.values():
+            assert fn.num_points >= 2
+            assert fn.max_benefit == 99.0  # full-res level present
+
+    def test_task_set_assembles_and_decides(self):
+        functions = measured_benefit_functions(self._fake_samples())
+        tasks = build_measured_task_set(functions)
+        decision = OffloadingDecisionManager("dp").decide(tasks)
+        assert decision.schedulability.feasible
+
+    def test_missing_function_rejected(self):
+        functions = measured_benefit_functions(self._fake_samples())
+        del functions["tau4"]
+        with pytest.raises(KeyError):
+            build_measured_task_set(functions)

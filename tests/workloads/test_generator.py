@@ -1,0 +1,104 @@
+"""Tests for workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.odm import OffloadingDecisionManager
+from repro.workloads.generator import (
+    paper_simulation_task_set,
+    random_offloading_task_set,
+    uunifast,
+)
+
+
+class TestPaperGenerator:
+    def test_matches_section_6_2_parameters(self, rng):
+        tasks = paper_simulation_task_set(rng)
+        assert len(tasks) == 30
+        for task in tasks:
+            assert 0 < task.wcet <= 0.020
+            assert 0 < task.setup_time <= 0.020
+            assert task.compensation_time == task.wcet
+            assert 0.600 <= task.period <= 0.700
+            assert task.deadline == task.period  # implicit
+            # benefit: local 0 plus 10 probability points
+            assert task.benefit.num_points == 11
+            assert task.benefit.local_benefit == 0.0
+            offload_rs = task.benefit.response_times[1:]
+            assert all(0.100 <= r <= 0.200 for r in offload_rs)
+            assert list(offload_rs) == sorted(offload_rs)
+            benefits = [p.benefit for p in task.benefit.points[1:]]
+            np.testing.assert_allclose(
+                benefits, [k / 10 for k in range(1, 11)]
+            )
+
+    def test_deterministic_per_seed(self):
+        a = paper_simulation_task_set(np.random.default_rng(3))
+        b = paper_simulation_task_set(np.random.default_rng(3))
+        assert [t.wcet for t in a] == [t.wcet for t in b]
+
+    def test_nontrivial_knapsack(self, rng):
+        """All-max offloading must exceed the budget — otherwise the
+        MCKP is trivial and Figure 3 degenerates."""
+        tasks = paper_simulation_task_set(rng)
+        total = sum(
+            t.offload_demand_rate(t.benefit.response_times[-1])
+            for t in tasks
+        )
+        assert total > 1.0
+
+    def test_decidable(self, rng):
+        tasks = paper_simulation_task_set(rng, num_tasks=10)
+        decision = OffloadingDecisionManager("dp").decide(tasks)
+        assert decision.schedulability.feasible
+
+    def test_invalid_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            paper_simulation_task_set(rng, num_tasks=0)
+
+
+class TestUunifast:
+    @given(
+        n=st.integers(min_value=1, max_value=20),
+        u=st.floats(min_value=0.05, max_value=0.99),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50)
+    def test_sums_to_target_and_positive(self, n, u, seed):
+        rng = np.random.default_rng(seed)
+        utils = uunifast(rng, n, u)
+        assert len(utils) == n
+        assert sum(utils) == pytest.approx(u)
+        assert all(x >= 0 for x in utils)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            uunifast(rng, 0, 0.5)
+        with pytest.raises(ValueError):
+            uunifast(rng, 3, 0.0)
+
+
+class TestAblationGenerator:
+    def test_total_utilization_hit(self, rng):
+        tasks = random_offloading_task_set(
+            rng, num_tasks=8, total_utilization=0.7
+        )
+        assert tasks.total_utilization == pytest.approx(0.7, abs=0.05)
+
+    def test_structure(self, rng):
+        tasks = random_offloading_task_set(rng, num_tasks=5)
+        for task in tasks:
+            assert task.setup_time == pytest.approx(0.3 * task.wcet)
+            assert task.compensation_time == task.wcet
+            rs = task.benefit.response_times[1:]
+            assert all(0 < r < task.deadline for r in rs)
+            benefits = [p.benefit for p in task.benefit.points]
+            assert benefits == sorted(benefits)
+
+    def test_fraction_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_offloading_task_set(
+                rng, response_time_fraction=(0.6, 0.5)
+            )

@@ -1,0 +1,92 @@
+"""Tests for task-set JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.task import OffloadableTask, Task
+from repro.workloads.generator import paper_simulation_task_set
+from repro.workloads.io import (
+    dumps,
+    loads,
+    task_set_from_dict,
+    task_set_to_dict,
+)
+from repro.vision.tasks import table1_task_set
+
+
+class TestRoundTrip:
+    def test_table1_round_trips_exactly(self):
+        original = table1_task_set()
+        restored = loads(dumps(original))
+        assert restored.task_ids == original.task_ids
+        for a, b in zip(original, restored):
+            assert type(a) is type(b)
+            assert a.wcet == b.wcet
+            assert a.period == b.period
+            assert a.deadline == b.deadline
+            assert a.weight == b.weight
+            if isinstance(a, OffloadableTask):
+                assert a.benefit == b.benefit
+                assert a.setup_time == b.setup_time
+                assert a.compensation_time == b.compensation_time
+                assert a.post_time == b.post_time
+                assert a.server_response_bound == b.server_response_bound
+
+    def test_random_workload_round_trips(self):
+        original = paper_simulation_task_set(
+            np.random.default_rng(3), num_tasks=10
+        )
+        restored = loads(dumps(original))
+        assert restored.total_utilization == pytest.approx(
+            original.total_utilization
+        )
+        for a, b in zip(original, restored):
+            assert a.benefit == b.benefit
+
+    def test_plain_tasks_round_trip(self):
+        from repro.core.task import TaskSet
+
+        original = TaskSet([Task("p", 0.1, 1.0, deadline=0.8, weight=2.0)])
+        restored = loads(dumps(original))
+        task = restored["p"]
+        assert not isinstance(task, OffloadableTask)
+        assert task.deadline == 0.8
+        assert task.weight == 2.0
+
+    def test_decisions_identical_after_round_trip(self):
+        """The ultimate fidelity check: the ODM makes the same decision
+        on the restored set."""
+        from repro.core.odm import OffloadingDecisionManager
+
+        original = table1_task_set()
+        restored = loads(dumps(original))
+        d1 = OffloadingDecisionManager("dp").decide(original)
+        d2 = OffloadingDecisionManager("dp").decide(restored)
+        assert dict(d1.response_times) == dict(d2.response_times)
+
+
+class TestEnvelope:
+    def test_format_marker(self):
+        data = task_set_to_dict(table1_task_set())
+        assert data["format"] == "repro-taskset"
+        assert data["version"] == 1
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro-taskset"):
+            task_set_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError, match="unsupported version"):
+            task_set_from_dict({"format": "repro-taskset", "version": 99})
+
+    def test_output_is_valid_json(self):
+        parsed = json.loads(dumps(table1_task_set()))
+        assert len(parsed["tasks"]) == 4
+
+    def test_hand_edited_violations_fail_loudly(self):
+        data = task_set_to_dict(table1_task_set())
+        data["tasks"][0]["post_time"] = 99.0  # violates C3 <= C2
+        with pytest.raises(ValueError, match="C_i,3"):
+            task_set_from_dict(data)
