@@ -6,6 +6,8 @@ Subcommands regenerate the paper's artifacts from the terminal:
 * ``fig2`` — E2 case study (24 work sets × 3 scenarios);
 * ``fig3`` — E3 estimation-accuracy sweep;
 * ``ablation-split`` / ``ablation-solvers`` / ``ablation-pessimism``;
+* ``chaos`` — fault-injected resilience run (circuit breaker + the
+  no-deadline-miss invariant);
 * ``demo`` — one end-to-end run with a schedule Gantt chart.
 """
 
@@ -197,6 +199,25 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults.chaos import format_chaos, run_chaos
+
+    num_windows = args.windows
+    window = args.window
+    if args.short:  # CI smoke: same story, quarter the simulated time
+        num_windows = min(num_windows, 6)
+        window = min(window, 2.0)
+    report = run_chaos(
+        seed=args.seed,
+        profile=args.profile,
+        num_windows=num_windows,
+        window=window,
+        scenario=args.scenario,
+    )
+    print(format_chaos(report))
+    return 0 if report.hard_deadline_invariant else 1
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     tasks = table1_task_set()
     system = OffloadingSystem(
@@ -279,6 +300,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenario", default="idle")
     p.add_argument("--horizon", type=float, default=10.0)
     p.set_defaults(func=_cmd_energy)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injected resilience run (breaker + deadline invariant)",
+    )
+    from .faults.chaos import FAULT_PROFILES
+
+    p.add_argument("--profile", default="random", choices=FAULT_PROFILES)
+    # accepted after the subcommand too (`repro chaos --seed 0`);
+    # SUPPRESS keeps the global --seed value when omitted here
+    p.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    p.add_argument("--windows", type=int, default=8)
+    p.add_argument("--window", type=float, default=4.0)
+    p.add_argument("--scenario", default="idle")
+    p.add_argument(
+        "--short", action="store_true",
+        help="quick smoke run (caps windows at 6 x 2s)",
+    )
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("demo", help="one end-to-end run with a Gantt chart")
     p.add_argument("--scenario", default="idle")

@@ -28,6 +28,7 @@ Typical benefit semantics (both appear in the paper's evaluation):
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -50,6 +51,12 @@ class BenefitPoint:
     label: str = ""
 
     def __post_init__(self) -> None:
+        if not math.isfinite(self.response_time):
+            raise ValueError(
+                f"response time must be finite, got {self.response_time}"
+            )
+        if not math.isfinite(self.benefit):
+            raise ValueError(f"benefit must be finite, got {self.benefit}")
         if self.response_time < 0:
             raise ValueError(f"negative response time {self.response_time}")
         if self.setup_time is not None and self.setup_time < 0:

@@ -172,6 +172,10 @@ class OffloadingDecisionManager:
         infeasible (``Σ C_i/T_i > 1``) — the mechanism presupposes a
         feasible baseline, as both paper experiments do.
         """
+        if len(tasks) == 0:
+            raise ValueError(
+                "cannot decide over an empty task set; add tasks first"
+            )
         tasks.validate()
         instance = build_mckp(tasks)
         selection: Optional[Selection] = self._solve(

@@ -18,6 +18,7 @@ All times are in **seconds** throughout the library.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -57,6 +58,12 @@ class Task:
     def __post_init__(self) -> None:
         if not self.task_id:
             raise ValueError("task_id must be non-empty")
+        for name in ("wcet", "period", "deadline", "weight"):
+            value = getattr(self, name)
+            if value is not None and not math.isfinite(value):
+                raise ValueError(
+                    f"{self.task_id}: {name} must be finite, got {value}"
+                )
         if self.wcet <= 0:
             raise ValueError(f"{self.task_id}: wcet must be positive")
         if self.period <= 0:
@@ -136,6 +143,15 @@ class OffloadableTask(Task):
 
     def __post_init__(self) -> None:
         super().__post_init__()
+        for name in (
+            "setup_time", "compensation_time", "post_time",
+            "server_response_bound",
+        ):
+            value = getattr(self, name)
+            if value is not None and not math.isfinite(value):
+                raise ValueError(
+                    f"{self.task_id}: {name} must be finite, got {value}"
+                )
         if self.setup_time <= 0:
             raise ValueError(f"{self.task_id}: setup_time must be positive")
         if self.compensation_time <= 0:
@@ -273,6 +289,10 @@ class TaskSet:
             self.add(task)
 
     def add(self, task: Task) -> None:
+        if not isinstance(task, Task):
+            raise TypeError(
+                f"TaskSet holds Task instances, got {type(task).__name__}"
+            )
         if task.task_id in self._by_id:
             raise ValueError(f"duplicate task id {task.task_id!r}")
         self._tasks.append(task)

@@ -1,0 +1,37 @@
+"""Fault injection and chaos testing for the offloading stack.
+
+The paper's guarantee is adversarial — no behaviour of the timing
+unreliable component may cause a deadline miss — but the server models
+in :mod:`repro.server` only produce *benign* unreliability (queueing
+delay, channel loss, bursty interference).  This package supplies the
+hostile half of the story:
+
+* :mod:`repro.faults.injectors` — composable, seeded fault models
+  (crash/restart windows, network partitions, latency-spike storms,
+  result drop/duplication/late delivery) that wrap any
+  :class:`~repro.sched.transport.OffloadTransport` without touching
+  scheduler code;
+* :mod:`repro.faults.chaos` — the chaos harness: run a task set under a
+  scripted or randomized :class:`FaultSchedule`, drive the circuit
+  breaker in :mod:`repro.runtime.health`, and assert the no-deadline-
+  miss invariant end to end.
+"""
+
+from .injectors import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjectionTransport,
+    FaultSchedule,
+)
+from .chaos import ChaosReport, FAULT_PROFILES, format_chaos, run_chaos
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjectionTransport",
+    "FaultSchedule",
+    "ChaosReport",
+    "FAULT_PROFILES",
+    "format_chaos",
+    "run_chaos",
+]

@@ -1,9 +1,17 @@
 """End-to-end runtime: the Figure 1 software architecture as a facade,
-plus the adaptive re-estimation loop extension."""
+plus the adaptive re-estimation loop and the health/circuit-breaker
+resilience loop extensions."""
 
 from .adaptive import AdaptiveOffloadingSystem, AdaptiveReport, WindowRecord
 from .admission import AdmissionController, AdmissionVerdict
 from .energy import EnergyReport, PowerModel, compare_energy, energy_report
+from .health import (
+    CircuitBreaker,
+    HealthMonitor,
+    ResilienceReport,
+    ResilienceWindow,
+    ResilientOffloadingSystem,
+)
 from .report import SystemReport
 from .system import OffloadingSystem
 
@@ -19,4 +27,9 @@ __all__ = [
     "EnergyReport",
     "energy_report",
     "compare_energy",
+    "HealthMonitor",
+    "CircuitBreaker",
+    "ResilienceWindow",
+    "ResilienceReport",
+    "ResilientOffloadingSystem",
 ]

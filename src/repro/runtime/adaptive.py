@@ -27,7 +27,7 @@ recovers the *benefit* lost to bad estimates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +40,9 @@ from ..server.scenarios import SCENARIOS, ServerScenario, build_server
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams, derive_seed
 from ..sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover — runtime import would be cyclic
+    from ..faults.injectors import FaultSchedule
 
 __all__ = ["AdaptiveOffloadingSystem", "AdaptiveReport", "WindowRecord"]
 
@@ -115,6 +118,10 @@ class AdaptiveOffloadingSystem:
         Per-window clamp on the correction factor.
     min_samples:
         Minimum observations before a task's beliefs move.
+    fault_schedule:
+        Optional :class:`~repro.faults.FaultSchedule` in *global* time
+        (continuous across windows) injected between client and server,
+        so the adaptation loop can be studied under hostile conditions.
     """
 
     def __init__(
@@ -128,6 +135,7 @@ class AdaptiveOffloadingSystem:
         alpha: float = 0.7,
         max_step: float = 3.0,
         min_samples: int = 3,
+        fault_schedule: Optional["FaultSchedule"] = None,
     ) -> None:
         if isinstance(scenario, str):
             if scenario not in SCENARIOS:
@@ -147,6 +155,7 @@ class AdaptiveOffloadingSystem:
         self.alpha = alpha
         self.max_step = max_step
         self.min_samples = min_samples
+        self.fault_schedule = fault_schedule
         self.odm = OffloadingDecisionManager(solver=solver)
         #: accumulated multiplicative correction per task (1.0 = trust
         #: the original estimate)
@@ -240,7 +249,18 @@ class AdaptiveOffloadingSystem:
             sim = Simulator()
             streams = RandomStreams(seed=derive_seed(self.seed, f"w{index}"))
             built = build_server(sim, self.scenario, streams)
-            transport = _PerTaskRecordingTransport(built.transport)
+            inner: OffloadTransport = built.transport
+            if self.fault_schedule is not None:
+                from ..faults.injectors import FaultInjectionTransport
+
+                inner = FaultInjectionTransport(
+                    sim,
+                    inner,
+                    self.fault_schedule,
+                    time_offset=index * self.window,
+                    rng=streams.get(f"faults{index}"),
+                )
+            transport = _PerTaskRecordingTransport(inner)
             scheduler = OffloadingScheduler(
                 sim,
                 self.tasks,  # real timing parameters, believed decisions

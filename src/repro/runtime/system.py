@@ -13,7 +13,7 @@ layers remain individually usable for targeted studies.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..core.odm import OffloadingDecision, OffloadingDecisionManager
 from ..core.task import TaskSet
@@ -23,6 +23,9 @@ from ..server.scenarios import SCENARIOS, ServerScenario, build_server
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
 from .report import SystemReport
+
+if TYPE_CHECKING:  # pragma: no cover — runtime import would be cyclic
+    from ..faults.injectors import FaultSchedule
 
 __all__ = ["OffloadingSystem"]
 
@@ -45,6 +48,10 @@ class OffloadingSystem:
         Root seed for every stochastic component of the run.
     deadline_mode:
         ``"split"`` (the paper's algorithm) or ``"naive"`` baseline.
+    fault_schedule:
+        Optional :class:`~repro.faults.FaultSchedule` injected between
+        the client and the server scenario (crash windows, partitions,
+        latency storms, …) for robustness studies.
     """
 
     def __init__(
@@ -55,6 +62,7 @@ class OffloadingSystem:
         seed: int = 0,
         deadline_mode: str = "split",
         exec_model: Optional[ExecutionTimeModel] = None,
+        fault_schedule: Optional["FaultSchedule"] = None,
     ) -> None:
         if isinstance(scenario, str):
             if scenario not in SCENARIOS:
@@ -68,6 +76,7 @@ class OffloadingSystem:
         self.seed = seed
         self.deadline_mode = deadline_mode
         self.exec_model = exec_model
+        self.fault_schedule = fault_schedule
         self.odm = OffloadingDecisionManager(solver=solver)
         self._decision: Optional[OffloadingDecision] = None
 
@@ -91,11 +100,19 @@ class OffloadingSystem:
         sim = Simulator()
         streams = RandomStreams(seed=self.seed)
         built = build_server(sim, self.scenario, streams)
+        transport = built.transport
+        if self.fault_schedule is not None:
+            from ..faults.injectors import FaultInjectionTransport
+
+            transport = FaultInjectionTransport(
+                sim, transport, self.fault_schedule,
+                rng=streams.get("faults"),
+            )
         scheduler = OffloadingScheduler(
             sim=sim,
             tasks=self.tasks,
             response_times=decision.response_times,
-            transport=built.transport,
+            transport=transport,
             deadline_mode=self.deadline_mode,
             exec_model=self.exec_model,
         )

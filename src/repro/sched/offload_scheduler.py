@@ -31,6 +31,7 @@ is directly comparable to the ODM's MCKP objective.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, Mapping, Optional
 
 from ..core.deadlines import split_deadlines
@@ -144,10 +145,18 @@ class OffloadingScheduler:
         for task_id, r in self.response_times.items():
             if task_id not in tasks:
                 raise ValueError(f"response time for unknown task {task_id!r}")
-            if r < 0:
-                raise ValueError(f"{task_id}: negative response time {r}")
+            if not math.isfinite(r) or r < 0:
+                raise ValueError(
+                    f"{task_id}: negative or non-finite response time {r}"
+                )
             if r > 0 and not isinstance(tasks[task_id], OffloadableTask):
                 raise ValueError(f"{task_id} is not offloadable")
+            if r > 0 and r >= tasks[task_id].deadline:
+                raise ValueError(
+                    f"{task_id}: R_i={r} >= D_i={tasks[task_id].deadline} "
+                    "leaves no slack for compensation; the level is "
+                    "structurally infeasible"
+                )
             if r > 0 and transport is None:
                 raise ValueError(
                     "offloading selected but no transport was provided"

@@ -1,0 +1,132 @@
+"""Input-validation hardening: malformed inputs fail loudly at the
+constructor / ODM boundary, not deep inside the DP or the scheduler."""
+
+import math
+
+import pytest
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.odm import OffloadingDecisionManager
+from repro.core.task import OffloadableTask, Task, TaskSet
+from repro.sched.offload_scheduler import OffloadingScheduler
+from repro.sched.transport import NeverRespondsTransport
+from repro.sim.engine import Simulator
+
+
+class TestTaskValidation:
+    def test_negative_wcet_rejected(self):
+        with pytest.raises(ValueError, match="wcet"):
+            Task("t", wcet=-0.1, period=1.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_wcet_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            Task("t", wcet=bad, period=1.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_period_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            Task("t", wcet=0.1, period=bad)
+
+    def test_nan_deadline_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Task("t", wcet=0.1, period=1.0, deadline=float("nan"))
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Task("t", wcet=0.1, period=1.0, weight=float("nan"))
+
+
+class TestOffloadableTaskValidation:
+    def test_nan_setup_time_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            OffloadableTask(
+                "t", wcet=0.1, period=1.0,
+                setup_time=float("nan"), compensation_time=0.1,
+            )
+
+    def test_inf_compensation_time_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            OffloadableTask(
+                "t", wcet=0.1, period=1.0,
+                setup_time=0.02, compensation_time=float("inf"),
+            )
+
+    def test_nan_server_bound_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            OffloadableTask(
+                "t", wcet=0.1, period=1.0,
+                setup_time=0.02, compensation_time=0.1,
+                server_response_bound=float("nan"),
+            )
+
+
+class TestBenefitValidation:
+    def test_non_monotone_points_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            BenefitFunction(
+                [
+                    BenefitPoint(0.0, 5.0),
+                    BenefitPoint(0.1, 3.0),
+                ]
+            )
+
+    def test_nan_benefit_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            BenefitPoint(0.1, float("nan"))
+
+    def test_inf_response_time_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            BenefitPoint(float("inf"), 1.0)
+
+
+class TestTaskSetValidation:
+    def test_non_task_rejected(self):
+        with pytest.raises(TypeError, match="Task"):
+            TaskSet(["not a task"])
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TaskSet([Task("t", 0.1, 1.0), Task("t", 0.2, 1.0)])
+
+
+class TestOdmValidation:
+    def test_empty_task_set_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            OffloadingDecisionManager().decide(TaskSet())
+
+
+class TestSchedulerValidation:
+    def _task(self):
+        return OffloadableTask(
+            "o", wcet=0.2, period=1.0,
+            setup_time=0.05, compensation_time=0.2,
+            benefit=BenefitFunction(
+                [BenefitPoint(0.0, 1.0), BenefitPoint(0.5, 2.0)]
+            ),
+        )
+
+    def test_response_time_at_deadline_rejected(self):
+        tasks = TaskSet([self._task()])
+        with pytest.raises(ValueError, match="R_i"):
+            OffloadingScheduler(
+                Simulator(), tasks, response_times={"o": 1.0},
+                transport=NeverRespondsTransport(),
+            )
+
+    def test_response_time_beyond_deadline_rejected(self):
+        tasks = TaskSet([self._task()])
+        with pytest.raises(ValueError, match="R_i"):
+            OffloadingScheduler(
+                Simulator(), tasks, response_times={"o": 2.5},
+                transport=NeverRespondsTransport(),
+            )
+
+    def test_nan_response_time_rejected(self):
+        tasks = TaskSet([self._task()])
+        with pytest.raises(ValueError, match="non-finite"):
+            OffloadingScheduler(
+                Simulator(), tasks,
+                response_times={"o": math.nan},
+                transport=NeverRespondsTransport(),
+            )

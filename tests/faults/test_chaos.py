@@ -1,0 +1,103 @@
+"""Chaos-harness acceptance tests (the ISSUE's robustness criteria).
+
+Across seeded fault schedules — including a full server outage — the
+run must show zero hard-deadline misses while the circuit breaker
+trips, degrades to local-only, and re-admits offloading after recovery
+with realized benefit back within 10% of the pre-fault window."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultSchedule, format_chaos, run_chaos
+from repro.faults.chaos import FAULT_PROFILES, build_profile_schedule
+
+#: ≥ 5 seeded schedules, full outage included.
+ACCEPTANCE_RUNS = [
+    ("outage", 0),
+    ("outage", 1),
+    ("partition", 2),
+    ("storm", 3),
+    ("flaky", 4),
+    ("random", 5),
+    ("random", 6),
+]
+
+
+@pytest.mark.parametrize("profile,seed", ACCEPTANCE_RUNS)
+def test_no_hard_deadline_miss_under_chaos(profile, seed):
+    report = run_chaos(
+        seed=seed, profile=profile, num_windows=8, window=4.0
+    )
+    assert report.hard_deadline_invariant, (
+        f"{profile}/seed={seed}: {report.deadline_misses} deadline "
+        "misses under injected faults"
+    )
+
+
+@pytest.mark.parametrize("profile,seed", [
+    ("outage", 0), ("outage", 1), ("partition", 2), ("storm", 3),
+])
+def test_breaker_trips_degrades_and_recovers(profile, seed):
+    report = run_chaos(
+        seed=seed, profile=profile, num_windows=8, window=4.0
+    )
+    # tripped while the fault was active ...
+    assert report.trips >= 1
+    # ... demoted to an explicit local-only decision ...
+    degraded = [w for w in report.resilience.windows if w.degraded]
+    assert degraded
+    assert all(w.offloaded == 0 for w in degraded)
+    # ... and re-admitted offloading once the server recovered
+    assert report.recoveries >= 1
+    last = report.resilience.windows[-1]
+    assert last.state == "closed"
+    assert last.returned > 0
+    # realized benefit returns to within 10% of the pre-fault window
+    ratio = report.benefit_recovery_ratio
+    assert ratio is not None
+    assert ratio >= 0.9, (
+        f"{profile}/seed={seed}: benefit recovered only to {ratio:.0%}"
+    )
+
+
+def test_full_outage_degradation_floor():
+    """During the outage the loop still banks the local benefit: the
+    degraded windows earn more than zero but (visibly) less than the
+    healthy pre-fault window."""
+    report = run_chaos(seed=0, profile="outage", num_windows=8, window=4.0)
+    degraded = [w for w in report.resilience.windows if w.degraded]
+    assert degraded
+    pre = report.pre_fault_benefit
+    assert pre is not None
+    for w in degraded:
+        assert 0 < w.realized_benefit < pre
+
+
+def test_custom_schedule_and_report_formatting():
+    schedule = FaultSchedule.outage(8.0, 8.0)
+    report = run_chaos(
+        seed=0, schedule=schedule, num_windows=8, window=4.0
+    )
+    assert report.profile == "custom"
+    text = format_chaos(report)
+    assert "hard-deadline invariant: OK" in text
+    assert "crash" in text
+    assert "trips=1" in text
+
+
+def test_profiles_are_reproducible():
+    a = build_profile_schedule("random", horizon=32.0, seed=9)
+    b = build_profile_schedule("random", horizon=32.0, seed=9)
+    assert a.events == b.events
+    with pytest.raises(ValueError, match="profile"):
+        build_profile_schedule("nope", horizon=10.0)
+    assert set(FAULT_PROFILES) >= {"outage", "partition", "random"}
+
+
+def test_chaos_runs_are_pure_functions_of_the_seed():
+    first = run_chaos(seed=3, profile="random", num_windows=6, window=4.0)
+    second = run_chaos(seed=3, profile="random", num_windows=6, window=4.0)
+    assert [w.realized_benefit for w in first.resilience.windows] == [
+        w.realized_benefit for w in second.resilience.windows
+    ]
+    assert first.resilience.transitions == second.resilience.transitions

@@ -1,0 +1,154 @@
+"""Health monitor and circuit-breaker state machine tests."""
+
+import pytest
+
+from repro.runtime.health import (
+    CircuitBreaker,
+    HealthMonitor,
+    ResilientOffloadingSystem,
+)
+from repro.faults import FaultSchedule
+
+
+class TestHealthMonitor:
+    def test_empty_monitor_reports_zero(self):
+        assert HealthMonitor().failure_rate() == 0.0
+
+    def test_failure_rate_counts_compensations(self):
+        monitor = HealthMonitor(window=10.0)
+        monitor.record(1.0, timely=True)
+        monitor.record(2.0, timely=False)
+        monitor.record(3.0, timely=False)
+        monitor.record(4.0, timely=True)
+        assert monitor.failure_rate() == pytest.approx(0.5)
+        assert monitor.sample_count == 4
+
+    def test_old_samples_evicted(self):
+        monitor = HealthMonitor(window=5.0)
+        monitor.record(0.0, timely=False)
+        monitor.record(1.0, timely=False)
+        monitor.record(8.0, timely=True)
+        # the two failures fell out of the [3, 8] window
+        assert monitor.failure_rate(now=8.0) == 0.0
+        assert monitor.sample_count == 1
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            HealthMonitor(window=0.0)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed(self):
+        breaker = CircuitBreaker()
+        assert breaker.state == "closed"
+        assert breaker.allows_offloading
+
+    def test_trips_on_high_failure_rate(self):
+        breaker = CircuitBreaker(failure_threshold=0.5, min_samples=3)
+        assert breaker.record_window(0, successes=0, failures=4) == "open"
+        assert breaker.trips == 1
+        assert not breaker.allows_offloading
+
+    def test_insufficient_evidence_does_not_trip(self):
+        breaker = CircuitBreaker(failure_threshold=0.5, min_samples=5)
+        assert breaker.record_window(0, successes=0, failures=4) == "closed"
+        assert breaker.trips == 0
+
+    def test_cooldown_then_half_open(self):
+        breaker = CircuitBreaker(min_samples=2, cooldown_windows=2)
+        breaker.record_window(0, successes=0, failures=5)
+        assert breaker.state == "open"
+        assert breaker.record_window(1, successes=0, failures=0) == "open"
+        assert breaker.record_window(2, successes=0, failures=0) == "half_open"
+        assert breaker.allows_offloading  # the probe window offloads
+
+    def test_successful_probe_recloses(self):
+        breaker = CircuitBreaker(min_samples=2, cooldown_windows=1)
+        breaker.record_window(0, successes=0, failures=5)
+        breaker.record_window(1, successes=0, failures=0)  # cooldown
+        assert breaker.state == "half_open"
+        assert breaker.record_window(2, successes=5, failures=0) == "closed"
+        assert breaker.recoveries == 1
+
+    def test_failed_probe_reopens(self):
+        breaker = CircuitBreaker(min_samples=2, cooldown_windows=1)
+        breaker.record_window(0, successes=0, failures=5)
+        breaker.record_window(1, successes=0, failures=0)
+        assert breaker.state == "half_open"
+        assert breaker.record_window(2, successes=0, failures=5) == "open"
+        # silence during a probe also counts as failure to recover
+        breaker.record_window(3, successes=0, failures=0)
+        assert breaker.state == "half_open"
+        assert breaker.record_window(4, successes=0, failures=0) == "open"
+
+    def test_transition_log(self):
+        breaker = CircuitBreaker(min_samples=1, cooldown_windows=1)
+        breaker.record_window(0, successes=0, failures=3)
+        breaker.record_window(1, successes=0, failures=0)
+        breaker.record_window(2, successes=3, failures=0)
+        assert breaker.transitions == [
+            (0, "closed", "open"),
+            (1, "open", "half_open"),
+            (2, "half_open", "closed"),
+        ]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(min_samples=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_windows=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker().record_window(0, successes=-1, failures=0)
+
+
+class TestResilientOffloadingSystem:
+    def test_healthy_run_never_trips(self, table1_tasks):
+        system = ResilientOffloadingSystem(
+            table1_tasks, scenario="idle", seed=0, window=4.0
+        )
+        report = system.run(num_windows=3)
+        assert report.trips == 0
+        assert report.degraded_windows == 0
+        assert report.hard_deadline_invariant
+        assert all(w.state == "closed" for w in report.windows)
+
+    def test_outage_trips_degrades_and_recovers(self, table1_tasks):
+        # crash covers windows 2-3 of 8
+        system = ResilientOffloadingSystem(
+            table1_tasks,
+            scenario="idle",
+            seed=0,
+            window=4.0,
+            fault_schedule=FaultSchedule.outage(8.0, 8.0),
+        )
+        report = system.run(num_windows=8)
+        assert report.hard_deadline_invariant
+        assert report.trips == 1
+        assert report.recoveries == 1
+        # the open window offloads nothing (local-only decision in force)
+        degraded = [w for w in report.windows if w.state == "open"]
+        assert degraded and all(w.offloaded == 0 for w in degraded)
+        assert all(
+            r == 0.0 for w in degraded for r in w.response_times.values()
+        )
+        # offloading is re-admitted and the final window is healthy
+        assert report.windows[-1].state == "closed"
+        assert report.windows[-1].returned > 0
+        assert report.recovery_latency_windows() is not None
+
+    def test_local_only_decision_is_theorem3_verified(self, table1_tasks):
+        system = ResilientOffloadingSystem(table1_tasks, seed=0)
+        degraded = system._local_only_tasks()
+        decision = system.odm.decide(degraded)
+        assert decision.schedulability.feasible
+        assert all(r == 0.0 for r in decision.response_times.values())
+
+    def test_invalid_parameters_rejected(self, table1_tasks):
+        with pytest.raises(ValueError, match="scenario"):
+            ResilientOffloadingSystem(table1_tasks, scenario="nope")
+        with pytest.raises(ValueError, match="window"):
+            ResilientOffloadingSystem(table1_tasks, window=0.0)
+        with pytest.raises(ValueError, match="num_windows"):
+            ResilientOffloadingSystem(table1_tasks).run(num_windows=0)

@@ -1,0 +1,237 @@
+"""Unit tests for the fault models: schedules and the injection transport."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultEvent, FaultInjectionTransport, FaultSchedule
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.task import OffloadableTask
+from repro.sched.transport import FixedLatencyTransport, OffloadRequest
+from repro.sim.engine import Simulator
+
+
+def _task():
+    return OffloadableTask(
+        "o", wcet=0.2, period=1.0,
+        setup_time=0.05, compensation_time=0.2,
+        benefit=BenefitFunction(
+            [BenefitPoint(0.0, 1.0), BenefitPoint(0.5, 2.0)]
+        ),
+    )
+
+
+def _request(job_id=0, submitted_at=0.0):
+    return OffloadRequest(
+        task=_task(), job_id=job_id, submitted_at=submitted_at,
+        response_budget=0.5, level_response_time=0.5,
+    )
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("meltdown", 0.0, 1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="start"):
+            FaultEvent("crash", -1.0, 1.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent("crash", 0.0, 0.0)
+
+    def test_probability_kind_magnitude_bounded(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultEvent("drop", 0.0, 1.0, magnitude=1.5)
+
+    def test_covers_is_half_open(self):
+        event = FaultEvent("crash", 1.0, 2.0)
+        assert not event.covers(0.999)
+        assert event.covers(1.0)
+        assert event.covers(2.999)
+        assert not event.covers(3.0)
+
+
+class TestFaultSchedule:
+    def test_events_sorted_and_queried(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent("partition", 5.0, 1.0),
+                FaultEvent("crash", 1.0, 2.0),
+            ]
+        )
+        assert [e.kind for e in schedule] == ["crash", "partition"]
+        assert schedule.blackholed(1.5)
+        assert not schedule.blackholed(4.0)
+        assert schedule.blackholed(5.5)
+        assert schedule.end_time == 6.0
+
+    def test_latency_magnitudes_stack(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent("latency_spike", 0.0, 2.0, magnitude=0.5),
+                FaultEvent("latency_spike", 1.0, 2.0, magnitude=0.25),
+            ]
+        )
+        assert schedule.magnitude("latency_spike", 0.5) == 0.5
+        assert schedule.magnitude("latency_spike", 1.5) == 0.75
+
+    def test_probability_magnitudes_take_max(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent("drop", 0.0, 2.0, magnitude=0.5),
+                FaultEvent("drop", 0.0, 2.0, magnitude=0.8),
+            ]
+        )
+        assert schedule.magnitude("drop", 1.0) == 0.8
+
+    def test_shifted(self):
+        schedule = FaultSchedule.outage(1.0, 2.0).shifted(10.0)
+        assert schedule.events[0].start == 11.0
+        assert schedule.events[0].end == 13.0
+
+    def test_random_is_deterministic_per_seed(self):
+        a = FaultSchedule.random(np.random.default_rng(7), horizon=20.0)
+        b = FaultSchedule.random(np.random.default_rng(7), horizon=20.0)
+        assert a.events == b.events
+        assert len(a) >= 1
+
+    def test_random_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSchedule.random(
+                np.random.default_rng(0), horizon=10.0, kinds=["nope"]
+            )
+
+
+class TestFaultInjectionTransport:
+    def test_crash_blackholes_requests(self):
+        sim = Simulator()
+        inner = FixedLatencyTransport(sim, latency=0.1)
+        transport = FaultInjectionTransport(
+            sim, inner, FaultSchedule.outage(0.0, 5.0)
+        )
+        arrivals = []
+        transport.submit(_request(), arrivals.append)
+        sim.run_until(10.0)
+        assert arrivals == []
+        assert transport.requests_blackholed == 1
+        assert inner.submitted == 0  # never even reached the server
+
+    def test_crash_blackholes_inflight_results(self):
+        sim = Simulator()
+        inner = FixedLatencyTransport(sim, latency=1.0)
+        # request leaves before the crash, result would land inside it
+        transport = FaultInjectionTransport(
+            sim, inner, FaultSchedule.outage(0.5, 5.0)
+        )
+        arrivals = []
+        transport.submit(_request(), arrivals.append)
+        sim.run_until(10.0)
+        assert arrivals == []
+        assert transport.results_blackholed == 1
+        assert inner.submitted == 1  # the server did get the request
+
+    def test_result_after_restart_is_delivered(self):
+        sim = Simulator()
+        inner = FixedLatencyTransport(sim, latency=1.0)
+        transport = FaultInjectionTransport(
+            sim, inner, FaultSchedule.outage(0.2, 0.5)
+        )
+        arrivals = []
+        transport.submit(_request(), arrivals.append)
+        sim.run_until(10.0)
+        assert arrivals == [pytest.approx(1.0)]
+
+    def test_latency_spike_delays_results(self):
+        sim = Simulator()
+        inner = FixedLatencyTransport(sim, latency=0.1)
+        transport = FaultInjectionTransport(
+            sim, inner,
+            FaultSchedule.latency_storm(0.0, 5.0, extra_latency=2.0),
+        )
+        arrivals = []
+        transport.submit(_request(), arrivals.append)
+        sim.run_until(10.0)
+        assert arrivals == [pytest.approx(2.1)]
+        assert transport.results_delayed == 1
+
+    def test_drop_probability_one_discards_all(self):
+        sim = Simulator()
+        inner = FixedLatencyTransport(sim, latency=0.1)
+        transport = FaultInjectionTransport(
+            sim, inner,
+            FaultSchedule([FaultEvent("drop", 0.0, 5.0, magnitude=1.0)]),
+        )
+        arrivals = []
+        for job in range(5):
+            transport.submit(_request(job_id=job), arrivals.append)
+        sim.run_until(10.0)
+        assert arrivals == []
+        assert transport.results_dropped == 5
+
+    def test_duplicate_delivers_twice(self):
+        sim = Simulator()
+        inner = FixedLatencyTransport(sim, latency=0.1)
+        transport = FaultInjectionTransport(
+            sim, inner,
+            FaultSchedule(
+                [FaultEvent("duplicate", 0.0, 5.0, magnitude=1.0)]
+            ),
+        )
+        arrivals = []
+        transport.submit(_request(), arrivals.append)
+        sim.run_until(10.0)
+        assert len(arrivals) == 2
+        assert transport.results_duplicated == 1
+
+    def test_delay_holds_back_results(self):
+        sim = Simulator()
+        inner = FixedLatencyTransport(sim, latency=0.1)
+        transport = FaultInjectionTransport(
+            sim, inner,
+            FaultSchedule(
+                [FaultEvent("delay", 0.0, 5.0, magnitude=1.0, extra=3.0)]
+            ),
+        )
+        arrivals = []
+        transport.submit(_request(), arrivals.append)
+        sim.run_until(10.0)
+        assert arrivals == [pytest.approx(3.1)]
+
+    def test_time_offset_shifts_schedule_lookup(self):
+        # the crash covers global [10, 15); with offset 10 the window is
+        # active from local time 0
+        sim = Simulator()
+        inner = FixedLatencyTransport(sim, latency=0.1)
+        transport = FaultInjectionTransport(
+            sim, inner, FaultSchedule.outage(10.0, 5.0), time_offset=10.0
+        )
+        arrivals = []
+        transport.submit(_request(), arrivals.append)
+        sim.run_until(10.0)
+        assert arrivals == []
+        assert transport.requests_blackholed == 1
+
+    def test_injectors_compose_by_wrapping(self):
+        # storm wraps dropper wraps the raw transport: the dropper sees
+        # raw arrival times, the storm delays whatever survives
+        sim = Simulator()
+        inner = FixedLatencyTransport(sim, latency=0.1)
+        dropper = FaultInjectionTransport(
+            sim, inner,
+            FaultSchedule([FaultEvent("drop", 0.0, 0.5, magnitude=1.0)]),
+        )
+        storm = FaultInjectionTransport(
+            sim, dropper,
+            FaultSchedule.latency_storm(0.0, 5.0, extra_latency=1.0),
+        )
+        arrivals = []
+        # first result surfaces at 0.1, inside the drop window: dropped
+        storm.submit(_request(job_id=0), arrivals.append)
+        sim.run_until(0.5)
+        # second surfaces at 0.6, outside the drop window: survives the
+        # dropper, then the storm delays it by 1.0
+        storm.submit(_request(job_id=1), arrivals.append)
+        sim.run_until(10.0)
+        assert dropper.results_dropped == 1
+        assert arrivals == [pytest.approx(1.6)]

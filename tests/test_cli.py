@@ -56,6 +56,21 @@ class TestSubcommands:
         assert main(["--seed", "5", "demo", "--horizon", "3"]) == 0
         assert "decision" in capsys.readouterr().out
 
+    def test_chaos_short(self, capsys):
+        assert main(["chaos", "--seed", "0", "--short"]) == 0
+        out = capsys.readouterr().out
+        assert "hard-deadline invariant: OK" in out
+        assert "circuit breaker" in out
+
+    def test_chaos_outage_profile_trips_breaker(self, capsys):
+        assert main(
+            ["chaos", "--profile", "outage", "--windows", "8",
+             "--window", "4", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trips=1" in out
+        assert "benefit recovery" in out
+
     def test_ablation_split_policy(self, capsys):
         assert main(["ablation-split-policy", "--configs", "5"]) == 0
         out = capsys.readouterr().out

@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 
 from repro.core.schedulability import theorem3_test
 from repro.experiments.ablations import greedy_assignments
+from repro.faults import FaultInjectionTransport, FaultSchedule
 from repro.sched.exec_time import UniformScaleModel
 from repro.sched.offload_scheduler import OffloadingScheduler
 from repro.sched.transport import (
@@ -107,6 +108,61 @@ def test_sporadic_releases_never_break_deadlines(seed):
         ),
     )
     trace = scheduler.run(20.0 * max(t.period for t in tasks))
+    assert trace.all_deadlines_met
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_injected_fault_schedules_never_break_deadlines(seed):
+    """Seeded chaos on top of a stochastic transport: crash windows,
+    partitions, drops and delivery faults may only cost benefit — the
+    no-deadline-miss invariant must survive every schedule."""
+    tasks, response_times, rng = _feasible_configuration(seed + 1300)
+    sim = Simulator()
+    horizon = 20.0 * max(t.period for t in tasks)
+    schedule = FaultSchedule.random(rng, horizon=horizon, mean_faults=6.0)
+    inner = DistributionTransport(
+        sim,
+        latency_sampler=lambda: float(rng.exponential(0.05)),
+        loss_probability=0.05,
+        rng=rng,
+    )
+    transport = FaultInjectionTransport(sim, inner, schedule, rng=rng)
+    scheduler = OffloadingScheduler(
+        sim, tasks, response_times=response_times, transport=transport,
+    )
+    trace = scheduler.run(horizon)
+    assert trace.all_deadlines_met, (
+        f"seed {seed}: {trace.deadline_miss_count} misses under "
+        f"schedule {schedule!r}"
+    )
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [
+        lambda horizon: FaultSchedule.outage(0.0, horizon),  # dead forever
+        lambda horizon: FaultSchedule.outage(horizon * 0.2, horizon * 0.6),
+        lambda horizon: FaultSchedule.partition(0.0, horizon * 0.5),
+        lambda horizon: FaultSchedule.latency_storm(
+            0.0, horizon, extra_latency=horizon
+        ),
+    ],
+    ids=["permanent-crash", "mid-run-crash", "partition", "storm"],
+)
+def test_scripted_fault_schedules_never_break_deadlines(builder):
+    tasks, response_times, rng = _feasible_configuration(77)
+    sim = Simulator()
+    horizon = 20.0 * max(t.period for t in tasks)
+    inner = DistributionTransport(
+        sim, latency_sampler=lambda: float(rng.exponential(0.05)), rng=rng
+    )
+    transport = FaultInjectionTransport(
+        sim, inner, builder(horizon), rng=rng
+    )
+    scheduler = OffloadingScheduler(
+        sim, tasks, response_times=response_times, transport=transport,
+    )
+    trace = scheduler.run(horizon)
     assert trace.all_deadlines_met
 
 
