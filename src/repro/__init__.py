@@ -45,6 +45,12 @@ from .core import (
     split_deadlines,
     theorem3_test,
 )
+from .observability import (
+    MetricsRegistry,
+    Observability,
+    Profiler,
+    TraceBus,
+)
 from .runtime import OffloadingSystem, SystemReport
 from .sched import OffloadingScheduler
 from .server import SCENARIOS, ServerScenario, build_server
@@ -78,6 +84,10 @@ __all__ = [
     "Simulator",
     "RandomStreams",
     "Trace",
+    "Observability",
+    "TraceBus",
+    "MetricsRegistry",
+    "Profiler",
     "table1_task_set",
     "paper_simulation_task_set",
     "__version__",

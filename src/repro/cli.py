@@ -218,6 +218,68 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.hard_deadline_invariant else 1
 
 
+def _build_observed_run(args: argparse.Namespace):
+    """Shared decide+run with observability on for trace/metrics cmds."""
+    from .observability import Observability
+
+    obs = Observability.enabled()
+    system = OffloadingSystem(
+        table1_task_set(),
+        scenario=args.scenario,
+        solver=args.solver,
+        seed=args.seed,
+        observability=obs,
+    )
+    report = system.run(horizon=args.horizon)
+    return obs, report
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .reporting.export import bus_to_jsonl
+
+    obs, _ = _build_observed_run(args)
+    text = bus_to_jsonl(obs.bus)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(
+            f"wrote {obs.bus.emitted} events "
+            f"({obs.bus.dropped} dropped) to {args.out}"
+        )
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .reporting.export import metrics_to_csv, metrics_to_json
+
+    obs, _ = _build_observed_run(args)
+    text = (
+        metrics_to_csv(obs.metrics)
+        if args.format == "csv"
+        else metrics_to_json(obs.metrics)
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote metrics ({args.format}) to {args.out}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    if args.profile and obs.profiler is not None:
+        profile = obs.profiler.to_dict()
+        if profile:
+            print("\nprofile (wall seconds):")
+            for name in sorted(profile):
+                stats = profile[name]
+                print(
+                    f"  {name:>16}: count={stats['count']:>4} "
+                    f"total={stats['total_s']:.4f}s "
+                    f"mean={stats['mean_s'] * 1000:.3f}ms"
+                )
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     tasks = table1_task_set()
     system = OffloadingSystem(
@@ -319,6 +381,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="quick smoke run (caps windows at 6 x 2s)",
     )
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "trace",
+        help="run with the trace bus on and emit the event log as JSONL",
+    )
+    p.add_argument("--scenario", default="idle")
+    p.add_argument("--solver", default="dp")
+    p.add_argument("--horizon", type=float, default=10.0)
+    p.add_argument("--out", help="write JSONL to PATH instead of stdout")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run with metrics on and emit the registry snapshot",
+    )
+    p.add_argument("--scenario", default="idle")
+    p.add_argument("--solver", default="dp")
+    p.add_argument("--horizon", type=float, default=10.0)
+    p.add_argument("--format", choices=("json", "csv"), default="json")
+    p.add_argument("--out", help="write the snapshot to PATH")
+    p.add_argument(
+        "--profile", action="store_true",
+        help="also print hot-path probe timings",
+    )
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("demo", help="one end-to-end run with a Gantt chart")
     p.add_argument("--scenario", default="idle")

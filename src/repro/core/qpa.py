@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..observability.profiling import profile_calls
 from .dbf import ProcessorDemandResult, dbf_sporadic
 
 __all__ = ["qpa_test"]
@@ -52,6 +53,7 @@ def _largest_deadline_below(
     return best
 
 
+@profile_calls("core.qpa")
 def qpa_test(
     streams: Sequence[Tuple[float, float, float]],
     horizon: Optional[float] = None,

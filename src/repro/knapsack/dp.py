@@ -28,6 +28,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..observability.profiling import profile_calls
 from .mckp import MCKPInstance, Selection
 
 __all__ = ["solve_dp"]
@@ -44,6 +45,7 @@ def _quantize_weight(weight: float, unit: float) -> int:
     return int(math.ceil(units))
 
 
+@profile_calls("knapsack.dp")
 def solve_dp(
     instance: MCKPInstance, resolution: int = 20_000
 ) -> Optional[Selection]:

@@ -1,0 +1,186 @@
+"""Bridge from the trace bus to the metrics registry.
+
+:class:`MetricsRecorder` subscribes to a :class:`~.tracebus.TraceBus`
+and folds every event into a :class:`~.metrics.MetricsRegistry`.  Both
+the registry and :class:`~repro.runtime.report.SystemReport` therefore
+derive from the same underlying stream, which is exactly what the
+metrics-vs-report consistency test pins down.
+
+:class:`Observability` bundles bus + registry + profiler into the one
+object the runtime facades accept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .metrics import MetricsRegistry
+from .profiling import Profiler
+from .tracebus import NULL_BUS, TraceBus, TraceEvent
+
+__all__ = ["MetricsRecorder", "Observability"]
+
+
+class MetricsRecorder:
+    """Maintains the standard metric set from bus events.
+
+    Metric names (all in the ``offload`` run namespace):
+
+    * ``jobs.released`` / ``jobs.completed`` — counters;
+    * ``jobs.benefit_realized`` — counter (weighted benefit sum);
+    * ``jobs.deadline_misses`` — counter;
+    * ``offload.sent`` / ``offload.returned`` / ``offload.timeout`` /
+      ``offload.dropped`` / ``offload.compensated`` — counters;
+    * ``response_time`` — histogram per task label;
+    * ``offload.latency`` — histogram of client-observed server round
+      trips that arrived (timely or late);
+    * ``sched.preemptions`` — counter;
+    * ``breaker.trips`` / ``breaker.recoveries`` — counters;
+    * ``breaker.state`` — gauge (0 closed, 1 half_open, 2 open).
+    """
+
+    _BREAKER_LEVELS = {"closed": 0, "half_open": 1, "open": 2}
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        # The hot handlers touch pre-resolved metric objects; going
+        # through registry.counter(...) per event costs a tuple key
+        # build plus a dict probe we'd pay hundreds of times a run.
+        self._released = reg.counter("jobs.released")
+        self._completed = reg.counter("jobs.completed")
+        self._benefit = reg.counter("jobs.benefit_realized")
+        self._misses = reg.counter("jobs.deadline_misses")
+        self._sent = reg.counter("offload.sent")
+        self._returned = reg.counter("offload.returned")
+        self._timeouts = reg.counter("offload.timeout")
+        self._drops = reg.counter("offload.dropped")
+        self._compensated = reg.counter("offload.compensated")
+        self._preemptions = reg.counter("sched.preemptions")
+        self._latency = reg.histogram("offload.latency")
+        self._response_by_task: dict = {}
+        # Per-kind bound-method dispatch: the common un-metered kinds
+        # (subjob.submit/start/finish) cost one failed dict lookup.
+        self._handlers = {
+            "job.release": self._on_release,
+            "job.finish": self._on_finish,
+            "deadline.miss": self._on_miss,
+            "offload.send": self._on_send,
+            "offload.receive": self._on_receive,
+            "offload.timeout": self._on_timeout,
+            "offload.drop": self._on_drop,
+            "subjob.preempt": self._on_preempt,
+            "breaker.state": self._on_breaker,
+        }
+
+    def attach(self, bus: TraceBus) -> "MetricsRecorder":
+        bus.fold_kinds(self._handlers)
+        return self
+
+    # ------------------------------------------------------------------
+    # event folding
+    # ------------------------------------------------------------------
+    def on_event(self, seq: int, time: float, kind: str, data: dict) -> None:
+        handler = self._handlers.get(kind)
+        if handler is not None:
+            handler(data)
+
+    def fold(self, event: TraceEvent) -> None:
+        """Fold one materialized :class:`TraceEvent` (replay helper)."""
+        self.on_event(event.seq, event.time, event.kind, event.data)
+
+    def _on_release(self, data: dict) -> None:
+        self._released.inc()
+
+    def _on_finish(self, data: dict) -> None:
+        self._completed.inc()
+        self._benefit.inc(float(data["benefit"]))
+        task = data["task"]
+        hist = self._response_by_task.get(task)
+        if hist is None:
+            hist = self.registry.histogram("response_time", {"task": str(task)})
+            self._response_by_task[task] = hist
+        hist.observe(float(data["response_time"]))
+        if data.get("compensated"):
+            self._compensated.inc()
+
+    def _on_miss(self, data: dict) -> None:
+        self._misses.inc()
+
+    def _on_send(self, data: dict) -> None:
+        self._sent.inc()
+
+    def _on_receive(self, data: dict) -> None:
+        self._latency.observe(float(data["latency"]))
+        if not data.get("late"):
+            self._returned.inc()
+
+    def _on_timeout(self, data: dict) -> None:
+        self._timeouts.inc()
+
+    def _on_drop(self, data: dict) -> None:
+        self._drops.inc()
+
+    def _on_preempt(self, data: dict) -> None:
+        self._preemptions.inc()
+
+    def _on_breaker(self, data: dict) -> None:
+        reg = self.registry
+        new = str(data["new"])
+        reg.gauge("breaker.state").set(self._BREAKER_LEVELS.get(new, -1))
+        if new == "open":
+            reg.counter("breaker.trips").inc()
+        elif new == "closed":
+            reg.counter("breaker.recoveries").inc()
+
+    # ------------------------------------------------------------------
+    # derived ratios
+    # ------------------------------------------------------------------
+    def offload_success_ratio(self) -> float:
+        """Timely returns / offloads sent (0.0 when nothing was sent)."""
+        reg = self.registry
+        sent = reg.counter("offload.sent").value
+        if not sent:
+            return 0.0
+        return reg.counter("offload.returned").value / sent
+
+
+@dataclass
+class Observability:
+    """Bus + metrics + profiler, wired together.
+
+    ``Observability.enabled()`` builds the standard live configuration:
+    a recording bus with the metrics recorder attached and a profiler
+    the runtime will install around its hot sections.  The default
+    ``Observability.disabled()`` costs nothing on the hot path.
+    """
+
+    bus: TraceBus = field(default_factory=lambda: NULL_BUS)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    profiler: Optional[Profiler] = None
+    recorder: Optional[MetricsRecorder] = None
+
+    @classmethod
+    def enabled(
+        cls,
+        capacity: Optional[int] = 65536,
+        profile: bool = True,
+    ) -> "Observability":
+        bus = TraceBus(capacity=capacity)
+        registry = MetricsRegistry()
+        recorder = MetricsRecorder(registry).attach(bus)
+        return cls(
+            bus=bus,
+            metrics=registry,
+            profiler=Profiler() if profile else None,
+            recorder=recorder,
+        )
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls()
+
+    @property
+    def is_enabled(self) -> bool:
+        return self.bus.enabled

@@ -3,6 +3,9 @@ SVG charts for the paper's figures."""
 
 from .charts import svg_bar_chart, svg_line_chart
 from .export import (
+    bus_to_jsonl,
+    metrics_to_csv,
+    metrics_to_json,
     series_to_csv,
     trace_to_json,
     trace_to_records,
@@ -14,6 +17,9 @@ __all__ = [
     "trace_to_json",
     "series_to_csv",
     "trace_to_svg",
+    "bus_to_jsonl",
+    "metrics_to_json",
+    "metrics_to_csv",
     "svg_line_chart",
     "svg_bar_chart",
 ]

@@ -13,6 +13,8 @@ import io
 import json
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from ..observability.metrics import MetricsRegistry
+from ..observability.tracebus import TraceBus
 from ..sim.trace import Trace
 
 __all__ = [
@@ -20,7 +22,29 @@ __all__ = [
     "trace_to_json",
     "series_to_csv",
     "trace_to_svg",
+    "bus_to_jsonl",
+    "metrics_to_json",
+    "metrics_to_csv",
 ]
+
+
+def bus_to_jsonl(bus: TraceBus) -> str:
+    """A trace bus's event log as JSON Lines (schema header first).
+
+    Thin façade over :meth:`TraceBus.to_jsonl` so notebooks can import
+    every export from :mod:`repro.reporting`.
+    """
+    return bus.to_jsonl()
+
+
+def metrics_to_json(metrics: MetricsRegistry, indent: int = 2) -> str:
+    """A metrics registry snapshot as a JSON document."""
+    return metrics.to_json(indent=indent)
+
+
+def metrics_to_csv(metrics: MetricsRegistry) -> str:
+    """A metrics registry snapshot as CSV text with a header row."""
+    return metrics.to_csv()
 
 
 def trace_to_records(trace: Trace) -> Dict[str, List[dict]]:

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 from ..core.benefit import BenefitFunction
 from ..core.odm import OffloadingDecision, OffloadingDecisionManager
 from ..core.task import OffloadableTask, TaskSet
+from ..observability import Observability, maybe_profiled
 from ..sched.offload_scheduler import OffloadingScheduler
 from ..server.scenarios import SCENARIOS, ServerScenario, build_server
 from ..sim.engine import Simulator
@@ -267,6 +268,7 @@ class ResilientOffloadingSystem:
         fault_schedule: Optional["FaultSchedule"] = None,
         breaker: Optional[CircuitBreaker] = None,
         monitor_window: Optional[float] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         if isinstance(scenario, str):
             if scenario not in SCENARIOS:
@@ -286,6 +288,11 @@ class ResilientOffloadingSystem:
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.monitor = HealthMonitor(
             window=monitor_window if monitor_window is not None else window
+        )
+        self.observability = (
+            observability
+            if observability is not None
+            else Observability.disabled()
         )
 
     # ------------------------------------------------------------------
@@ -326,12 +333,28 @@ class ResilientOffloadingSystem:
 
         if num_windows <= 0:
             raise ValueError("num_windows must be positive")
+        obs = self.observability
+        bus = obs.bus
         report = ResilienceReport()
         for index in range(num_windows):
             state_during = self.breaker.state
+            # window-local sim time is offset onto the global timeline
+            # so the one event stream spans every window
+            bus.clock_offset = index * self.window
             decision = self._decide()
+            if bus.enabled:
+                bus.emit(
+                    "odm.decision",
+                    0.0,
+                    window=index,
+                    solver=self.odm.solver_name,
+                    degraded=not self.breaker.allows_offloading,
+                    offloaded=sorted(decision.offloaded_task_ids),
+                    expected_benefit=decision.expected_benefit,
+                    demand_rate=decision.total_demand_rate,
+                )
 
-            sim = Simulator()
+            sim = Simulator(bus=bus)
             streams = RandomStreams(seed=derive_seed(self.seed, f"w{index}"))
             built = build_server(sim, self.scenario, streams)
             transport = built.transport
@@ -349,7 +372,8 @@ class ResilientOffloadingSystem:
                 response_times=decision.response_times,
                 transport=transport,
             )
-            trace = scheduler.run(self.window)
+            with maybe_profiled(obs.profiler):
+                trace = scheduler.run(self.window)
 
             offset = index * self.window
             self.monitor.observe_trace(trace, time_offset=offset)
@@ -373,9 +397,19 @@ class ResilientOffloadingSystem:
                     failure_rate=failure_rate,
                 )
             )
-            self.breaker.record_window(
+            state_before = self.breaker.state
+            state_after = self.breaker.record_window(
                 index, successes=returned, failures=compensated
             )
+            if bus.enabled and state_after != state_before:
+                bus.emit(
+                    "breaker.state",
+                    self.window,  # window end, offset to global time
+                    window=index,
+                    old=state_before,
+                    new=state_after,
+                )
+        bus.clock_offset = 0.0
         report.transitions = list(self.breaker.transitions)
         report.trips = self.breaker.trips
         report.recoveries = self.breaker.recoveries

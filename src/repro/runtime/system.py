@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..core.odm import OffloadingDecision, OffloadingDecisionManager
 from ..core.task import TaskSet
+from ..observability import Observability, maybe_profiled
 from ..sched.exec_time import ExecutionTimeModel
 from ..sched.offload_scheduler import OffloadingScheduler
 from ..server.scenarios import SCENARIOS, ServerScenario, build_server
@@ -52,6 +53,12 @@ class OffloadingSystem:
         Optional :class:`~repro.faults.FaultSchedule` injected between
         the client and the server scenario (crash windows, partitions,
         latency storms, …) for robustness studies.
+    observability:
+        Optional :class:`~repro.observability.Observability` bundle.
+        When enabled, the run emits structured events onto its trace
+        bus, folds them into its metrics registry, and times the hot
+        paths with its profiler.  Default: fully disabled (no-op on the
+        hot path).
     """
 
     def __init__(
@@ -63,6 +70,7 @@ class OffloadingSystem:
         deadline_mode: str = "split",
         exec_model: Optional[ExecutionTimeModel] = None,
         fault_schedule: Optional["FaultSchedule"] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         if isinstance(scenario, str):
             if scenario not in SCENARIOS:
@@ -77,6 +85,11 @@ class OffloadingSystem:
         self.deadline_mode = deadline_mode
         self.exec_model = exec_model
         self.fault_schedule = fault_schedule
+        self.observability = (
+            observability
+            if observability is not None
+            else Observability.disabled()
+        )
         self.odm = OffloadingDecisionManager(solver=solver)
         self._decision: Optional[OffloadingDecision] = None
 
@@ -86,7 +99,18 @@ class OffloadingSystem:
     def decide(self) -> OffloadingDecision:
         """Run the ODM once and cache the decision."""
         if self._decision is None:
-            self._decision = self.odm.decide(self.tasks)
+            with maybe_profiled(self.observability.profiler):
+                self._decision = self.odm.decide(self.tasks)
+            bus = self.observability.bus
+            if bus.enabled:
+                bus.emit(
+                    "odm.decision",
+                    0.0,
+                    solver=self.odm.solver_name,
+                    offloaded=sorted(self._decision.offloaded_task_ids),
+                    expected_benefit=self._decision.expected_benefit,
+                    demand_rate=self._decision.total_demand_rate,
+                )
         return self._decision
 
     def run(self, horizon: float = 10.0) -> SystemReport:
@@ -94,10 +118,13 @@ class OffloadingSystem:
 
         Builds a fresh engine + server each call, so repeated runs with
         the same seed are identical and runs with different seeds are
-        independent.
+        independent.  With observability enabled the run additionally
+        leaves a replayable event log on ``observability.bus`` and a
+        metrics snapshot in ``observability.metrics``.
         """
+        obs = self.observability
         decision = self.decide()
-        sim = Simulator()
+        sim = Simulator(bus=obs.bus)
         streams = RandomStreams(seed=self.seed)
         built = build_server(sim, self.scenario, streams)
         transport = built.transport
@@ -116,5 +143,13 @@ class OffloadingSystem:
             deadline_mode=self.deadline_mode,
             exec_model=self.exec_model,
         )
-        trace = scheduler.run(horizon)
+        with maybe_profiled(obs.profiler):
+            trace = scheduler.run(horizon)
+        if obs.is_enabled:
+            obs.metrics.gauge("run.utilization").set(
+                trace.utilization(horizon)
+            )
+            obs.metrics.gauge("run.expected_benefit").set(
+                decision.expected_benefit
+            )
         return SystemReport(decision=decision, trace=trace, horizon=horizon)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..core.task import Task
+from ..sim.timecmp import quantize_time
 
 __all__ = ["Job", "SubJob", "PHASES"]
 
@@ -82,16 +83,28 @@ class SubJob:
             raise ValueError("negative execution time")
 
     @property
+    def priority_key(self) -> float:
+        """The raw dispatch priority: the absolute deadline under EDF,
+        the override under fixed-priority (smaller = higher priority)."""
+        if self.priority_override is not None:
+            return self.priority_override
+        return self.absolute_deadline
+
+    @property
     def edf_key(self) -> tuple:
-        """Heap ordering: absolute deadline, then FIFO sequence.
+        """Heap ordering: quantized priority, then FIFO sequence.
+
+        The primary key is :func:`~repro.sched.timecmp.quantize_time` of
+        :attr:`priority_key`, so deadlines that are analytically equal
+        but differ by float dust (computed via different arithmetic
+        paths) tie — and the tie is broken FIFO by ``seq``, matching the
+        EDF convention of not preempting an equal-deadline running job.
 
         When ``priority_override`` is set (fixed-priority scheduling) it
         replaces the deadline as the primary key — smaller = higher
         priority — so the same uniprocessor dispatches both policies.
         """
-        if self.priority_override is not None:
-            return (self.priority_override, self.seq)
-        return (self.absolute_deadline, self.seq)
+        return (quantize_time(self.priority_key), self.seq)
 
     @property
     def task_id(self) -> str:

@@ -109,6 +109,9 @@ class OffloadingScheduler:
         self.response_times: Dict[str, float] = dict(response_times or {})
         self.transport = transport
         self.trace = trace if trace is not None else Trace()
+        #: structured event sink shared with the engine (disabled no-op
+        #: unless the run was built with observability enabled)
+        self.bus = sim.bus
         self.deadline_mode = deadline_mode
         self.split_policy = split_policy
         self.exec_model = exec_model if exec_model is not None else WcetModel()
@@ -210,6 +213,21 @@ class OffloadingScheduler:
         self.trace.record_release(
             task.task_id, job_id, now, job.absolute_deadline
         )
+        bus = self.bus
+        offload_selected = (
+            self.response_times.get(task.task_id, 0.0) > 0
+            and isinstance(task, OffloadableTask)
+        )
+        if bus.enabled:
+            bus.emit(
+                "job.release",
+                now,
+                task=task.task_id,
+                job=job_id,
+                release=now,
+                deadline=job.absolute_deadline,
+                offloaded=offload_selected,
+            )
 
         response_time = self.response_times.get(task.task_id, 0.0)
         if response_time > 0 and isinstance(task, OffloadableTask):
@@ -298,6 +316,22 @@ class OffloadingScheduler:
             ),
         )
         state = {"settled": False}
+        bus = self.bus
+        if bus.enabled:
+            bus.emit(
+                "phase.transition",
+                now,
+                task=task.task_id,
+                job=job.job_id,
+                **{"from": "setup", "to": "suspended"},
+            )
+            bus.emit(
+                "offload.send",
+                now,
+                task=task.task_id,
+                job=job.job_id,
+                budget=response_time,
+            )
 
         timer: Event = self.sim.schedule(
             response_time,
@@ -307,6 +341,15 @@ class OffloadingScheduler:
         )
 
         def on_result(arrival: float) -> None:
+            if bus.enabled:
+                bus.emit(
+                    "offload.receive",
+                    self.sim.now,
+                    task=task.task_id,
+                    job=job.job_id,
+                    latency=arrival - now,
+                    late=state["settled"],
+                )
             if state["settled"]:
                 return  # late result: compensation already started
             state["settled"] = True
@@ -320,6 +363,14 @@ class OffloadingScheduler:
         self, job: Job, task: OffloadableTask, response_time: float
     ) -> None:
         job.result_returned = True
+        if self.bus.enabled:
+            self.bus.emit(
+                "phase.transition",
+                self.sim.now,
+                task=task.task_id,
+                job=job.job_id,
+                **{"from": "suspended", "to": "post"},
+            )
         duration = self.exec_model.duration(
             task, "post", response_time, job.job_id
         )
@@ -345,6 +396,22 @@ class OffloadingScheduler:
             return
         state["settled"] = True
         job.compensated = True
+        bus = self.bus
+        if bus.enabled:
+            bus.emit(
+                "offload.timeout",
+                self.sim.now,
+                task=task.task_id,
+                job=job.job_id,
+                budget=response_time,
+            )
+            bus.emit(
+                "phase.transition",
+                self.sim.now,
+                task=task.task_id,
+                job=job.job_id,
+                **{"from": "suspended", "to": "compensation"},
+            )
         if task.result_guaranteed(response_time):
             # the server's pessimistic bound promised this could not
             # happen — surface the modelling violation
@@ -393,3 +460,29 @@ class OffloadingScheduler:
         rec.compensated = job.compensated
         rec.benefit = job.realized_benefit
         self.trace.record_finish(job.task.task_id, job.job_id, now)
+        bus = self.bus
+        if bus.enabled:
+            met = now <= job.absolute_deadline + 1e-9
+            bus.emit(
+                "job.finish",
+                now,
+                task=job.task.task_id,
+                job=job.job_id,
+                finish=now,
+                response_time=now - job.release,
+                benefit=job.realized_benefit,
+                met_deadline=met,
+                offloaded=job.offloaded,
+                returned=job.result_returned,
+                compensated=job.compensated,
+            )
+            if not met:
+                bus.emit(
+                    "deadline.miss",
+                    now,
+                    task=job.task.task_id,
+                    job=job.job_id,
+                    deadline=job.absolute_deadline,
+                    finish=now,
+                    lateness=now - job.absolute_deadline,
+                )

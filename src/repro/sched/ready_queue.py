@@ -1,9 +1,14 @@
 """EDF ready queue: a deadline-ordered priority queue of sub-jobs.
 
-Plain binary heap keyed by ``(absolute_deadline, seq)``.  The sequence
-number gives FIFO order among equal deadlines, which both makes runs
+Plain binary heap keyed by ``SubJob.edf_key`` — the absolute deadline
+*quantized* onto the :data:`~repro.sim.timecmp.TIME_EPS` grid, then the
+submission sequence number.  Quantization makes deadlines that are
+analytically equal but differ by float dust genuine ties, and the
+sequence number breaks those ties FIFO, which both makes runs
 deterministic and matches the common EDF implementation convention of
-not preempting an equal-deadline running job.
+not preempting an equal-deadline running job.  (Raw float keys would
+order dust-close deadlines by accumulated rounding error — see
+:mod:`repro.sim.timecmp`.)
 """
 
 from __future__ import annotations

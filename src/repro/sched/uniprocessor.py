@@ -58,6 +58,9 @@ class Uniprocessor:
             raise ValueError("context_switch_overhead must be >= 0")
         self.sim = sim
         self.trace = trace if trace is not None else Trace()
+        #: structured event sink, shared with the engine (no-op unless
+        #: the run was built with observability enabled)
+        self.bus = sim.bus
         self.speed = speed
         self.context_switch_overhead = context_switch_overhead
         self.context_switches = 0
@@ -87,9 +90,20 @@ class Uniprocessor:
             subjob.task_id,
             subjob.job.job_id,
             subjob.phase,
-            subjob.edf_key[0],
+            subjob.priority_key,
             "submitted",
         )
+        bus = self.bus
+        if bus.enabled:
+            bus.emit(
+                "subjob.submit",
+                self.sim.now,
+                task=subjob.task_id,
+                job=subjob.job.job_id,
+                phase=subjob.phase,
+                deadline=subjob.absolute_deadline,
+                priority_key=subjob.priority_key,
+            )
         if subjob.remaining == 0:
             # Zero-length work completes instantly (e.g. C_{i,3} = 0).
             self._complete(subjob)
@@ -115,6 +129,15 @@ class Uniprocessor:
     def _start(self, subjob: SubJob) -> None:
         self._current = subjob
         self._segment_start = self.sim.now
+        bus = self.bus
+        if bus.enabled:
+            bus.emit(
+                "subjob.start",
+                self.sim.now,
+                task=subjob.task_id,
+                job=subjob.job.job_id,
+                phase=subjob.phase,
+            )
         if self.context_switch_overhead > 0:
             subjob.remaining += self.context_switch_overhead
             self.context_switches += 1
@@ -144,6 +167,16 @@ class Uniprocessor:
             self._completion_event.cancel()
             self._completion_event = None
         self.trace.record_preemption()
+        bus = self.bus
+        if bus.enabled:
+            bus.emit(
+                "subjob.preempt",
+                now,
+                task=self._current.task_id,
+                job=self._current.job.job_id,
+                phase=self._current.phase,
+                remaining=self._current.remaining,
+            )
         self.ready.push(self._current)
         self._current = None
 
@@ -172,8 +205,17 @@ class Uniprocessor:
             subjob.task_id,
             subjob.job.job_id,
             subjob.phase,
-            subjob.edf_key[0],
+            subjob.priority_key,
             "completed",
         )
+        bus = self.bus
+        if bus.enabled:
+            bus.emit(
+                "subjob.finish",
+                self.sim.now,
+                task=subjob.task_id,
+                job=subjob.job.job_id,
+                phase=subjob.phase,
+            )
         if subjob.on_complete is not None:
             subjob.on_complete(subjob, self.sim.now)

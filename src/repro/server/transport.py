@@ -98,6 +98,10 @@ class GpuServerTransport:
         self.uplink = uplink
         self.downlink = downlink
         self.work_model = work_model
+        #: structured event sink shared with the engine (no-op when
+        #: observability is disabled); emits ``offload.drop`` events,
+        #: the one outcome only the transport can see.
+        self.bus = sim.bus
         self.submitted = 0
         self.completed = 0
         self.lost = 0
@@ -113,6 +117,14 @@ class GpuServerTransport:
 
         if self.uplink.is_lost():
             self.lost += 1
+            if self.bus.enabled:
+                self.bus.emit(
+                    "offload.drop",
+                    self.sim.now,
+                    task=request.task.task_id,
+                    job=request.job_id,
+                    where="uplink",
+                )
             return
         up_delay = self.uplink.transfer_time(kernel.upload_bytes)
 
@@ -122,6 +134,14 @@ class GpuServerTransport:
         def gpu_done(_completion_time: float) -> None:
             if self.downlink.is_lost():
                 self.lost += 1
+                if self.bus.enabled:
+                    self.bus.emit(
+                        "offload.drop",
+                        self.sim.now,
+                        task=request.task.task_id,
+                        job=request.job_id,
+                        where="downlink",
+                    )
                 return
             down_delay = self.downlink.transfer_time(kernel.download_bytes)
             self.sim.schedule(

@@ -15,9 +15,15 @@ from .events import (
     SimulationError,
 )
 from .rng import RandomStreams, derive_seed
+from .timecmp import TIME_EPS, quantize_time, time_eq, time_le, time_lt
 from .trace import DeadlineMiss, ExecutionSegment, JobRecord, Trace
 
 __all__ = [
+    "TIME_EPS",
+    "quantize_time",
+    "time_eq",
+    "time_le",
+    "time_lt",
     "Simulator",
     "Event",
     "SimulationError",

@@ -20,13 +20,17 @@ from __future__ import annotations
 
 import heapq
 import math
+import time as _wall
 from typing import Callable, Iterable, List, Optional
 
+from ..observability.profiling import get_profiler
+from ..observability.tracebus import NULL_BUS, TraceBus
 from .events import (
     PRIORITY_NORMAL,
     Event,
     SimulationError,
 )
+from .timecmp import TIME_EPS
 
 __all__ = ["Simulator"]
 
@@ -45,12 +49,20 @@ class Simulator:
     reference to the simulator and schedule their own callbacks.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self, start_time: float = 0.0, bus: Optional[TraceBus] = None
+    ) -> None:
         self._now = float(start_time)
         self._heap: List[Event] = []
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        #: Structured trace bus shared by every component on this
+        #: engine; defaults to the disabled :data:`NULL_BUS` so the hot
+        #: path pays nothing when observability is off.  Components
+        #: (uniprocessor, scheduler, transports) read ``sim.bus`` unless
+        #: given their own.
+        self.bus = bus if bus is not None else NULL_BUS
 
     # ------------------------------------------------------------------
     # clock
@@ -91,9 +103,14 @@ class Simulator:
         if math.isnan(time):
             raise SimulationError("cannot schedule an event at NaN time")
         if time < self._now:
-            raise SimulationError(
-                f"cannot schedule event at {time} before current time {self._now}"
-            )
+            # Tolerate float dust: a callback computing "now" through a
+            # different arithmetic path may land an epsilon early.
+            if time < self._now - TIME_EPS:
+                raise SimulationError(
+                    f"cannot schedule event at {time} before current time "
+                    f"{self._now}"
+                )
+            time = self._now
         event = Event(
             time=float(time),
             priority=priority,
@@ -131,7 +148,11 @@ class Simulator:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            self._now = event.time
+            # Quantized ordering may pop an event whose raw time is a
+            # few ULPs before a same-instant event already fired; the
+            # clock never moves backwards.
+            if event.time > self._now:
+                self._now = event.time
             self._events_processed += 1
             event.fire()
             return event
@@ -154,6 +175,10 @@ class Simulator:
             raise SimulationError(
                 f"horizon {horizon} lies before current time {self._now}"
             )
+        profiler = get_profiler()
+        observed = profiler is not None or self.bus.enabled
+        start_wall = _wall.perf_counter() if observed else 0.0
+        start_events = self._events_processed
         self._running = True
         try:
             while True:
@@ -167,9 +192,22 @@ class Simulator:
             self._running = False
         if not self._stopped:
             self._now = max(self._now, horizon)
+        if observed:
+            elapsed = _wall.perf_counter() - start_wall
+            if profiler is not None:
+                profiler.record("sim.run_until", elapsed)
+            if self.bus.enabled:
+                self.bus.emit(
+                    "engine.run",
+                    self._now,
+                    events=self._events_processed - start_events,
+                    wall_seconds=elapsed,
+                )
 
     def run_all(self, max_events: int = 10_000_000) -> None:
         """Run until the event heap drains (bounded by ``max_events``)."""
+        profiler = get_profiler()
+        start_wall = _wall.perf_counter() if profiler is not None else 0.0
         self._running = True
         fired = 0
         try:
@@ -184,6 +222,8 @@ class Simulator:
                     )
         finally:
             self._running = False
+        if profiler is not None:
+            profiler.record("sim.run_all", _wall.perf_counter() - start_wall)
 
     def stop(self) -> None:
         """Request the current ``run_*`` loop to halt after this event."""

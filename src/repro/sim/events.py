@@ -17,6 +17,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from .timecmp import quantize_time
+
 #: Default priority for ordinary events.
 PRIORITY_NORMAL = 100
 
@@ -35,24 +37,33 @@ PRIORITY_DISPATCH = 1000
 _sequence_counter = itertools.count()
 
 
-@dataclass(order=True)
+@dataclass
 class Event:
     """A single scheduled occurrence in the simulation.
 
-    Instances are ordered by ``(time, priority, seq)`` which is exactly the
-    order the engine pops them.  The callback and payload are excluded from
-    the ordering comparison.
+    Instances are ordered by ``(quantized time, priority, seq)`` which is
+    exactly the order the engine pops them.  Quantizing the time onto the
+    :data:`~repro.sim.timecmp.TIME_EPS` grid makes two events whose
+    computed times differ only by float dust count as simultaneous, so
+    their relative order is decided by ``priority`` (release before
+    timer before dispatch) as the design intends — not by which
+    arithmetic path accumulated less rounding error.
     """
 
     time: float
     priority: int = PRIORITY_NORMAL
     seq: int = field(default_factory=lambda: next(_sequence_counter))
-    callback: Optional[Callable[["Event"], None]] = field(
-        default=None, compare=False
-    )
-    payload: Any = field(default=None, compare=False)
-    name: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    callback: Optional[Callable[["Event"], None]] = None
+    payload: Any = None
+    name: str = ""
+    cancelled: bool = False
+
+    @property
+    def sort_key(self) -> tuple:
+        return (quantize_time(self.time), self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key < other.sort_key
 
     def cancel(self) -> None:
         """Mark the event as cancelled.

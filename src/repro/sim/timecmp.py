@@ -1,0 +1,65 @@
+"""Epsilon-aware time comparison and deadline tie-breaking.
+
+Absolute deadlines are *computed* floats (``release + D_i``,
+``release + C_{i,1}(D_i−R_i)/(C_{i,1}+C_{i,2})``, …), so two deadlines
+that are analytically equal can differ by a few ULPs depending on the
+arithmetic path that produced them (the classic ``0.1 + 0.2 != 0.3``).
+Raw ``<``/``==`` on such values makes EDF tie-breaking depend on float
+dust: the FIFO convention among equal deadlines silently turns into
+"whoever accumulated less rounding error wins", which is both
+non-deterministic across refactorings and can cause spurious
+preemptions of an equal-deadline running job.
+
+This module is the single place that defines what "equal deadlines"
+means.  All times in the reproduction are seconds; ``TIME_EPS`` (1 ns)
+is far below every task parameter (milliseconds and up) and far above
+accumulated rounding error over any realistic horizon.
+
+:func:`quantize_time` maps a time onto the epsilon grid as an integer,
+giving a *total order* that heaps can use directly — unlike a pairwise
+epsilon comparison, which is not transitive and therefore unsafe as a
+sort key.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "TIME_EPS",
+    "quantize_time",
+    "time_eq",
+    "time_lt",
+    "time_le",
+]
+
+#: Two times closer than this (seconds) are the same instant.
+TIME_EPS = 1e-9
+
+
+def quantize_time(t: float, eps: float = TIME_EPS) -> float:
+    """Map ``t`` onto the epsilon grid (an integer number of ``eps``).
+
+    Infinite values pass through unchanged so sentinel deadlines keep
+    ordering correctly against finite ones.
+    """
+    if math.isinf(t):
+        return t
+    if math.isnan(t):
+        raise ValueError("cannot quantize NaN time")
+    return round(t / eps)
+
+
+def time_eq(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """True when ``a`` and ``b`` are the same instant (within ``eps``)."""
+    return abs(a - b) <= eps
+
+
+def time_lt(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """True when ``a`` is strictly earlier than ``b`` beyond float dust."""
+    return a < b - eps
+
+
+def time_le(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """True when ``a`` is earlier than or equal to ``b`` (within ``eps``)."""
+    return a <= b + eps

@@ -1,0 +1,96 @@
+"""Differential testing of the MCKP solver family.
+
+Hundreds of seeded random instances, one oracle: ``solve_brute_force``
+enumerates every selection, so on any instance small enough to
+enumerate, ``solve_dp`` and ``solve_branch_bound`` must report the
+*identical* optimal value, and the HEU-OE heuristic must stay feasible
+and never exceed the optimum.
+
+Instances use integer weights and an integer capacity with the DP
+resolution pinned to the capacity (one capacity unit == one weight
+unit), so the DP's capacity quantization is exact and "identical" means
+identical — not "within quantization slack".
+"""
+
+import random
+
+import pytest
+
+from repro.knapsack import (
+    MCKPClass,
+    MCKPInstance,
+    MCKPItem,
+    solve_branch_bound,
+    solve_brute_force,
+    solve_dp,
+    solve_heu_oe,
+)
+
+#: 20 parametrized seeds x 10 instances each = 200 differential cases.
+NUM_SEEDS = 20
+INSTANCES_PER_SEED = 10
+VALUE_TOL = 1e-9
+
+
+def _random_instance(rng: random.Random) -> MCKPInstance:
+    """A small integer-weight MCKP, occasionally infeasible on purpose."""
+    num_classes = rng.randint(2, 5)
+    capacity = rng.randint(4, 30)
+    # ~1 in 6 instances gets weights big enough that nothing may fit.
+    max_weight = (
+        capacity + 4 if rng.random() < 1 / 6 else max(capacity // 2, 1)
+    )
+    classes = []
+    for index in range(num_classes):
+        items = tuple(
+            MCKPItem(
+                value=float(rng.randint(0, 50)),
+                weight=float(rng.randint(0, max_weight)),
+            )
+            for _ in range(rng.randint(2, 4))
+        )
+        classes.append(MCKPClass(f"c{index}", items))
+    return MCKPInstance(classes=tuple(classes), capacity=float(capacity))
+
+
+@pytest.mark.parametrize("seed", range(NUM_SEEDS))
+def test_exact_solvers_agree_and_heuristic_never_wins(seed):
+    rng = random.Random(seed)
+    for case in range(INSTANCES_PER_SEED):
+        instance = _random_instance(rng)
+        oracle = solve_brute_force(instance)
+        # resolution == capacity -> one DP unit per weight unit: exact.
+        dp = solve_dp(instance, resolution=int(instance.capacity))
+        bb = solve_branch_bound(instance)
+        heu = solve_heu_oe(instance)
+        label = f"seed={seed} case={case} instance={instance!r}"
+
+        if oracle is None:
+            assert dp is None, f"dp found a selection on infeasible {label}"
+            assert bb is None, f"b&b found a selection on infeasible {label}"
+            assert heu is None, (
+                f"heu_oe found a selection on infeasible {label}"
+            )
+            continue
+
+        optimum = oracle.total_value
+        assert oracle.is_feasible, label
+        assert dp is not None and dp.is_feasible, label
+        assert bb is not None and bb.is_feasible, label
+        assert abs(dp.total_value - optimum) <= VALUE_TOL, (
+            f"dp={dp.total_value} != optimum={optimum} on {label}"
+        )
+        assert abs(bb.total_value - optimum) <= VALUE_TOL, (
+            f"b&b={bb.total_value} != optimum={optimum} on {label}"
+        )
+        # The greedy frontier heuristic must be sound (feasible) and
+        # can never beat the true optimum.
+        assert heu is not None and heu.is_feasible, label
+        assert heu.total_value <= optimum + VALUE_TOL, (
+            f"heu_oe={heu.total_value} > optimum={optimum} on {label}"
+        )
+
+
+def test_differential_corpus_size():
+    """The corpus honours the >=200-instances contract of the issue."""
+    assert NUM_SEEDS * INSTANCES_PER_SEED >= 200

@@ -1,0 +1,78 @@
+"""The metrics registry must agree with the system report.
+
+Both derive from the same run — the report from the scheduler's
+:class:`~repro.sim.trace.Trace`, the registry from the trace-bus event
+stream — so any disagreement means an emission site is missing, double
+counting, or misclassifying an event.
+"""
+
+import pytest
+
+from repro.observability import Observability
+from repro.runtime.system import OffloadingSystem
+from repro.vision.tasks import table1_task_set
+
+SCENARIOS = ["idle", "not_busy", "busy"]
+
+
+def _run(seed, scenario, horizon=15.0):
+    obs = Observability.enabled(capacity=None)
+    report = OffloadingSystem(
+        table1_task_set(),
+        scenario=scenario,
+        seed=seed,
+        observability=obs,
+    ).run(horizon=horizon)
+    return obs, report
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("seed", [0, 5])
+class TestRegistryMatchesReport:
+    def test_job_counters(self, seed, scenario):
+        obs, report = _run(seed, scenario)
+        reg = obs.metrics
+        assert reg.counter("jobs.completed").value == report.jobs_completed
+        assert (
+            reg.counter("jobs.deadline_misses").value
+            == report.deadline_misses
+        )
+        assert reg.counter("jobs.benefit_realized").value == pytest.approx(
+            report.realized_benefit
+        )
+
+    def test_offload_counters(self, seed, scenario):
+        obs, report = _run(seed, scenario)
+        reg = obs.metrics
+        # Every offloaded job that *finished* was, at some point, sent.
+        assert reg.counter("offload.sent").value >= report.offloaded_jobs
+        assert reg.counter("offload.returned").value == report.returned_jobs
+        assert (
+            reg.counter("offload.compensated").value
+            == report.compensated_jobs
+        )
+
+    def test_success_ratio_matches_return_rate(self, seed, scenario):
+        obs, report = _run(seed, scenario)
+        sent = obs.metrics.counter("offload.sent").value
+        if sent and sent == report.offloaded_jobs:
+            assert obs.recorder.offload_success_ratio() == pytest.approx(
+                report.return_rate
+            )
+
+    def test_response_time_histogram_covers_every_finished_job(
+        self, seed, scenario
+    ):
+        obs, report = _run(seed, scenario)
+        observed = sum(
+            rec["count"]
+            for rec in obs.metrics.to_records()
+            if rec["name"] == "response_time"
+        )
+        assert observed == report.jobs_completed
+
+    def test_utilization_gauge_matches_trace(self, seed, scenario):
+        obs, report = _run(seed, scenario)
+        assert obs.metrics.gauge("run.utilization").value == pytest.approx(
+            report.trace.utilization(report.horizon)
+        )

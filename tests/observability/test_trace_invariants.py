@@ -1,0 +1,199 @@
+"""Replay trace-bus streams and assert the paper's EDF invariants.
+
+The bus is the ground truth of what the runtime *did*; these tests
+re-derive the scheduler state machine from the event stream alone and
+check, event by event:
+
+1. **EDF dispatch** — no sub-job starts while a strictly
+   earlier-deadline sub-job sits in the ready queue (quantized
+   comparison: dust-equal deadlines are legitimate FIFO ties).
+2. **Split deadline** (paper §5.1) — every ``setup`` sub-job finishes
+   by its assigned absolute deadline ``release + D_{i,1}``.
+3. **Compensation window** — compensation for job ``J`` only begins
+   once its full suspension window ``R_i`` has elapsed after the
+   offload request was sent (the LCM timer must never fire early).
+
+The same replayer runs over a plain seeded run, over a JSONL round-trip
+of that run (captured in one "process", re-checked from the serialized
+form), and over a fault-injected windowed chaos run.
+"""
+
+import pytest
+
+from repro.faults.chaos import build_profile_schedule
+from repro.observability import Observability, TraceBus
+from repro.runtime.health import ResilientOffloadingSystem
+from repro.runtime.system import OffloadingSystem
+from repro.sim.timecmp import quantize_time
+from repro.vision.tasks import table1_task_set
+
+#: Slack for comparing event times against data-carried deadlines that
+#: went through different float paths (window offsets, budget sums).
+TOL = 1e-6
+
+
+class EDFReplay:
+    """Rebuilds scheduler state from a bus stream, asserting as it goes.
+
+    ``window_size`` maps the window-local ``deadline``/``budget`` data
+    fields of windowed (chaos) runs onto the stream's global timeline:
+    the runner emits one ``odm.decision`` per window carrying its index,
+    and each window starts a fresh scheduler (so EDF state resets).
+    """
+
+    def __init__(self, window_size: float = 0.0) -> None:
+        self.window_size = window_size
+        self.offset = 0.0
+        self.ready = {}    # (task, job, phase) -> quantized priority key
+        self.running = None
+        self.setup_deadline = {}   # (task, job) -> global setup deadline
+        self.sent = {}             # (task, job) -> (global send time, R_i)
+        self.checked_starts = 0
+        self.checked_setups = 0
+        self.checked_compensations = 0
+
+    def replay(self, records):
+        last_seq = -1
+        for rec in records:
+            assert rec["seq"] > last_seq, "bus seq must be monotonic"
+            last_seq = rec["seq"]
+            handler = getattr(
+                self, "_on_" + rec["kind"].replace(".", "_"), None
+            )
+            if handler is not None:
+                handler(rec)
+        return self
+
+    # -- window bookkeeping -------------------------------------------
+    def _on_odm_decision(self, rec) -> None:
+        if "window" in rec and self.window_size:
+            self.offset = rec["window"] * self.window_size
+            # each window builds a fresh engine + scheduler
+            self.ready.clear()
+            self.running = None
+            self.setup_deadline.clear()
+            self.sent.clear()
+
+    # -- invariant 1: EDF dispatch ------------------------------------
+    def _on_subjob_submit(self, rec) -> None:
+        key = (rec["task"], rec["job"], rec["phase"])
+        self.ready[key] = quantize_time(rec["priority_key"])
+        if rec["phase"] == "setup":
+            self.setup_deadline[(rec["task"], rec["job"])] = (
+                rec["deadline"] + self.offset
+            )
+
+    def _on_subjob_start(self, rec) -> None:
+        key = (rec["task"], rec["job"], rec["phase"])
+        assert key in self.ready, f"start of unknown sub-job {key}"
+        assert self.running is None, (
+            f"{key} started while {self.running} is still running"
+        )
+        prio = self.ready.pop(key)
+        for other, other_prio in self.ready.items():
+            assert prio <= other_prio, (
+                f"EDF violation at t={rec['time']:.6f}: started {key} "
+                f"(key {prio}) while {other} (key {other_prio}) was ready"
+            )
+        self.running = (key, prio)
+        self.checked_starts += 1
+
+    def _on_subjob_preempt(self, rec) -> None:
+        key = (rec["task"], rec["job"], rec["phase"])
+        assert self.running is not None and self.running[0] == key, (
+            f"preempt of {key} but running is {self.running}"
+        )
+        self.ready[key] = self.running[1]
+        self.running = None
+
+    def _on_subjob_finish(self, rec) -> None:
+        key = (rec["task"], rec["job"], rec["phase"])
+        if self.running is not None and self.running[0] == key:
+            self.running = None
+        else:
+            # zero-length sub-jobs complete straight from submit
+            self.ready.pop(key, None)
+        if rec["phase"] == "setup":
+            deadline = self.setup_deadline[(rec["task"], rec["job"])]
+            assert rec["time"] <= deadline + TOL, (
+                f"setup {key} finished at {rec['time']:.6f} after its "
+                f"split deadline {deadline:.6f}"
+            )
+            self.checked_setups += 1
+
+    # -- invariant 3: compensation window -----------------------------
+    def _on_offload_send(self, rec) -> None:
+        self.sent[(rec["task"], rec["job"])] = (rec["time"], rec["budget"])
+
+    def _on_phase_transition(self, rec) -> None:
+        if rec["to"] != "compensation":
+            return
+        sent_at, budget = self.sent[(rec["task"], rec["job"])]
+        assert rec["time"] >= sent_at + budget - TOL, (
+            f"compensation for {rec['task']}#{rec['job']} began at "
+            f"{rec['time']:.6f}, before the R_i={budget} window after "
+            f"send at {sent_at:.6f}"
+        )
+        self.checked_compensations += 1
+
+
+def _observed_run(seed, scenario="idle", horizon=12.0, deadline_mode="split"):
+    obs = Observability.enabled(capacity=None)
+    OffloadingSystem(
+        table1_task_set(),
+        scenario=scenario,
+        seed=seed,
+        deadline_mode=deadline_mode,
+        observability=obs,
+    ).run(horizon=horizon)
+    return obs
+
+
+class TestSeededRuns:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    @pytest.mark.parametrize("scenario", ["idle", "busy"])
+    def test_invariants_hold(self, seed, scenario):
+        obs = _observed_run(seed, scenario)
+        replay = EDFReplay().replay(obs.bus.to_records())
+        assert replay.checked_starts > 0, "stream contained no dispatches"
+        assert replay.checked_setups > 0, "stream contained no offloads"
+
+    def test_busy_scenario_exercises_compensation(self):
+        # "busy" makes the server miss budgets, so the LCM timer fires.
+        obs = _observed_run(seed=3, scenario="busy", horizon=20.0)
+        replay = EDFReplay().replay(obs.bus.to_records())
+        assert replay.checked_compensations > 0, (
+            "expected at least one compensation on the busy scenario"
+        )
+
+    def test_invariants_hold_after_jsonl_round_trip(self):
+        """A trace captured in one process can be re-checked from disk."""
+        obs = _observed_run(seed=0)
+        text = obs.bus.to_jsonl()
+        rebuilt = TraceBus.from_jsonl(text)
+        assert len(rebuilt) == len(obs.bus)
+        replay = EDFReplay().replay(rebuilt.to_records())
+        assert replay.checked_starts > 0
+
+
+class TestChaosRun:
+    def test_invariants_hold_under_fault_injection(self):
+        """The acceptance run: seeded chaos, replayable log, invariants."""
+        window, num_windows = 3.0, 5
+        obs = Observability.enabled(capacity=None)
+        schedule = build_profile_schedule(
+            "random", horizon=window * num_windows, seed=11
+        )
+        system = ResilientOffloadingSystem(
+            table1_task_set(),
+            scenario="idle",
+            seed=11,
+            window=window,
+            fault_schedule=schedule,
+            observability=obs,
+        )
+        system.run(num_windows=num_windows)
+        records = TraceBus.from_jsonl(obs.bus.to_jsonl()).to_records()
+        replay = EDFReplay(window_size=window).replay(records)
+        assert replay.checked_starts > 0
+        assert replay.checked_setups > 0
