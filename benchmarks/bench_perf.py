@@ -1,0 +1,86 @@
+"""Hot-path speedups, measured and persisted as ``BENCH_perf.json``.
+
+Thin driver over :mod:`repro.perf.bench` (the CLI's ``repro bench``
+uses the same engine).  Two paired old-vs-new comparisons — the sparse
+MCKP DP against the reference row-masking DP, and the refactored
+Figure 3 sweep against the seed's serial pipeline — plus the DP
+differential check, which must pass for the process to exit 0.
+
+Run standalone to regenerate the JSON::
+
+    python benchmarks/bench_perf.py [--quick] [--workers N] [--out PATH]
+
+or through pytest (``pytest benchmarks/bench_perf.py``), which uses the
+quick sizing and additionally asserts the differential gate.  Speedup
+targets are asserted only in the full (non-quick) standalone run;
+pytest/CI runs warn instead, because shared runners make wall-clock
+ratios noisy while correctness is exact everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.perf.bench import format_bench, run_bench
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def write_report(report, path: Path = REPORT_PATH) -> Path:
+    path.write_text(
+        json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def test_bench_perf():
+    report = run_bench(quick=True)
+    print()
+    print(format_bench(report))
+    # correctness is exact on any machine: both DP paths and the cache
+    # must agree on every optimum
+    assert report.differential_ok, report.differential
+    # speed is advisory under pytest (CI runners are noisy); still,
+    # the new DP should never be slower than the reference
+    assert report.dp["speedup_paired_median"] > 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke sizing: fewer instances and rounds",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the sweep side (default 8)",
+    )
+    parser.add_argument(
+        "--out", default=str(REPORT_PATH),
+        help=f"report path (default {REPORT_PATH.name})",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(quick=args.quick, workers=args.workers)
+    print(format_bench(report))
+    path = write_report(report, Path(args.out))
+    print(f"wrote {path}")
+
+    if not report.differential_ok:
+        print("FAIL: DP differential check regressed", file=sys.stderr)
+        return 1
+    if not report.targets_met:
+        message = "speedup targets not met on this machine"
+        if args.quick:
+            print(f"WARNING: {message} (quick sizing)", file=sys.stderr)
+        else:
+            print(f"FAIL: {message}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,13 +42,17 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         scenario=args.scenario,
         samples_per_level=args.samples,
         seed=args.seed,
+        workers=args.workers,
     )
     print(format_table1(result))
     return 0
 
 
 def _cmd_fig2(args: argparse.Namespace) -> int:
-    result = run_fig2(horizon=args.horizon, solver=args.solver, seed=args.seed)
+    result = run_fig2(
+        horizon=args.horizon, solver=args.solver, seed=args.seed,
+        workers=args.workers,
+    )
     print(format_fig2(result))
     if args.svg:
         from .reporting.charts import svg_bar_chart
@@ -68,7 +72,10 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig3(args: argparse.Namespace) -> int:
-    result = run_fig3(num_task_sets=args.task_sets, seed=args.seed)
+    result = run_fig3(
+        num_task_sets=args.task_sets, seed=args.seed,
+        workers=args.workers, resolution=args.resolution,
+    )
     print(format_fig3(result))
     if args.svg:
         from .reporting.charts import svg_line_chart
@@ -86,7 +93,9 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
 
 def _cmd_ablation_split(args: argparse.Namespace) -> int:
-    result = run_split_ablation(sets_per_level=args.sets, seed=args.seed)
+    result = run_split_ablation(
+        sets_per_level=args.sets, seed=args.seed, workers=args.workers
+    )
     print("A1: acceptance ratio (no deadline miss) by utilization")
     print("util    split    naive")
     for i, u in enumerate(result.utilizations):
@@ -97,7 +106,9 @@ def _cmd_ablation_split(args: argparse.Namespace) -> int:
 
 
 def _cmd_ablation_solvers(args: argparse.Namespace) -> int:
-    result = run_solver_ablation(num_instances=args.instances, seed=args.seed)
+    result = run_solver_ablation(
+        num_instances=args.instances, seed=args.seed, workers=args.workers
+    )
     print("A2: MCKP solver quality (vs exact) and mean runtime")
     for name in result.solvers:
         print(
@@ -109,7 +120,8 @@ def _cmd_ablation_solvers(args: argparse.Namespace) -> int:
 
 def _cmd_ablation_pessimism(args: argparse.Namespace) -> int:
     result = run_pessimism_ablation(
-        num_configurations=args.configs, seed=args.seed
+        num_configurations=args.configs, seed=args.seed,
+        workers=args.workers,
     )
     print("A3: schedulability-test pessimism")
     print(f"configurations:     {result.configurations}")
@@ -137,7 +149,7 @@ def _cmd_ablation_split_policy(args: argparse.Namespace) -> int:
 
 def _cmd_ablation_baselines(args: argparse.Namespace) -> int:
     comparison = run_baseline_comparison(
-        seed=args.seed, horizon=args.horizon
+        seed=args.seed, horizon=args.horizon, workers=args.workers
     )
     print(format_comparison(comparison))
     return 0
@@ -280,6 +292,23 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .perf.bench import format_bench, run_bench
+
+    report = run_bench(
+        quick=args.quick, workers=args.workers, seed=args.seed
+    )
+    print(format_bench(report))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if report.differential_ok else 1
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     tasks = table1_task_set()
     system = OffloadingSystem(
@@ -303,32 +332,49 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_workers(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="worker processes for the sweep (-1 = all cores; "
+            "results are identical at any worker count)",
+        )
+
     p = sub.add_parser("table1", help="regenerate Table 1 (E1)")
     p.add_argument("--scenario", default="idle")
     p.add_argument("--samples", type=int, default=100)
+    add_workers(p)
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("fig2", help="run the case study (E2)")
     p.add_argument("--horizon", type=float, default=10.0)
     p.add_argument("--solver", default="dp")
     p.add_argument("--svg", help="also write the figure as SVG to PATH")
+    add_workers(p)
     p.set_defaults(func=_cmd_fig2)
 
     p = sub.add_parser("fig3", help="run the accuracy sweep (E3)")
     p.add_argument("--task-sets", type=int, default=20)
     p.add_argument("--svg", help="also write the figure as SVG to PATH")
+    p.add_argument(
+        "--resolution", type=int, default=None,
+        help="DP capacity-quantization override (default 20000)",
+    )
+    add_workers(p)
     p.set_defaults(func=_cmd_fig3)
 
     p = sub.add_parser("ablation-split", help="A1 split-vs-naive deadlines")
     p.add_argument("--sets", type=int, default=10)
+    add_workers(p)
     p.set_defaults(func=_cmd_ablation_split)
 
     p = sub.add_parser("ablation-solvers", help="A2 MCKP solver comparison")
     p.add_argument("--instances", type=int, default=10)
+    add_workers(p)
     p.set_defaults(func=_cmd_ablation_solvers)
 
     p = sub.add_parser("ablation-pessimism", help="A3 test pessimism")
     p.add_argument("--configs", type=int, default=40)
+    add_workers(p)
     p.set_defaults(func=_cmd_ablation_pessimism)
 
     p = sub.add_parser(
@@ -342,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="A5 compensation vs greedy [8] vs reservation [10]",
     )
     p.add_argument("--horizon", type=float, default=10.0)
+    add_workers(p)
     p.set_defaults(func=_cmd_ablation_baselines)
 
     p = sub.add_parser(
@@ -406,6 +453,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print hot-path probe timings",
     )
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "bench",
+        help="hot-path performance benchmark (writes BENCH_perf.json)",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke sizing: fewer instances and repetitions",
+    )
+    p.add_argument("--out", help="write the JSON report to PATH")
+    add_workers(p)
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("demo", help="one end-to-end run with a Gantt chart")
     p.add_argument("--scenario", default="idle")

@@ -215,31 +215,38 @@ class BenefitFunction:
         """
         if accuracy_ratio <= -1.0:
             raise ValueError("accuracy ratio must be > -1")
-        new_points = [self._points[0]]
-        for p in self._points[1:]:
-            believed = self.value(p.response_time * (1.0 + accuracy_ratio))
-            new_points.append(
-                BenefitPoint(
-                    response_time=p.response_time,
-                    benefit=believed,
-                    setup_time=p.setup_time,
-                    compensation_time=p.compensation_time,
-                    label=p.label,
+        if accuracy_ratio == 0.0:
+            # G((1+0)·r) == G(r) and the function is immutable.
+            return self
+        factor = 1.0 + accuracy_ratio
+        times = self._times
+        points = self._points
+        # One pass: look up the believed value and keep the running max
+        # (monotonicity is guaranteed mathematically; the max guards
+        # against float noise and collapses any decreases).
+        running = points[0].benefit
+        fixed = [points[0]]
+        for p in points[1:]:
+            idx = bisect.bisect_right(times, p.response_time * factor) - 1
+            believed = points[idx].benefit
+            if believed > running:
+                running = believed
+            if running == p.benefit:
+                fixed.append(p)
+            else:
+                fixed.append(
+                    BenefitPoint(
+                        p.response_time, running, p.setup_time,
+                        p.compensation_time, p.label,
+                    )
                 )
-            )
-        # Re-impose monotonicity (guaranteed mathematically, but guard
-        # against float noise) and collapse any decreases.
-        running = new_points[0].benefit
-        fixed = [new_points[0]]
-        for p in new_points[1:]:
-            running = max(running, p.benefit)
-            fixed.append(
-                BenefitPoint(
-                    p.response_time, running, p.setup_time,
-                    p.compensation_time, p.label,
-                )
-            )
-        return BenefitFunction(fixed)
+        # Response times are untouched and the running max keeps values
+        # non-decreasing, so the construction-time validation would be
+        # re-proving what the loop just established.
+        scaled = BenefitFunction.__new__(BenefitFunction)
+        scaled._points = tuple(fixed)
+        scaled._times = list(times)
+        return scaled
 
     def weighted(self, weight: float) -> "BenefitFunction":
         """Return a copy with every benefit multiplied by ``weight`` ≥ 0."""

@@ -21,6 +21,7 @@ have their absolute deadline within any interval of length ``t``.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
@@ -35,6 +36,7 @@ __all__ = [
     "demand_checkpoints",
     "ProcessorDemandResult",
     "processor_demand_test",
+    "clear_demand_cache",
 ]
 
 
@@ -151,12 +153,31 @@ def demand_checkpoints(
     return sorted(points)
 
 
+#: Memo of ``(streams, horizon) -> result``.  The runtime loops
+#: (adaptive re-decision, health monitoring, repeated Theorem-3 checks
+#: over an unchanged believed task set) re-ask the same feasibility
+#: question many times; results are frozen dataclasses, so sharing one
+#: instance across callers is safe.  ``extra_demand`` callables are not
+#: canonicalizable and bypass the cache.
+_DEMAND_CACHE: "OrderedDict[tuple, ProcessorDemandResult]" = OrderedDict()
+_DEMAND_CACHE_MAX = 4096
+
+
+def clear_demand_cache() -> None:
+    """Drop all memoized :func:`processor_demand_test` results."""
+    _DEMAND_CACHE.clear()
+
+
 def processor_demand_test(
     streams: Iterable[Tuple[float, float, float]],
     horizon: Optional[float] = None,
     extra_demand: Optional[Callable[[float], float]] = None,
 ) -> ProcessorDemandResult:
     """EDF feasibility by checkpointed processor-demand analysis.
+
+    Results are memoized per ``(streams, horizon)`` across unchanged
+    task sets (see :data:`_DEMAND_CACHE`); pass ``extra_demand`` or call
+    :func:`clear_demand_cache` to bypass/reset.
 
     Parameters
     ----------
@@ -178,6 +199,28 @@ def processor_demand_test(
     Returns a :class:`ProcessorDemandResult`.
     """
     streams = list(streams)
+    if extra_demand is None:
+        key = (
+            tuple((float(w), float(p), float(d)) for w, p, d in streams),
+            None if horizon is None else float(horizon),
+        )
+        cached = _DEMAND_CACHE.get(key)
+        if cached is not None:
+            _DEMAND_CACHE.move_to_end(key)
+            return cached
+        result = _processor_demand_impl(streams, horizon, None)
+        _DEMAND_CACHE[key] = result
+        if len(_DEMAND_CACHE) > _DEMAND_CACHE_MAX:
+            _DEMAND_CACHE.popitem(last=False)
+        return result
+    return _processor_demand_impl(streams, horizon, extra_demand)
+
+
+def _processor_demand_impl(
+    streams: List[Tuple[float, float, float]],
+    horizon: Optional[float],
+    extra_demand: Optional[Callable[[float], float]],
+) -> ProcessorDemandResult:
     if not streams:
         return ProcessorDemandResult(True, 0.0, 0.0, math.inf, 0)
     for wcet, period, deadline in streams:

@@ -34,6 +34,7 @@ from ..knapsack import (
     MCKPItem,
     SOLVERS,
     Selection,
+    SolverCache,
 )
 from .schedulability import (
     OffloadAssignment,
@@ -149,9 +150,19 @@ class OffloadingDecisionManager:
         Either a solver name from :data:`repro.knapsack.SOLVERS`
         (``"dp"``, ``"heu_oe"``, ``"branch_bound"``, ``"brute_force"``)
         or a callable ``MCKPInstance -> Optional[Selection]``.
+    cache:
+        An optional :class:`repro.knapsack.SolverCache` (or ``True`` for
+        a private default-sized one).  The adaptive/health runtimes
+        re-decide over an unchanged believed task set every decision
+        window; with a cache those repeat solves are dictionary lookups.
     """
 
-    def __init__(self, solver: str = "dp", **solver_kwargs) -> None:
+    def __init__(
+        self,
+        solver: str = "dp",
+        cache: "Optional[SolverCache | bool]" = None,
+        **solver_kwargs,
+    ) -> None:
         if callable(solver):
             self._solve: Callable = solver
             self.solver_name = getattr(solver, "__name__", "custom")
@@ -164,6 +175,9 @@ class OffloadingDecisionManager:
             self._solve = SOLVERS[solver]
             self.solver_name = solver
         self._solver_kwargs = solver_kwargs
+        if cache is True:
+            cache = SolverCache()
+        self.cache: Optional[SolverCache] = cache or None
 
     def decide(self, tasks: TaskSet) -> OffloadingDecision:
         """Compute offloading decisions for ``tasks``.
@@ -177,10 +191,25 @@ class OffloadingDecisionManager:
                 "cannot decide over an empty task set; add tasks first"
             )
         tasks.validate()
-        instance = build_mckp(tasks)
-        selection: Optional[Selection] = self._solve(
-            instance, **self._solver_kwargs
-        )
+        return self.decide_from_instance(tasks, build_mckp(tasks))
+
+    def decide_from_instance(
+        self, tasks: TaskSet, instance: MCKPInstance
+    ) -> OffloadingDecision:
+        """Solve + verify a pre-built MCKP instance for ``tasks``.
+
+        Lets callers that compare several solvers on the *same* task set
+        (e.g. the fig3 sweep) share one :func:`build_mckp` reduction.
+        """
+        if self.cache is not None:
+            selection: Optional[Selection] = self.cache.solve(
+                self.solver_name,
+                self._solve,
+                instance,
+                **self._solver_kwargs,
+            )
+        else:
+            selection = self._solve(instance, **self._solver_kwargs)
         if selection is None:
             raise ValueError(
                 "MCKP solver found no feasible selection although the "

@@ -22,12 +22,25 @@ cross-validates them on random stream sets.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..observability.profiling import profile_calls
 from .dbf import ProcessorDemandResult, dbf_sporadic
 
-__all__ = ["qpa_test"]
+__all__ = ["qpa_test", "clear_qpa_cache"]
+
+#: Memo of ``(streams, horizon) -> result`` mirroring the
+#: :func:`repro.core.dbf.processor_demand_test` cache: runtime loops ask
+#: the same feasibility question across unchanged task sets, and the
+#: result is a frozen dataclass safe to share.
+_QPA_CACHE: "OrderedDict[tuple, ProcessorDemandResult]" = OrderedDict()
+_QPA_CACHE_MAX = 4096
+
+
+def clear_qpa_cache() -> None:
+    """Drop all memoized :func:`qpa_test` results."""
+    _QPA_CACHE.clear()
 
 
 def _total_dbf(
@@ -64,8 +77,28 @@ def qpa_test(
     ``streams`` is a list of ``(wcet, period, deadline)`` triples.
     Returns the same :class:`ProcessorDemandResult` type; the
     ``critical_time`` of an infeasible result is the violating window
-    length QPA stopped at.
+    length QPA stopped at.  Results are memoized per ``(streams,
+    horizon)`` — see :func:`clear_qpa_cache`.
     """
+    key = (
+        tuple((float(w), float(p), float(d)) for w, p, d in streams),
+        None if horizon is None else float(horizon),
+    )
+    cached = _QPA_CACHE.get(key)
+    if cached is not None:
+        _QPA_CACHE.move_to_end(key)
+        return cached
+    result = _qpa_impl(list(streams), horizon)
+    _QPA_CACHE[key] = result
+    if len(_QPA_CACHE) > _QPA_CACHE_MAX:
+        _QPA_CACHE.popitem(last=False)
+    return result
+
+
+def _qpa_impl(
+    streams: List[Tuple[float, float, float]],
+    horizon: Optional[float],
+) -> ProcessorDemandResult:
     streams = [s for s in streams if s[0] > 0]
     if not streams:
         return ProcessorDemandResult(True, 0.0, 0.0, math.inf, 0)

@@ -10,7 +10,7 @@ against.
 
 from __future__ import annotations
 
-from dataclasses import replace
+import copy
 from typing import Iterable
 
 from ..core.task import OffloadableTask, Task, TaskSet
@@ -29,9 +29,15 @@ def perturb_task_set(tasks: TaskSet, accuracy_ratio: float) -> TaskSet:
     perturbed = TaskSet()
     for task in tasks:
         if isinstance(task, OffloadableTask):
-            perturbed.add(
-                replace(task, benefit=task.benefit.scaled(accuracy_ratio))
+            # A shallow copy with the benefit swapped in place of
+            # ``dataclasses.replace``: ``scaled`` alters only benefit
+            # *values*, so every ``__post_init__`` invariant (timing
+            # parameters, point structure) is untouched.
+            clone = copy.copy(task)
+            object.__setattr__(
+                clone, "benefit", task.benefit.scaled(accuracy_ratio)
             )
+            perturbed.add(clone)
         else:
             perturbed.add(task)
     return perturbed

@@ -30,6 +30,7 @@ from ..core.schedulability import (
 )
 from ..core.task import OffloadableTask, TaskSet
 from ..knapsack import SOLVERS, MCKPClass, MCKPInstance, MCKPItem
+from ..parallel import SweepRunner
 from ..sched.offload_scheduler import OffloadingScheduler
 from ..sched.transport import NeverRespondsTransport
 from ..sim.engine import Simulator
@@ -119,52 +120,73 @@ class SplitAblationResult:
         ]
 
 
+def _split_unit(
+    unit: Tuple[float, int],
+    num_tasks: int,
+    horizon_periods: float,
+    seed: int,
+) -> Dict[str, int]:
+    """One (utilization, set index) stress case; returns per-mode misses."""
+    u, k = unit
+    misses = {"split": 0, "naive": 0}
+    rng = np.random.default_rng(seed * 100003 + int(u * 1000) + k)
+    tasks = random_offloading_task_set(
+        rng, num_tasks=num_tasks, total_utilization=u
+    )
+    assignments = greedy_assignments(tasks)
+    if not assignments:
+        return misses
+    response_times = {a.task_id: a.response_time for a in assignments}
+    horizon = horizon_periods * max(t.period for t in tasks)
+    for mode in ("split", "naive"):
+        sim = Simulator()
+        scheduler = OffloadingScheduler(
+            sim,
+            tasks,
+            response_times=response_times,
+            transport=NeverRespondsTransport(),
+            deadline_mode=mode,
+        )
+        trace = scheduler.run(horizon)
+        if trace.deadline_miss_count > 0:
+            misses[mode] += 1
+    return misses
+
+
 def run_split_ablation(
     utilizations: Sequence[float] = (0.3, 0.5, 0.7, 0.9),
     sets_per_level: int = 10,
     num_tasks: int = 6,
     horizon_periods: float = 20.0,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> SplitAblationResult:
     """Worst-case stress of split vs naive sub-job deadlines.
 
     The transport never responds, so every offloaded job takes the
     compensation path at the last moment — exactly the case the
-    analysis must survive.
+    analysis must survive.  ``workers`` fans the
+    (utilization × set) grid across processes.
     """
     result = SplitAblationResult(
         utilizations=list(utilizations),
         sets_per_level=sets_per_level,
         missed_sets={"split": [], "naive": []},
     )
-    for u in utilizations:
-        misses = {"split": 0, "naive": 0}
-        for k in range(sets_per_level):
-            rng = np.random.default_rng(seed * 100003 + int(u * 1000) + k)
-            tasks = random_offloading_task_set(
-                rng, num_tasks=num_tasks, total_utilization=u
-            )
-            assignments = greedy_assignments(tasks)
-            if not assignments:
-                continue
-            response_times = {
-                a.task_id: a.response_time for a in assignments
-            }
-            horizon = horizon_periods * max(t.period for t in tasks)
-            for mode in ("split", "naive"):
-                sim = Simulator()
-                scheduler = OffloadingScheduler(
-                    sim,
-                    tasks,
-                    response_times=response_times,
-                    transport=NeverRespondsTransport(),
-                    deadline_mode=mode,
-                )
-                trace = scheduler.run(horizon)
-                if trace.deadline_miss_count > 0:
-                    misses[mode] += 1
+    units = [
+        (u, k) for u in utilizations for k in range(sets_per_level)
+    ]
+    per_unit = SweepRunner(workers=workers).map(
+        _split_unit, units, num_tasks, horizon_periods, seed
+    )
+    for level, u in enumerate(utilizations):
+        level_units = per_unit[
+            level * sets_per_level:(level + 1) * sets_per_level
+        ]
         for mode in ("split", "naive"):
-            result.missed_sets[mode].append(misses[mode])
+            result.missed_sets[mode].append(
+                sum(m[mode] for m in level_units)
+            )
     return result
 
 
@@ -205,12 +227,44 @@ class SolverAblationResult:
     instances: int = 0
 
 
+def _solver_unit(
+    k: int,
+    solvers: Tuple[str, ...],
+    num_classes: int,
+    items_per_class: int,
+    seed: int,
+) -> Optional[Dict[str, Tuple[float, float]]]:
+    """One random instance: per-solver (value, runtime) plus the exact
+    optimum under key ``"__exact__"``; None when infeasible."""
+    rng = np.random.default_rng(seed * 65537 + k)
+    instance = random_mckp(
+        rng, num_classes=num_classes, items_per_class=items_per_class
+    )
+    exact = SOLVERS["branch_bound"](instance)
+    if exact is None:
+        return None
+    out: Dict[str, Tuple[float, float]] = {
+        "__exact__": (exact.total_value, 0.0)
+    }
+    for name in solvers:
+        start = time.perf_counter()
+        selection = SOLVERS[name](instance)
+        elapsed = time.perf_counter() - start
+        if selection is None:
+            raise AssertionError(
+                f"{name} found no solution on a feasible instance"
+            )
+        out[name] = (selection.total_value, elapsed)
+    return out
+
+
 def run_solver_ablation(
     solvers: Sequence[str] = ("dp", "heu_oe", "branch_bound"),
     num_instances: int = 10,
     num_classes: int = 10,
     items_per_class: int = 5,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> SolverAblationResult:
     """Compare solver value ratios (vs branch-and-bound exact optimum)
     and runtimes on random instances."""
@@ -220,24 +274,22 @@ def run_solver_ablation(
     totals = {name: 0.0 for name in solvers}
     times = {name: 0.0 for name in solvers}
     exact_total = 0.0
-    for k in range(num_instances):
-        rng = np.random.default_rng(seed * 65537 + k)
-        instance = random_mckp(
-            rng, num_classes=num_classes, items_per_class=items_per_class
-        )
-        exact = SOLVERS["branch_bound"](instance)
-        if exact is None:
+    per_instance = SweepRunner(workers=workers).map(
+        _solver_unit,
+        range(num_instances),
+        tuple(solvers),
+        num_classes,
+        items_per_class,
+        seed,
+    )
+    for outcome in per_instance:
+        if outcome is None:
             continue
-        exact_total += exact.total_value
+        exact_total += outcome["__exact__"][0]
         for name in solvers:
-            start = time.perf_counter()
-            selection = SOLVERS[name](instance)
-            times[name] += time.perf_counter() - start
-            if selection is None:
-                raise AssertionError(
-                    f"{name} found no solution on a feasible instance"
-                )
-            totals[name] += selection.total_value
+            value, elapsed = outcome[name]
+            totals[name] += value
+            times[name] += elapsed
     for name in solvers:
         result.quality[name] = (
             totals[name] / exact_total if exact_total > 0 else 0.0
@@ -263,6 +315,55 @@ class PessimismResult:
     unsound: int = 0
 
 
+def _pessimism_unit(
+    k: int,
+    num_tasks: int,
+    utilization_range: Tuple[float, float],
+    overcommit: float,
+    validate_with_des: bool,
+    horizon_periods: float,
+    seed: int,
+) -> Optional[Dict[str, int]]:
+    """One random configuration's acceptance/soundness flags."""
+    rng = np.random.default_rng(seed * 40009 + k)
+    u = float(rng.uniform(*utilization_range))
+    tasks = random_offloading_task_set(
+        rng, num_tasks=num_tasks, total_utilization=u
+    )
+    # spread budgets over [0.9, overcommit] so the sweep covers both
+    # clearly-feasible and contested configurations
+    budget = float(rng.uniform(0.9, overcommit))
+    assignments = greedy_assignments(tasks, budget=budget)
+    if not assignments:
+        return None
+    flags = {
+        "theorem3": 0, "exact": 0, "exact_only": 0, "unsound": 0,
+    }
+    t3 = theorem3_test(tasks, assignments)
+    exact = exact_demand_test(tasks, assignments)
+    if t3.feasible:
+        flags["theorem3"] = 1
+    if exact.feasible:
+        flags["exact"] = 1
+        if not t3.feasible:
+            flags["exact_only"] = 1
+        if validate_with_des:
+            sim = Simulator()
+            scheduler = OffloadingScheduler(
+                sim,
+                tasks,
+                response_times={
+                    a.task_id: a.response_time for a in assignments
+                },
+                transport=NeverRespondsTransport(),
+            )
+            horizon = horizon_periods * max(t.period for t in tasks)
+            trace = scheduler.run(horizon)
+            if trace.deadline_miss_count > 0:
+                flags["unsound"] = 1
+    return flags
+
+
 def run_pessimism_ablation(
     num_configurations: int = 40,
     num_tasks: int = 5,
@@ -271,6 +372,7 @@ def run_pessimism_ablation(
     validate_with_des: bool = True,
     horizon_periods: float = 20.0,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> PessimismResult:
     """Measure how much tighter the exact dbf test is than Theorem 3.
 
@@ -278,42 +380,26 @@ def run_pessimism_ablation(
     budget (density sum up to ``overcommit``) so the sweep produces
     configurations in the contested region: the linear test rejects
     them, the exact demand test adjudicates, and the DES validates
-    every acceptance.
+    every acceptance.  Configurations are independent and fan out over
+    ``workers``.
     """
     result = PessimismResult()
-    for k in range(num_configurations):
-        rng = np.random.default_rng(seed * 40009 + k)
-        u = float(rng.uniform(*utilization_range))
-        tasks = random_offloading_task_set(
-            rng, num_tasks=num_tasks, total_utilization=u
-        )
-        # spread budgets over [0.9, overcommit] so the sweep covers both
-        # clearly-feasible and contested configurations
-        budget = float(rng.uniform(0.9, overcommit))
-        assignments = greedy_assignments(tasks, budget=budget)
-        if not assignments:
+    per_config = SweepRunner(workers=workers).map(
+        _pessimism_unit,
+        range(num_configurations),
+        num_tasks,
+        tuple(utilization_range),
+        overcommit,
+        validate_with_des,
+        horizon_periods,
+        seed,
+    )
+    for flags in per_config:
+        if flags is None:
             continue
         result.configurations += 1
-        t3 = theorem3_test(tasks, assignments)
-        exact = exact_demand_test(tasks, assignments)
-        if t3.feasible:
-            result.theorem3_accepts += 1
-        if exact.feasible:
-            result.exact_accepts += 1
-            if not t3.feasible:
-                result.exact_only += 1
-            if validate_with_des:
-                sim = Simulator()
-                scheduler = OffloadingScheduler(
-                    sim,
-                    tasks,
-                    response_times={
-                        a.task_id: a.response_time for a in assignments
-                    },
-                    transport=NeverRespondsTransport(),
-                )
-                horizon = horizon_periods * max(t.period for t in tasks)
-                trace = scheduler.run(horizon)
-                if trace.deadline_miss_count > 0:
-                    result.unsound += 1
+        result.theorem3_accepts += flags["theorem3"]
+        result.exact_accepts += flags["exact"]
+        result.exact_only += flags["exact_only"]
+        result.unsound += flags["unsound"]
     return result

@@ -32,6 +32,7 @@ from typing import Dict, Optional
 from ..baselines.greedy import GreedyOffloadScheduler
 from ..baselines.reservation import ReservationTransport
 from ..core.task import OffloadableTask
+from ..parallel import SweepRunner
 from ..runtime.system import OffloadingSystem
 from ..server.scenarios import SCENARIOS, build_server
 from ..sim.engine import Simulator
@@ -90,77 +91,102 @@ def _outcome(
     )
 
 
+def _scenario_unit(
+    scenario_name: str,
+    horizon: float,
+    reservation_pessimism: float,
+    reservation_inflight: int,
+    seed: int,
+) -> Dict[str, StrategyOutcome]:
+    """All three strategies on one scenario; seeding is scenario-local."""
+    scenario = SCENARIOS[scenario_name]
+    results: Dict[str, StrategyOutcome] = {}
+
+    # --- the paper's compensation mechanism -----------------------
+    tasks = table1_task_set()
+    report = OffloadingSystem(
+        tasks, scenario=scenario, solver="dp",
+        seed=derive_seed(seed, f"comp:{scenario_name}"),
+    ).run(horizon)
+    results["compensation"] = _outcome(
+        "compensation", scenario_name, report.trace
+    )
+
+    # --- greedy [8] on the raw unreliable server -------------------
+    tasks = table1_task_set()
+    estimates = {
+        t.task_id: t.benefit.response_times[1]  # cheapest level
+        for t in tasks
+        if isinstance(t, OffloadableTask)
+    }
+    sim = Simulator()
+    built = build_server(
+        sim, scenario,
+        RandomStreams(seed=derive_seed(seed, f"greedy:{scenario_name}")),
+    )
+    greedy = GreedyOffloadScheduler(
+        sim, tasks, estimated_response=estimates,
+        transport=built.transport,
+    )
+    results["greedy"] = _outcome(
+        "greedy", scenario_name, greedy.run(horizon)
+    )
+
+    # --- greedy over a reservation-reliable server [10] ------------
+    # the reservation serves each task's *cheapest* level under a
+    # pessimistic contract bound; the offload decision and the
+    # realized quality both follow the contract
+    tasks = table1_task_set()
+    sim = Simulator()
+    reserved = ReservationTransport(
+        sim, pessimism=reservation_pessimism,
+        max_inflight=reservation_inflight,
+    )
+    levels = {
+        t.task_id: t.benefit.response_times[1]
+        for t in tasks
+        if isinstance(t, OffloadableTask)
+    }
+    estimates = {
+        tid: reserved.contract_bound(level)
+        for tid, level in levels.items()
+    }
+    reservation = GreedyOffloadScheduler(
+        sim, tasks, estimated_response=estimates,
+        transport=reserved, admission=reserved.admit,
+        offload_levels=levels,
+    )
+    results["reservation"] = _outcome(
+        "reservation", scenario_name, reservation.run(horizon)
+    )
+    return results
+
+
 def run_baseline_comparison(
     scenarios=("busy", "idle"),
     horizon: float = 10.0,
     reservation_pessimism: float = 1.5,
     reservation_inflight: int = 1,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> BaselineComparison:
-    """Run all three strategies on each scenario."""
+    """Run all three strategies on each scenario.
+
+    Scenarios are independent work units and fan out over ``workers``;
+    every strategy run derives its seed from the scenario name, so the
+    parallel sweep matches the serial one exactly.
+    """
+    names = list(scenarios)
+    per_scenario = SweepRunner(workers=workers).map(
+        _scenario_unit,
+        names,
+        horizon,
+        reservation_pessimism,
+        reservation_inflight,
+        seed,
+    )
     comparison = BaselineComparison()
-    for scenario_name in scenarios:
-        scenario = SCENARIOS[scenario_name]
-        results: Dict[str, StrategyOutcome] = {}
-
-        # --- the paper's compensation mechanism -----------------------
-        tasks = table1_task_set()
-        report = OffloadingSystem(
-            tasks, scenario=scenario, solver="dp",
-            seed=derive_seed(seed, f"comp:{scenario_name}"),
-        ).run(horizon)
-        results["compensation"] = _outcome(
-            "compensation", scenario_name, report.trace
-        )
-
-        # --- greedy [8] on the raw unreliable server -------------------
-        tasks = table1_task_set()
-        estimates = {
-            t.task_id: t.benefit.response_times[1]  # cheapest level
-            for t in tasks
-            if isinstance(t, OffloadableTask)
-        }
-        sim = Simulator()
-        built = build_server(
-            sim, scenario,
-            RandomStreams(seed=derive_seed(seed, f"greedy:{scenario_name}")),
-        )
-        greedy = GreedyOffloadScheduler(
-            sim, tasks, estimated_response=estimates,
-            transport=built.transport,
-        )
-        results["greedy"] = _outcome(
-            "greedy", scenario_name, greedy.run(horizon)
-        )
-
-        # --- greedy over a reservation-reliable server [10] ------------
-        # the reservation serves each task's *cheapest* level under a
-        # pessimistic contract bound; the offload decision and the
-        # realized quality both follow the contract
-        tasks = table1_task_set()
-        sim = Simulator()
-        reserved = ReservationTransport(
-            sim, pessimism=reservation_pessimism,
-            max_inflight=reservation_inflight,
-        )
-        levels = {
-            t.task_id: t.benefit.response_times[1]
-            for t in tasks
-            if isinstance(t, OffloadableTask)
-        }
-        estimates = {
-            tid: reserved.contract_bound(level)
-            for tid, level in levels.items()
-        }
-        reservation = GreedyOffloadScheduler(
-            sim, tasks, estimated_response=estimates,
-            transport=reserved, admission=reserved.admit,
-            offload_levels=levels,
-        )
-        results["reservation"] = _outcome(
-            "reservation", scenario_name, reservation.run(horizon)
-        )
-
+    for scenario_name, results in zip(names, per_scenario):
         comparison.outcomes[scenario_name] = results
     return comparison
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.task import OffloadableTask
+from ..parallel import SweepRunner
 from ..runtime.system import OffloadingSystem
 from ..sim.rng import derive_seed
 from ..vision.tasks import table1_task_set
@@ -89,46 +90,65 @@ def _worst_case_benefit(trace, tasks) -> float:
     return total
 
 
+def _fig2_unit(
+    unit: Tuple[str, int, Tuple[int, ...]],
+    horizon: float,
+    solver: str,
+    seed: int,
+) -> Fig2Point:
+    """One (scenario, work set) cell; seeding is unit-local."""
+    scenario, ws_index, weights = unit
+    tasks = table1_task_set(weights=weights)
+    system = OffloadingSystem(
+        tasks,
+        scenario=scenario,
+        solver=solver,
+        seed=derive_seed(seed, f"{scenario}:{ws_index}"),
+    )
+    report = system.run(horizon=horizon)
+    worst = _worst_case_benefit(report.trace, tasks)
+    return Fig2Point(
+        scenario=scenario,
+        work_set=ws_index,
+        weights=tuple(weights),
+        realized_benefit=report.realized_benefit,
+        worst_case_benefit=worst,
+        deadline_misses=report.deadline_misses,
+        return_rate=report.return_rate,
+    )
+
+
 def run_fig2(
     scenarios: Sequence[str] = ("busy", "not_busy", "idle"),
     horizon: float = 10.0,
     solver: str = "dp",
     seed: int = 0,
     permutations: Optional[Sequence[Tuple[int, ...]]] = None,
+    workers: Optional[int] = None,
 ) -> Fig2Result:
     """Run the full case study.
 
     ``permutations`` defaults to all 24 weight orders; pass a subset for
-    quick runs (tests use a handful).
+    quick runs (tests use a handful).  ``workers`` fans the
+    (scenario × work set) grid across processes; each cell's seed is
+    derived from the cell, so results match the serial run exactly.
     """
     perms = list(permutations) if permutations is not None else list(
         WEIGHT_PERMUTATIONS
     )
+    units = [
+        (scenario, ws_index, tuple(weights))
+        for scenario in scenarios
+        for ws_index, weights in enumerate(perms)
+    ]
+    points = SweepRunner(workers=workers).map(
+        _fig2_unit, units, horizon, solver, seed
+    )
     result = Fig2Result(horizon=horizon, solver=solver)
     for scenario in scenarios:
-        series: List[Fig2Point] = []
-        for ws_index, weights in enumerate(perms):
-            tasks = table1_task_set(weights=weights)
-            system = OffloadingSystem(
-                tasks,
-                scenario=scenario,
-                solver=solver,
-                seed=derive_seed(seed, f"{scenario}:{ws_index}"),
-            )
-            report = system.run(horizon=horizon)
-            worst = _worst_case_benefit(report.trace, tasks)
-            series.append(
-                Fig2Point(
-                    scenario=scenario,
-                    work_set=ws_index,
-                    weights=tuple(weights),
-                    realized_benefit=report.realized_benefit,
-                    worst_case_benefit=worst,
-                    deadline_misses=report.deadline_misses,
-                    return_rate=report.return_rate,
-                )
-            )
-        result.points[scenario] = series
+        result.points[scenario] = [
+            p for p in points if p.scenario == scenario
+        ]
     return result
 
 

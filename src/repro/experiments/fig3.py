@@ -18,12 +18,13 @@ directions, and DP dominates HEU-OE (which stays close).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.odm import OffloadingDecisionManager
+from ..core.odm import OffloadingDecisionManager, build_mckp
 from ..estimator.errors import evaluate_true_benefit, perturb_task_set
+from ..parallel import SweepRunner
 from ..workloads.generator import paper_simulation_task_set
 
 __all__ = [
@@ -62,36 +63,84 @@ class Fig3Result:
         return self.ratios[int(np.argmax(values))]
 
 
+def _fig3_unit(
+    set_index: int,
+    accuracy_ratios: Tuple[float, ...],
+    solvers: Tuple[str, ...],
+    num_tasks: int,
+    seed: int,
+    resolution: Optional[int],
+) -> Dict[str, List[float]]:
+    """One task set's true benefits per solver per accuracy ratio.
+
+    The RNG is a pure function of ``(seed, set_index)`` so the sweep is
+    identical at any worker count.  All solvers decide over a *shared*
+    MCKP reduction of each believed set — ``build_mckp`` is off the
+    per-solver path.
+    """
+    rng = np.random.default_rng(seed * 7919 + set_index)
+    truth = paper_simulation_task_set(rng, num_tasks=num_tasks)
+    managers = {
+        name: OffloadingDecisionManager(
+            solver=name,
+            **({"resolution": resolution}
+               if resolution is not None and name == "dp" else {}),
+        )
+        for name in solvers
+    }
+    benefits: Dict[str, List[float]] = {
+        name: [0.0] * len(accuracy_ratios) for name in solvers
+    }
+    for k, ratio in enumerate(accuracy_ratios):
+        believed = perturb_task_set(truth, ratio)
+        believed.validate()
+        instance = build_mckp(believed)
+        for name, manager in managers.items():
+            decision = manager.decide_from_instance(believed, instance)
+            benefits[name][k] = evaluate_true_benefit(
+                truth, dict(decision.response_times)
+            )
+    return benefits
+
+
 def run_fig3(
     accuracy_ratios: Sequence[float] = DEFAULT_ACCURACY_RATIOS,
     solvers: Sequence[str] = ("dp", "heu_oe"),
     num_task_sets: int = 20,
     num_tasks: int = 30,
     seed: int = 0,
+    workers: Optional[int] = None,
+    resolution: Optional[int] = None,
 ) -> Fig3Result:
     """Run the Figure 3 sweep.
 
     Averages true benefits over ``num_task_sets`` independently generated
     task sets before normalizing, which is what makes the curves smooth
-    (a single set gives a step-shaped curve).
+    (a single set gives a step-shaped curve).  ``workers`` parallelizes
+    over task sets (one per work unit) with bit-for-bit identical
+    results; ``resolution`` overrides the DP capacity quantization.
     """
     if "dp" not in solvers:
         raise ValueError("the 'dp' solver is required for normalization")
-    managers = {name: OffloadingDecisionManager(solver=name) for name in solvers}
 
+    runner = SweepRunner(workers=workers)
+    per_set = runner.map(
+        _fig3_unit,
+        range(num_task_sets),
+        tuple(accuracy_ratios),
+        tuple(solvers),
+        num_tasks,
+        seed,
+        resolution,
+    )
     sums: Dict[str, List[float]] = {
         name: [0.0] * len(accuracy_ratios) for name in solvers
     }
-    for set_index in range(num_task_sets):
-        rng = np.random.default_rng(seed * 7919 + set_index)
-        truth = paper_simulation_task_set(rng, num_tasks=num_tasks)
-        for k, ratio in enumerate(accuracy_ratios):
-            believed = perturb_task_set(truth, ratio)
-            for name, manager in managers.items():
-                decision = manager.decide(believed)
-                sums[name][k] += evaluate_true_benefit(
-                    truth, dict(decision.response_times)
-                )
+    # Ascending set order keeps float accumulation in serial order.
+    for benefits in per_set:
+        for name in solvers:
+            for k in range(len(accuracy_ratios)):
+                sums[name][k] += benefits[name][k]
 
     # normalizer: DP at the ratio closest to 0
     zero_index = int(np.argmin([abs(r) for r in accuracy_ratios]))
@@ -108,12 +157,53 @@ def run_fig3(
     return result
 
 
+def _fig3_des_unit(
+    set_index: int,
+    accuracy_ratios: Tuple[float, ...],
+    num_tasks: int,
+    horizon: float,
+    seed: int,
+) -> List[float]:
+    """One task set's measured timely-return counts per accuracy ratio."""
+    from ..sched.offload_scheduler import OffloadingScheduler
+    from ..sched.transport import StaircaseTransport
+    from ..sim.engine import Simulator
+
+    manager = OffloadingDecisionManager("dp")
+    counts = [0.0] * len(accuracy_ratios)
+    rng = np.random.default_rng(seed * 7919 + set_index)
+    truth = paper_simulation_task_set(rng, num_tasks=num_tasks)
+    for k, ratio in enumerate(accuracy_ratios):
+        believed = perturb_task_set(truth, ratio)
+        decision = manager.decide(believed)
+        sim = Simulator()
+        transport = StaircaseTransport(
+            sim,
+            rng=np.random.default_rng(seed * 104729 + set_index),
+        )
+        scheduler = OffloadingScheduler(
+            sim, truth, response_times=decision.response_times,
+            transport=transport,
+        )
+        trace = scheduler.run(horizon)
+        if not trace.all_deadlines_met:
+            raise AssertionError(
+                "deadline miss during the DES-validated sweep — the "
+                "guarantee must hold at every accuracy ratio"
+            )
+        counts[k] = sum(
+            1 for rec in trace.jobs.values() if rec.result_returned
+        )
+    return counts
+
+
 def run_fig3_des(
     accuracy_ratios: Sequence[float] = (-0.4, -0.2, 0.0, 0.2, 0.4),
     num_task_sets: int = 5,
     num_tasks: int = 30,
     horizon: float = 60.0,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Fig3Result:
     """DES-validated Figure 3: *measured* timely returns, not analytic.
 
@@ -128,36 +218,19 @@ def run_fig3_des(
     configuration) and noisier (binomial sampling), but it proves the
     analytic objective corresponds to something physically measured.
     """
-    from ..sched.offload_scheduler import OffloadingScheduler
-    from ..sched.transport import StaircaseTransport
-    from ..sim.engine import Simulator
-
-    manager = OffloadingDecisionManager("dp")
+    runner = SweepRunner(workers=workers)
+    per_set = runner.map(
+        _fig3_des_unit,
+        range(num_task_sets),
+        tuple(accuracy_ratios),
+        num_tasks,
+        horizon,
+        seed,
+    )
     sums = [0.0] * len(accuracy_ratios)
-    for set_index in range(num_task_sets):
-        rng = np.random.default_rng(seed * 7919 + set_index)
-        truth = paper_simulation_task_set(rng, num_tasks=num_tasks)
-        for k, ratio in enumerate(accuracy_ratios):
-            believed = perturb_task_set(truth, ratio)
-            decision = manager.decide(believed)
-            sim = Simulator()
-            transport = StaircaseTransport(
-                sim,
-                rng=np.random.default_rng(seed * 104729 + set_index),
-            )
-            scheduler = OffloadingScheduler(
-                sim, truth, response_times=decision.response_times,
-                transport=transport,
-            )
-            trace = scheduler.run(horizon)
-            if not trace.all_deadlines_met:
-                raise AssertionError(
-                    "deadline miss during the DES-validated sweep — the "
-                    "guarantee must hold at every accuracy ratio"
-                )
-            sums[k] += sum(
-                1 for rec in trace.jobs.values() if rec.result_returned
-            )
+    for counts in per_set:
+        for k in range(len(accuracy_ratios)):
+            sums[k] += counts[k]
 
     zero_index = int(np.argmin([abs(r) for r in accuracy_ratios]))
     normalizer = sums[zero_index]

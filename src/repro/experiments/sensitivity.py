@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.odm import build_mckp
 from ..core.task import OffloadableTask, TaskSet
 from ..knapsack import MCKPInstance, SOLVERS
+from ..parallel import SweepRunner
 
 __all__ = [
     "PricePoint",
@@ -106,45 +107,49 @@ class BudgetPoint:
     offloaded_tasks: Tuple[str, ...] = ()
 
 
+def _budget_unit(
+    budget: float, base: MCKPInstance, solver: str
+) -> BudgetPoint:
+    """Re-solve the shared MCKP at one capacity setting."""
+    if budget < 0:
+        raise ValueError("budgets must be non-negative")
+    instance = MCKPInstance(classes=base.classes, capacity=budget)
+    selection = SOLVERS[solver](instance)
+    if selection is None:
+        return BudgetPoint(budget=budget, benefit=None)
+    offloaded = tuple(
+        sorted(
+            cls.class_id
+            for cls in instance.classes
+            if selection.item_for(cls.class_id).tag
+            not in (0.0, (None, 0.0))
+        )
+    )
+    return BudgetPoint(
+        budget=budget,
+        benefit=selection.total_value,
+        offloaded_tasks=offloaded,
+    )
+
+
 def budget_sweep(
     tasks: TaskSet,
     budgets: Sequence[float] = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
     solver: str = "dp",
+    workers: Optional[int] = None,
 ) -> List[BudgetPoint]:
     """Optimal total benefit at each schedulability budget.
 
     The ODM's MCKP is re-solved with the capacity set to each budget
     value.  Budgets below the all-local utilization are infeasible
     (``benefit=None``) — even running everything locally does not fit.
-    The resulting curve is non-decreasing in the budget.
+    The resulting curve is non-decreasing in the budget.  Budgets are
+    independent solves and fan out over ``workers``.
     """
     base = build_mckp(tasks)
-    solve = SOLVERS[solver]
-    results: List[BudgetPoint] = []
-    for budget in budgets:
-        if budget < 0:
-            raise ValueError("budgets must be non-negative")
-        instance = MCKPInstance(classes=base.classes, capacity=budget)
-        selection = solve(instance)
-        if selection is None:
-            results.append(BudgetPoint(budget=budget, benefit=None))
-            continue
-        offloaded = tuple(
-            sorted(
-                cls.class_id
-                for cls in instance.classes
-                if selection.item_for(cls.class_id).tag
-                not in (0.0, (None, 0.0))
-            )
-        )
-        results.append(
-            BudgetPoint(
-                budget=budget,
-                benefit=selection.total_value,
-                offloaded_tasks=offloaded,
-            )
-        )
-    return results
+    return SweepRunner(workers=workers).map(
+        _budget_unit, budgets, base, solver
+    )
 
 
 @dataclass(frozen=True)
@@ -159,12 +164,47 @@ class PercentilePoint:
     deadline_misses: int
 
 
+def _percentile_unit(
+    percentile: float,
+    level_samples: Dict,
+    scenario: str,
+    horizon: float,
+    seed: int,
+) -> PercentilePoint:
+    """Build + run the system at one estimation percentile."""
+    from ..runtime.system import OffloadingSystem
+    from ..sim.rng import derive_seed
+    from ..vision.tasks import (
+        build_measured_task_set,
+        measured_benefit_functions,
+    )
+
+    functions = measured_benefit_functions(
+        level_samples, percentile=percentile, seed=seed
+    )
+    tasks = build_measured_task_set(functions)
+    system = OffloadingSystem(
+        tasks, scenario=scenario, solver="dp",
+        seed=derive_seed(seed, f"run:{percentile}"),
+    )
+    report = system.run(horizon=horizon)
+    return PercentilePoint(
+        percentile=percentile,
+        offloaded_tasks=report.decision.offloaded_task_ids,
+        return_rate=report.return_rate,
+        compensation_rate=report.trace.compensation_rate(),
+        realized_benefit=report.realized_benefit,
+        deadline_misses=report.deadline_misses,
+    )
+
+
 def percentile_tradeoff(
     percentiles: Sequence[float] = (50.0, 75.0, 90.0, 99.0),
     scenario: str = "not_busy",
     samples_per_level: int = 60,
     horizon: float = 10.0,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> List[PercentilePoint]:
     """Measure the §3.2 estimation-percentile tension end to end.
 
@@ -172,52 +212,24 @@ def percentile_tradeoff(
     percentile of the measured distribution, decide with the DP, and run
     the system on the same scenario.  Deadline misses must be zero at
     every setting — only the benefit/compensation economics move.
+    Both the probing campaign (one unit per task) and the percentile
+    runs fan out over ``workers``; every unit derives its own seed.
     """
-    from ..estimator.sampling import probe_server
-    from ..runtime.system import OffloadingSystem
-    from ..server.scenarios import SCENARIOS
-    from ..sim.rng import derive_seed
-    from ..vision.tasks import (
-        DEFAULT_LEVEL_FACTORS,
-        TABLE1,
-        build_measured_task_set,
-        measured_benefit_functions,
-    )
+    from ..vision.tasks import TABLE1
+    from .table1 import probe_task_row
 
+    runner = SweepRunner(workers=workers)
     # one probing campaign, reused across percentile settings
-    level_samples = {}
-    for row in TABLE1:
-        anchors = [r for r, _ in row.points]
-        collections = probe_server(
-            SCENARIOS[scenario],
-            levels=anchors,
-            samples_per_level=samples_per_level,
-            seed=derive_seed(seed, row.task_id),
-        )
-        level_samples[row.task_id] = {
-            factor: collections[anchor]
-            for factor, anchor in zip(DEFAULT_LEVEL_FACTORS, anchors)
-        }
-
-    results: List[PercentilePoint] = []
-    for percentile in percentiles:
-        functions = measured_benefit_functions(
-            level_samples, percentile=percentile, seed=seed
-        )
-        tasks = build_measured_task_set(functions)
-        system = OffloadingSystem(
-            tasks, scenario=scenario, solver="dp",
-            seed=derive_seed(seed, f"run:{percentile}"),
-        )
-        report = system.run(horizon=horizon)
-        results.append(
-            PercentilePoint(
-                percentile=percentile,
-                offloaded_tasks=report.decision.offloaded_task_ids,
-                return_rate=report.return_rate,
-                compensation_rate=report.trace.compensation_rate(),
-                realized_benefit=report.realized_benefit,
-                deadline_misses=report.deadline_misses,
-            )
-        )
-    return results
+    task_ids = [row.task_id for row in TABLE1]
+    probed = runner.map(
+        probe_task_row, task_ids, scenario, samples_per_level, seed
+    )
+    level_samples = dict(zip(task_ids, probed))
+    return runner.map(
+        _percentile_unit,
+        percentiles,
+        level_samples,
+        scenario,
+        horizon,
+        seed,
+    )

@@ -18,10 +18,11 @@ at 99 dB.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..estimator.response_time import EmpiricalResponseTimes
 from ..estimator.sampling import probe_server
+from ..parallel import SweepRunner
 from ..server.scenarios import SCENARIOS
 from ..sim.rng import derive_seed
 from ..vision.tasks import (
@@ -30,7 +31,41 @@ from ..vision.tasks import (
     measured_benefit_functions,
 )
 
-__all__ = ["Table1Result", "regenerate_table1", "format_table1"]
+
+def probe_task_row(
+    task_id: str,
+    scenario: str,
+    samples_per_level: int,
+    seed: int,
+) -> Dict[float, EmpiricalResponseTimes]:
+    """Probe one Table 1 task's levels on ``scenario``.
+
+    Module-level (and keyed by ``(seed, task_id)``) so probing campaigns
+    can fan out across processes while staying deterministic; shared by
+    :func:`regenerate_table1` and
+    :func:`repro.experiments.sensitivity.percentile_tradeoff`.
+    """
+    row = next(r for r in TABLE1 if r.task_id == task_id)
+    anchors = [r for r, _ in row.points]
+    collections = probe_server(
+        SCENARIOS[scenario],
+        levels=anchors,
+        samples_per_level=samples_per_level,
+        seed=derive_seed(seed, task_id),
+    )
+    # key the samples by scaling factor (what the benefit builder joins
+    # on), preserving the anchor association
+    return {
+        factor: collections[anchor]
+        for factor, anchor in zip(DEFAULT_LEVEL_FACTORS, anchors)
+    }
+
+__all__ = [
+    "Table1Result",
+    "regenerate_table1",
+    "format_table1",
+    "probe_task_row",
+]
 
 
 @dataclass
@@ -53,31 +88,26 @@ def regenerate_table1(
     samples_per_level: int = 100,
     percentile: float = 90.0,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Table1Result:
     """Regenerate Table 1 by measurement on the server model.
 
     Probing uses the level's published response time as the workload
     calibration anchor (the level sets the kernel/payload sizes); the
-    *measured* distribution then produces our own ``r_{i,j}``.
+    *measured* distribution then produces our own ``r_{i,j}``.  The
+    probing campaign (one unit per task row, each with a task-derived
+    seed) fans out over ``workers``.
     """
     if scenario not in SCENARIOS:
         raise ValueError(f"unknown scenario {scenario!r}")
 
-    level_samples: Dict[str, Dict[float, EmpiricalResponseTimes]] = {}
-    for row in TABLE1:
-        anchors = [r for r, _ in row.points]
-        collections = probe_server(
-            SCENARIOS[scenario],
-            levels=anchors,
-            samples_per_level=samples_per_level,
-            seed=derive_seed(seed, row.task_id),
-        )
-        # key the samples by scaling factor (what the benefit builder
-        # joins on), preserving the anchor association
-        level_samples[row.task_id] = {
-            factor: collections[anchor]
-            for factor, anchor in zip(DEFAULT_LEVEL_FACTORS, anchors)
-        }
+    task_ids = [row.task_id for row in TABLE1]
+    probed = SweepRunner(workers=workers).map(
+        probe_task_row, task_ids, scenario, samples_per_level, seed
+    )
+    level_samples: Dict[str, Dict[float, EmpiricalResponseTimes]] = dict(
+        zip(task_ids, probed)
+    )
 
     functions = measured_benefit_functions(
         level_samples, percentile=percentile, seed=seed

@@ -9,7 +9,8 @@ the tests and the solver ablation.
 
 from .branch_bound import solve_branch_bound
 from .brute_force import solve_brute_force
-from .dp import solve_dp
+from .cache import SolverCache, canonical_instance_key
+from .dp import solve_dp, solve_dp_reference
 from .heu_oe import solve_heu_oe
 from .mckp import (
     MCKPClass,
@@ -37,8 +38,11 @@ __all__ = [
     "prune_dominated",
     "lp_efficient_frontier",
     "solve_dp",
+    "solve_dp_reference",
     "solve_heu_oe",
     "solve_branch_bound",
     "solve_brute_force",
+    "SolverCache",
+    "canonical_instance_key",
     "SOLVERS",
 ]

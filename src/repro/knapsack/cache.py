@@ -1,0 +1,123 @@
+"""LRU memoization of MCKP solver calls.
+
+The adaptive runtime (:mod:`repro.runtime.adaptive`) and the health
+monitor's circuit-breaker loop (:mod:`repro.runtime.health`) re-run the
+Offloading Decision Manager every decision window, and between failure
+events the believed task set — hence the MCKP instance — is unchanged.
+Solvers are pure functions of ``(instance, kwargs)``, so those repeat
+calls can be answered from a cache instead of re-running the DP.
+
+Keying
+------
+The cache key is a *canonical structural tuple* of the instance — class
+ids, per-item ``(value, weight)`` pairs in original order, capacity —
+plus the solver name and its sorted kwargs.  Exact float equality is
+deliberate: two instances that differ in any bit are different problems,
+and near-miss collapsing would silently change results.  ``tag`` fields
+are excluded (solvers never read them), but a cache **hit rebinds the
+stored choices onto the caller's instance**, so the returned
+:class:`Selection` carries the caller's tags, not the first caller's.
+
+The cache is bounded LRU (default 256 entries) and records hit/miss
+counters for observability.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .mckp import MCKPInstance, Selection
+
+__all__ = ["SolverCache", "canonical_instance_key"]
+
+
+def canonical_instance_key(instance: MCKPInstance) -> Tuple:
+    """A hashable structural fingerprint of an MCKP instance.
+
+    Items stay in original order — solvers' tie-breaking depends on item
+    order, so permuted instances must not share an entry.
+    """
+    return (
+        float(instance.capacity),
+        tuple(
+            (
+                cls.class_id,
+                tuple((item.value, item.weight) for item in cls.items),
+            )
+            for cls in instance.classes
+        ),
+    )
+
+
+class SolverCache:
+    """Bounded LRU cache wrapping any registered MCKP solver.
+
+    Usage::
+
+        cache = SolverCache(maxsize=128)
+        selection = cache.solve("dp", solve_dp, instance, resolution=20_000)
+
+    A miss runs the solver and stores the resulting choices; a hit
+    returns a :class:`Selection` over the *caller's* instance with the
+    cached choices (identical ``choices``/``total_value``/``total_weight``
+    by construction).  ``None`` results (infeasible instances) are
+    cached too.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_entries")
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self.misses = 0
+        # key -> choices dict or None (infeasible)
+        self._entries: "OrderedDict[Tuple, Optional[Dict[str, int]]]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+        }
+
+    def solve(
+        self,
+        solver_name: str,
+        solver: Callable[..., Optional[Selection]],
+        instance: MCKPInstance,
+        **kwargs: Any,
+    ) -> Optional[Selection]:
+        """Solve ``instance`` with ``solver``, memoized."""
+        key = (
+            solver_name,
+            tuple(sorted(kwargs.items())),
+            canonical_instance_key(instance),
+        )
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            choices = self._entries[key]
+            if choices is None:
+                return None
+            return Selection(instance, dict(choices))
+
+        self.misses += 1
+        selection = solver(instance, **kwargs)
+        self._entries[key] = (
+            None if selection is None else dict(selection.choices)
+        )
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return selection

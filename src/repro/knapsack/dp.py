@@ -17,32 +17,209 @@ modelling noise of the response-time estimates.  Instances whose weights
 are already integral multiples of ``capacity/resolution`` are solved
 exactly, which the tests exploit by comparing against brute force.
 
-Complexity: ``O(resolution · Σ Q_i)`` time, ``O(n · resolution)`` space
-(the choice table used to reconstruct the argmax).
+Algorithms
+----------
+:func:`solve_dp` runs two exact algorithms over the same quantized
+instance and picks between them dynamically:
+
+* **Sparse Pareto-frontier DP** (primary).  Each DP layer is the list of
+  Pareto-optimal ``(weight, value)`` states — weight strictly increasing,
+  value strictly increasing.  Extending a layer by one class is a numpy
+  broadcast (``frontier ⊕ items``) followed by a lexsort and a strict
+  running-max prune.  The frontier on ODM instances stays a few hundred
+  points, so each layer costs ``O(Q_i · |frontier|)`` instead of
+  ``O(Q_i · resolution)`` — an order of magnitude less work at the
+  default resolution.
+* **Dense vectorized DP** (fallback).  The classic table, with the row
+  recurrence batched in numpy: per item one shifted slice-add of the
+  previous layer, candidates reduced with a single ``argmax`` that also
+  yields the compact per-layer choice row.  Used when the frontier grows
+  past :data:`_SPARSE_CANDIDATE_FACTOR` times the capacity grid, where
+  the dense table is cheaper.
+
+Both reconstruct the argmax through per-layer choice records; the
+predecessor weight is implicit (``w − w_item``), so no ``pred`` table is
+stored.  Dominated items are pruned per class before either algorithm
+runs (:func:`repro.knapsack.mckp.prune_dominated` — sound because
+ceil-quantization is monotone in weight).
+
+:func:`solve_dp_reference` preserves the original semi-vectorized
+row-masking implementation verbatim.  It is the differential-testing
+oracle for the optimized paths and the baseline the perf benchmark
+(`benchmarks/bench_perf.py`) measures speedups against.
+
+Complexity: ``O(Σ Q_i · min(|frontier|·log, resolution))`` time,
+``O(n · resolution)`` worst-case space for the dense choice table.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..observability.profiling import profile_calls
-from .mckp import MCKPInstance, Selection
+from .mckp import MCKPInstance, Selection, prune_dominated
 
-__all__ = ["solve_dp"]
+__all__ = ["solve_dp", "solve_dp_reference"]
 
 _NEG_INF = -np.inf
 
+#: Switch from the sparse frontier to the dense table when a layer would
+#: generate more than this many candidates per capacity unit.  The dense
+#: layer costs ~``Q_i · resolution``; the sparse layer costs
+#: ~``Q_i · |frontier| · log``, so past a few multiples of the grid the
+#: dense table wins.
+_SPARSE_CANDIDATE_FACTOR = 4
+
 
 def _quantize_weight(weight: float, unit: float) -> int:
-    """Round a weight up to integer units, tolerating float dust."""
+    """Round a weight up to integer units, tolerating float dust.
+
+    The snap-to-nearest tolerance is *relative* (scaled by the magnitude
+    of the quotient): an absolute ``1e-9`` window would swallow real
+    fractional parts once ``weight/unit`` reaches ~1e9 and stop snapping
+    genuine integer multiples whose representation error exceeds the
+    window at large magnitudes.
+    """
     units = weight / unit
     nearest = round(units)
-    if abs(units - nearest) < 1e-9:
+    if abs(units - nearest) <= 1e-9 * max(1.0, abs(units)):
         return int(nearest)
     return int(math.ceil(units))
+
+
+def _quantize_weights(weights: np.ndarray, unit: float) -> np.ndarray:
+    """Vectorized :func:`_quantize_weight` over an array of weights."""
+    units = np.asarray(weights, dtype=np.float64) / unit
+    nearest = np.rint(units)
+    snapped = np.abs(units - nearest) <= 1e-9 * np.maximum(
+        1.0, np.abs(units)
+    )
+    return np.where(snapped, nearest, np.ceil(units)).astype(np.int64)
+
+
+def _zero_capacity_selection(instance: MCKPInstance) -> Optional[Selection]:
+    """Zero capacity: only all-zero-weight selections can fit."""
+    choices = {}
+    for cls in instance.classes:
+        zero = [
+            (item.value, idx)
+            for idx, item in enumerate(cls.items)
+            if item.weight == 0
+        ]
+        if not zero:
+            return None
+        choices[cls.class_id] = max(zero)[1]
+    return Selection(instance, choices)
+
+
+def _prepare_classes(
+    instance: MCKPInstance, unit: float, resolution: int
+) -> Optional[List[Tuple[np.ndarray, np.ndarray, np.ndarray]]]:
+    """Per class: dominance-pruned ``(orig_idx, weight_units, values)``.
+
+    Items whose quantized weight exceeds the whole capacity can never be
+    chosen and are dropped; a class left empty makes the instance
+    infeasible (``None``).
+    """
+    prepared = []
+    for cls in instance.classes:
+        kept = prune_dominated(cls.items)
+        orig = np.array([idx for idx, _ in kept], dtype=np.int64)
+        wu = _quantize_weights(
+            np.array([item.weight for _, item in kept]), unit
+        )
+        values = np.array([item.value for _, item in kept])
+        fits = wu <= resolution
+        if not np.any(fits):
+            return None
+        prepared.append((orig[fits], wu[fits], values[fits]))
+    return prepared
+
+
+def _sparse_step(
+    front_w: np.ndarray,
+    front_v: np.ndarray,
+    wu: np.ndarray,
+    values: np.ndarray,
+    resolution: int,
+):
+    """Extend a Pareto frontier by one class.
+
+    Returns ``(new_w, new_v, item_of_point, parent_of_point)`` or
+    ``None`` when no candidate fits (infeasible).  Points keep weight
+    strictly increasing and value strictly increasing; ties on value keep
+    the lightest point, ties on (weight, value) keep the lowest item
+    index — matching the dense table's first-maximal tie-break.
+    """
+    layer = front_w.shape[0]
+    cand_w = (front_w[None, :] + wu[:, None]).ravel()
+    cand_v = (front_v[None, :] + values[:, None]).ravel()
+
+    # Candidate (item, parent) pairs stay implicit: flat index
+    # ``i·layer + j`` encodes both, recovered by divmod on the few
+    # surviving points instead of materialising full index arrays.
+    fits = cand_w <= resolution
+    if fits.all():
+        flat = None
+    else:
+        flat = np.flatnonzero(fits)
+        if flat.size == 0:
+            return None
+        cand_w, cand_v = cand_w[flat], cand_v[flat]
+
+    # Sort by weight asc, then value desc; lexsort is stable, so ties
+    # keep ascending flat order = lowest item index — matching the dense
+    # table's first-maximal tie-break.  A point survives iff its value
+    # strictly beats every lighter point's.
+    order = np.lexsort((-cand_v, cand_w))
+    sorted_w = cand_w[order]
+    sorted_v = cand_v[order]
+    keep = np.empty(sorted_v.shape[0], dtype=bool)
+    keep[0] = True
+    np.greater(
+        sorted_v[1:], np.maximum.accumulate(sorted_v)[:-1], out=keep[1:]
+    )
+    kept = order[keep]
+    if flat is not None:
+        kept = flat[kept]
+    item, parent = np.divmod(kept, layer)
+    return sorted_w[keep], sorted_v[keep], item, parent
+
+
+def _dense_layers(
+    dp: np.ndarray,
+    prepared: List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    start: int,
+    resolution: int,
+):
+    """Run the dense vectorized DP from layer ``start`` to the end.
+
+    ``dp[w]`` holds the best value at *exact* quantized weight ``w`` for
+    the first ``start`` classes.  Returns ``(final_dp, choice_rows)``
+    where ``choice_rows[k - start]`` maps each weight to the pruned item
+    index chosen at layer ``k`` (-1 = unreachable).  The predecessor
+    weight is implicit: ``w − wu[choice]``.
+    """
+    width = resolution + 1
+    choice_rows: List[np.ndarray] = []
+    for k in range(start, len(prepared)):
+        _, wu, values = prepared[k]
+        m = wu.shape[0]
+        # Candidate matrix: row j is the previous layer shifted right by
+        # the item weight, plus its value.  One argmax over the rows
+        # reduces the batch and doubles as the compact choice row.
+        cand = np.full((m, width), _NEG_INF)
+        for j in range(m):
+            shift = int(wu[j])
+            cand[j, shift:] = dp[: width - shift] + values[j]
+        choice = np.argmax(cand, axis=0).astype(np.int16)
+        dp = cand[choice, np.arange(width)]
+        choice[dp == _NEG_INF] = -1
+        choice_rows.append(choice)
+    return dp, choice_rows
 
 
 @profile_calls("knapsack.dp")
@@ -69,36 +246,108 @@ def solve_dp(
         raise ValueError("resolution must be positive")
     if instance.num_classes == 0:
         return Selection(instance, {})
-
     if instance.capacity == 0:
-        # Only all-zero-weight selections can fit.
+        return _zero_capacity_selection(instance)
+
+    unit = instance.capacity / resolution
+    prepared = _prepare_classes(instance, unit, resolution)
+    if prepared is None:
+        return None
+    n = len(prepared)
+    candidate_limit = _SPARSE_CANDIDATE_FACTOR * (resolution + 1)
+
+    # --- sparse frontier phase -----------------------------------------
+    front_w = np.zeros(1, dtype=np.int64)
+    front_v = np.zeros(1)
+    # history[k] = (item index, parent point index) per frontier point
+    history: List[Tuple[np.ndarray, np.ndarray]] = []
+    dense_from = n
+    for k in range(n):
+        _, wu, values = prepared[k]
+        if wu.shape[0] * front_w.shape[0] > candidate_limit:
+            dense_from = k
+            break
+        step = _sparse_step(front_w, front_v, wu, values, resolution)
+        if step is None:
+            return None
+        front_w, front_v, item, parent = step
+        history.append((item, parent))
+
+    if dense_from == n:
+        # Frontier values increase with weight: the last point is the
+        # unique optimum at its lightest achievable weight.
         choices = {}
-        for cls in instance.classes:
-            zero = [
-                (item.value, idx)
-                for idx, item in enumerate(cls.items)
-                if item.weight == 0
-            ]
-            if not zero:
-                return None
-            choices[cls.class_id] = max(zero)[1]
+        point = front_w.shape[0] - 1
+        for k in range(n - 1, -1, -1):
+            item, parent = history[k]
+            orig, _, _ = prepared[k]
+            choices[instance.classes[k].class_id] = int(orig[item[point]])
+            point = int(parent[point])
         return Selection(instance, choices)
+
+    # --- dense fallback phase ------------------------------------------
+    dp = np.full(resolution + 1, _NEG_INF)
+    dp[front_w] = front_v
+    dp, choice_rows = _dense_layers(dp, prepared, dense_from, resolution)
+    if not np.any(dp > _NEG_INF):
+        return None
+    # First maximal index == smallest weight among optimal states.
+    best_w = int(np.argmax(dp))
+
+    choices = {}
+    w = best_w
+    for k in range(n - 1, dense_from - 1, -1):
+        row = choice_rows[k - dense_from]
+        idx = int(row[w])
+        if idx < 0:
+            raise AssertionError(
+                "DP reconstruction hit an unreachable state; "
+                "this indicates an internal invariant violation"
+            )
+        orig, wu, _ = prepared[k]
+        choices[instance.classes[k].class_id] = int(orig[idx])
+        w -= int(wu[idx])
+    # Stitch back into the sparse prefix: the entry weight must be a
+    # frontier point of the last sparse layer.
+    point = int(np.searchsorted(front_w, w))
+    if point >= front_w.shape[0] or int(front_w[point]) != w:
+        raise AssertionError(
+            "dense DP entry weight is not a sparse frontier point"
+        )
+    for k in range(dense_from - 1, -1, -1):
+        item, parent = history[k]
+        orig, _, _ = prepared[k]
+        choices[instance.classes[k].class_id] = int(orig[item[point]])
+        point = int(parent[point])
+    return Selection(instance, choices)
+
+
+@profile_calls("knapsack.dp_reference")
+def solve_dp_reference(
+    instance: MCKPInstance, resolution: int = 20_000
+) -> Optional[Selection]:
+    """The original row-masking DP, kept verbatim as a baseline.
+
+    Serves two jobs: the differential-testing oracle confirming the
+    optimized :func:`solve_dp` returns identical optima, and the
+    "before" side of the paired benchmark in ``benchmarks/bench_perf.py``.
+    """
+    if resolution <= 0:
+        raise ValueError("resolution must be positive")
+    if instance.num_classes == 0:
+        return Selection(instance, {})
+    if instance.capacity == 0:
+        return _zero_capacity_selection(instance)
 
     unit = instance.capacity / resolution
     n = instance.num_classes
 
-    # value[w] = best total value of a complete selection over the classes
-    # processed so far with quantized weight exactly <= w is maintained
-    # implicitly: we store "weight exactly w" and take max at the end?
-    # Simpler and standard: dp[w] = best value with total quantized weight
-    # <= w, enforced by a running prefix-max after each class.
     dp = np.full(resolution + 1, _NEG_INF)
     dp[0] = 0.0
     # choice[k][w]: item index chosen for class k when the best state at
-    # weight w was formed.  int16 suffices (Q_i is small); -1 = unreachable.
+    # weight w was formed; pred[k][w]: the weight index in the previous
+    # layer this state came from.
     choice = np.full((n, resolution + 1), -1, dtype=np.int32)
-    # pred[k][w]: the weight index in the previous layer this state came
-    # from (needed because dp is prefix-maxed).
     pred = np.full((n, resolution + 1), -1, dtype=np.int32)
 
     weights_units: List[List[int]] = []
@@ -113,7 +362,6 @@ def solve_dp(
             wu = weights_units[k][idx]
             if wu > resolution:
                 continue
-            # new_dp[w] candidate = dp[w - wu] + value for all w >= wu
             if wu == 0:
                 shifted = dp + item.value
                 src = np.arange(resolution + 1)
@@ -131,11 +379,8 @@ def solve_dp(
     if not np.any(dp > _NEG_INF):
         return None
 
-    # Find the best reachable final weight (ties -> smallest weight).
     best_w = int(np.nanargmax(np.where(dp > _NEG_INF, dp, _NEG_INF)))
-    # nanargmax returns the first maximal index, i.e. the smallest weight.
 
-    # Reconstruct the selection by walking the predecessor tables.
     choices = {}
     w = best_w
     for k in range(n - 1, -1, -1):

@@ -138,13 +138,20 @@ def profile_calls(name: str) -> Callable[[F], F]:
     """
 
     def decorate(fn: F) -> F:
+        perf_counter = time.perf_counter
+
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
             active = _active
             if active is None:
+                # Disabled path: no perf_counter pair, no context
+                # manager, no try/finally — a branch and a tail call.
                 return fn(*args, **kwargs)
-            with active.time(name):
+            start = perf_counter()
+            try:
                 return fn(*args, **kwargs)
+            finally:
+                active.record(name, perf_counter() - start)
 
         return wrapper  # type: ignore[return-value]
 

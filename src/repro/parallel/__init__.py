@@ -1,0 +1,11 @@
+"""Parallel experiment-sweep execution.
+
+See :mod:`repro.parallel.runner` for the design; the experiments in
+:mod:`repro.experiments` all accept a ``workers`` argument that is
+forwarded here, and ``repro bench --workers N`` exercises the whole
+stack.
+"""
+
+from .runner import SweepRunner, resolve_workers
+
+__all__ = ["SweepRunner", "resolve_workers"]

@@ -1,0 +1,12 @@
+"""Performance benchmarking for the hot-path overhaul.
+
+:mod:`repro.perf.bench` measures the two headline speedups of the
+performance work — the sparse/vectorized MCKP DP against the reference
+row-masking DP, and the refactored Figure 3 sweep pipeline against the
+original serial one — and re-runs the DP differential check so a speed
+regression can never hide a correctness one.
+"""
+
+from .bench import BenchReport, format_bench, run_bench
+
+__all__ = ["BenchReport", "format_bench", "run_bench"]

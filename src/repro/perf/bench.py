@@ -1,0 +1,325 @@
+"""Hot-path performance benchmark: evidence for ``BENCH_perf.json``.
+
+Two paired comparisons, each old-vs-new on identical inputs:
+
+* **DP kernel** — :func:`repro.knapsack.dp.solve_dp_reference` (the
+  original row-masking dense DP, kept verbatim as the oracle) vs
+  :func:`repro.knapsack.dp.solve_dp` (sparse Pareto-frontier recurrence
+  with a vectorized dense fallback), on Figure-3-sized MCKP instances
+  (30 tasks, ~10 items/class, resolution 20 000).  Target: ≥ 3×.
+* **Figure 3 sweep** — the seed's pipeline (serial loop, reference DP,
+  per-solver ``build_mckp``) vs the refactored one
+  (:func:`repro.experiments.fig3.run_fig3`: sparse DP, shared
+  reduction, :class:`~repro.parallel.SweepRunner` fan-out).  Target:
+  ≥ 5× at 8 workers.
+
+Methodology follows ``benchmarks/bench_trace_overhead.py``: same seeds
+on both sides (identical work), ``gc.collect()`` before every timed
+region, and the median of per-round paired ratios as the estimator so
+machine drift cancels.  Wall clock (``perf_counter``) rather than CPU
+time because the new sweep side may fan out across processes.
+
+The differential check re-runs with every benchmark: the two DP
+implementations (plus the forced dense-fallback path and a
+:class:`~repro.knapsack.SolverCache` hit) must agree on the optimum of
+every instance, so a perf regression can never mask a correctness one.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.odm import OffloadingDecisionManager, build_mckp
+from ..estimator.errors import evaluate_true_benefit, perturb_task_set
+from ..experiments.fig3 import DEFAULT_ACCURACY_RATIOS, run_fig3
+from ..knapsack import MCKPInstance, SolverCache
+from ..knapsack import dp as dp_module
+from ..knapsack.dp import solve_dp, solve_dp_reference
+from ..workloads.generator import paper_simulation_task_set
+
+__all__ = ["BenchReport", "run_bench", "format_bench"]
+
+#: Acceptance targets from the performance-overhaul issue.
+DP_SPEEDUP_TARGET = 3.0
+FIG3_SPEEDUP_TARGET = 5.0
+
+
+@dataclass
+class BenchReport:
+    """Everything ``BENCH_perf.json`` records."""
+
+    quick: bool
+    workers: int
+    seed: int
+    dp: Dict = field(default_factory=dict)
+    fig3: Dict = field(default_factory=dict)
+    differential: Dict = field(default_factory=dict)
+    differential_ok: bool = False
+    targets_met: bool = False
+
+    def to_dict(self) -> Dict:
+        return {
+            "benchmark": "perf_overhaul",
+            "estimator": (
+                "median of per-round paired perf_counter ratios "
+                "(same seeds both sides; gc.collect before each timed "
+                "region)"
+            ),
+            "quick": self.quick,
+            "workers": self.workers,
+            "seed": self.seed,
+            "dp": self.dp,
+            "fig3": self.fig3,
+            "differential": self.differential,
+            "differential_ok": self.differential_ok,
+            "dp_speedup_target": DP_SPEEDUP_TARGET,
+            "fig3_speedup_target": FIG3_SPEEDUP_TARGET,
+            "targets_met": self.targets_met,
+        }
+
+
+def _timed(fn: Callable[[], object]) -> float:
+    gc.collect()
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _paired_speedup(
+    old_fn: Callable[[], object],
+    new_fn: Callable[[], object],
+    rounds: int,
+) -> Dict:
+    """Median of per-round old/new wall-clock ratios."""
+    old_fn()  # warm-up: imports, allocator, worker pools
+    new_fn()
+    old_s: List[float] = []
+    new_s: List[float] = []
+    ratios: List[float] = []
+    for _ in range(rounds):
+        o = _timed(old_fn)
+        n = _timed(new_fn)
+        old_s.append(o)
+        new_s.append(n)
+        ratios.append(o / n)
+    return {
+        "rounds": rounds,
+        "old_best_s": min(old_s),
+        "old_median_s": statistics.median(old_s),
+        "new_best_s": min(new_s),
+        "new_median_s": statistics.median(new_s),
+        "speedup_paired_median": statistics.median(ratios),
+        "speedup_best_estimate": min(old_s) / min(new_s),
+    }
+
+
+def _bench_instances(count: int, seed: int) -> List[MCKPInstance]:
+    """Figure-3-shaped MCKP instances (the DP's production diet)."""
+    instances = []
+    for index in range(count):
+        rng = np.random.default_rng(seed * 7919 + index)
+        instances.append(
+            build_mckp(paper_simulation_task_set(rng, num_tasks=30))
+        )
+    return instances
+
+
+def _differential_check(instances: List[MCKPInstance]) -> Dict:
+    """Optima must agree across every DP path and a cache round-trip."""
+    identical = forced_dense = cache_hit = True
+    for instance in instances:
+        ref = solve_dp_reference(instance)
+        new = solve_dp(instance)
+        assert ref is not None and new is not None
+        if abs(ref.total_value - new.total_value) > 1e-9:
+            identical = False
+        # force the dense-fallback path and re-check
+        saved = dp_module._SPARSE_CANDIDATE_FACTOR
+        dp_module._SPARSE_CANDIDATE_FACTOR = 0
+        try:
+            dense = solve_dp(instance)
+        finally:
+            dp_module._SPARSE_CANDIDATE_FACTOR = saved
+        if dense is None or abs(ref.total_value - dense.total_value) > 1e-9:
+            forced_dense = False
+        # a cache hit must reproduce the miss's selection exactly
+        cache = SolverCache()
+        first = cache.solve("dp", solve_dp, instance)
+        second = cache.solve("dp", solve_dp, instance)
+        if (
+            cache.hits != 1
+            or first is None
+            or second is None
+            or first.choices != second.choices
+            or first.total_value != second.total_value
+        ):
+            cache_hit = False
+    return {
+        "instances": len(instances),
+        "identical_optima": identical,
+        "forced_dense_identical": forced_dense,
+        "cache_hit_identical": cache_hit,
+    }
+
+
+# ----------------------------------------------------------------------
+# the old Figure 3 pipeline, reconstructed as the baseline
+# ----------------------------------------------------------------------
+def _fig3_reference_sweep(
+    accuracy_ratios,
+    solvers,
+    num_task_sets: int,
+    num_tasks: int,
+    seed: int,
+) -> Dict[str, List[float]]:
+    """The seed's sweep: serial, reference DP, per-solver reduction.
+
+    ``manager.decide`` rebuilds the MCKP instance for every solver —
+    exactly what the pre-overhaul ``run_fig3`` did.
+    """
+    managers = {
+        name: OffloadingDecisionManager(
+            solver=solve_dp_reference if name == "dp" else name
+        )
+        for name in solvers
+    }
+    sums: Dict[str, List[float]] = {
+        name: [0.0] * len(accuracy_ratios) for name in solvers
+    }
+    for set_index in range(num_task_sets):
+        rng = np.random.default_rng(seed * 7919 + set_index)
+        truth = paper_simulation_task_set(rng, num_tasks=num_tasks)
+        for k, ratio in enumerate(accuracy_ratios):
+            believed = perturb_task_set(truth, ratio)
+            believed.validate()
+            for name, manager in managers.items():
+                decision = manager.decide(believed)
+                sums[name][k] += evaluate_true_benefit(
+                    truth, dict(decision.response_times)
+                )
+    return sums
+
+
+def run_bench(
+    quick: bool = False,
+    workers: Optional[int] = None,
+    seed: int = 0,
+) -> BenchReport:
+    """Measure both speedups and re-run the differential check."""
+    if workers is None:
+        workers = 8
+    if quick:
+        dp_instances, dp_rounds = 4, 3
+        fig3_sets, fig3_rounds = 2, 2
+        ratios = (-0.4, 0.0, 0.4)
+    else:
+        dp_instances, dp_rounds = 12, 5
+        fig3_sets, fig3_rounds = 6, 3
+        ratios = tuple(DEFAULT_ACCURACY_RATIOS)
+    solvers = ("dp", "heu_oe")
+
+    report = BenchReport(quick=quick, workers=workers, seed=seed)
+
+    # --- DP kernel -----------------------------------------------------
+    instances = _bench_instances(dp_instances, seed)
+    dp_stats = _paired_speedup(
+        lambda: [solve_dp_reference(inst) for inst in instances],
+        lambda: [solve_dp(inst) for inst in instances],
+        dp_rounds,
+    )
+    report.dp = {
+        "workload": (
+            f"{dp_instances} fig3-shaped MCKP instances "
+            f"(30 tasks, resolution 20000), single thread"
+        ),
+        "instances": dp_instances,
+        **dp_stats,
+        "target": DP_SPEEDUP_TARGET,
+        "met": dp_stats["speedup_paired_median"] >= DP_SPEEDUP_TARGET,
+    }
+
+    # --- Figure 3 sweep ------------------------------------------------
+    fig3_kwargs = dict(
+        accuracy_ratios=ratios,
+        solvers=solvers,
+        num_task_sets=fig3_sets,
+        seed=seed,
+    )
+    fig3_stats = _paired_speedup(
+        lambda: _fig3_reference_sweep(
+            ratios, solvers, fig3_sets, 30, seed
+        ),
+        lambda: run_fig3(workers=workers, **fig3_kwargs),
+        fig3_rounds,
+    )
+    # sanity: both pipelines trace the same benefit curves
+    baseline_sums = _fig3_reference_sweep(ratios, solvers, fig3_sets, 30, seed)
+    optimized = run_fig3(workers=workers, **fig3_kwargs)
+    curves_close = all(
+        np.allclose(
+            np.asarray(baseline_sums[name]) / fig3_sets,
+            np.asarray(optimized.raw[name]),
+            rtol=1e-6,
+        )
+        for name in solvers
+    )
+    report.fig3 = {
+        "workload": (
+            f"fig3 sweep: {fig3_sets} task sets x {len(ratios)} ratios "
+            f"x {len(solvers)} solvers; old = serial + reference DP + "
+            f"per-solver reduction, new = run_fig3(workers={workers})"
+        ),
+        "task_sets": fig3_sets,
+        "ratios": len(ratios),
+        **fig3_stats,
+        "curves_match": curves_close,
+        "target": FIG3_SPEEDUP_TARGET,
+        "met": fig3_stats["speedup_paired_median"] >= FIG3_SPEEDUP_TARGET,
+    }
+
+    # --- correctness gate ----------------------------------------------
+    report.differential = _differential_check(instances)
+    report.differential_ok = (
+        report.differential["identical_optima"]
+        and report.differential["forced_dense_identical"]
+        and report.differential["cache_hit_identical"]
+        and curves_close
+    )
+    report.targets_met = bool(
+        report.dp["met"] and report.fig3["met"] and report.differential_ok
+    )
+    return report
+
+
+def format_bench(report: BenchReport) -> str:
+    dp, fig3 = report.dp, report.fig3
+    diff = report.differential
+    lines = [
+        "hot-path performance benchmark (paired-median estimator)"
+        + (" [quick]" if report.quick else ""),
+        f"  DP kernel: {dp['old_median_s'] * 1000:8.1f} ms -> "
+        f"{dp['new_median_s'] * 1000:8.1f} ms   "
+        f"speedup {dp['speedup_paired_median']:5.2f}x "
+        f"(target {dp['target']:.0f}x, "
+        f"{'met' if dp['met'] else 'MISSED'})",
+        f"  fig3 sweep ({report.workers} workers): "
+        f"{fig3['old_median_s'] * 1000:8.1f} ms -> "
+        f"{fig3['new_median_s'] * 1000:8.1f} ms   "
+        f"speedup {fig3['speedup_paired_median']:5.2f}x "
+        f"(target {fig3['target']:.0f}x, "
+        f"{'met' if fig3['met'] else 'MISSED'})",
+        f"  differential: {diff['instances']} instances, "
+        f"identical optima={diff['identical_optima']}, "
+        f"forced dense={diff['forced_dense_identical']}, "
+        f"cache hit={diff['cache_hit_identical']}, "
+        f"curves match={fig3['curves_match']}",
+        f"  differential_ok={report.differential_ok}  "
+        f"targets_met={report.targets_met}",
+    ]
+    return "\n".join(lines)

@@ -284,7 +284,9 @@ class ResilientOffloadingSystem:
         self.seed = seed
         self.window = window
         self.fault_schedule = fault_schedule
-        self.odm = OffloadingDecisionManager(solver=solver)
+        # the loop re-decides the same (or local-only) instance every
+        # window, so cache hits make re-decisions free after the first
+        self.odm = OffloadingDecisionManager(solver=solver, cache=True)
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.monitor = HealthMonitor(
             window=monitor_window if monitor_window is not None else window

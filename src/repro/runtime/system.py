@@ -45,6 +45,13 @@ class OffloadingSystem:
         a preset (``"busy"``, ``"not_busy"``, ``"idle"``).
     solver:
         MCKP solver name forwarded to the ODM (default ``"dp"``).
+    resolution:
+        Optional capacity-quantization override forwarded to the DP
+        solver (ignored by the others).
+    cache:
+        Optional :class:`~repro.knapsack.SolverCache` (or ``True`` for a
+        private one) forwarded to the ODM so repeated decisions on
+        identical instances are free.
     seed:
         Root seed for every stochastic component of the run.
     deadline_mode:
@@ -71,6 +78,8 @@ class OffloadingSystem:
         exec_model: Optional[ExecutionTimeModel] = None,
         fault_schedule: Optional["FaultSchedule"] = None,
         observability: Optional[Observability] = None,
+        resolution: Optional[int] = None,
+        cache=None,
     ) -> None:
         if isinstance(scenario, str):
             if scenario not in SCENARIOS:
@@ -90,7 +99,12 @@ class OffloadingSystem:
             if observability is not None
             else Observability.disabled()
         )
-        self.odm = OffloadingDecisionManager(solver=solver)
+        solver_kwargs = {}
+        if resolution is not None and solver == "dp":
+            solver_kwargs["resolution"] = resolution
+        self.odm = OffloadingDecisionManager(
+            solver=solver, cache=cache, **solver_kwargs
+        )
         self._decision: Optional[OffloadingDecision] = None
 
     # ------------------------------------------------------------------

@@ -9,12 +9,18 @@ deterministic and matches the common EDF implementation convention of
 not preempting an equal-deadline running job.  (Raw float keys would
 order dust-close deadlines by accumulated rounding error — see
 :mod:`repro.sim.timecmp`.)
+
+Removal uses **lazy deletion**, mirroring the event heap in
+:mod:`repro.sim.engine`: :meth:`EDFReadyQueue.remove` only flips a live
+flag in O(1); the dead entry is discarded when it surfaces at the heap
+top.  This keeps mid-queue retractions (job aborts, decision changes)
+off the O(n) ``heapify`` path.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .jobs import SubJob
 
@@ -24,30 +30,55 @@ __all__ = ["EDFReadyQueue"]
 class EDFReadyQueue:
     """Min-heap of ready sub-jobs ordered by EDF priority."""
 
+    __slots__ = ("_heap", "_entries")
+
     def __init__(self) -> None:
+        # heap entries are (edf_key, [subjob, live]); the mutable cell is
+        # shared with ``_entries`` so remove() is an O(1) flag flip.
         self._heap: List[tuple] = []
+        self._entries: Dict[int, list] = {}
 
     def push(self, subjob: SubJob) -> None:
-        heapq.heappush(self._heap, (subjob.edf_key, subjob))
+        if id(subjob) in self._entries:
+            raise ValueError(f"{subjob!r} is already queued")
+        entry = [subjob, True]
+        self._entries[id(subjob)] = entry
+        heapq.heappush(self._heap, (subjob.edf_key, entry))
+
+    def remove(self, subjob: SubJob) -> bool:
+        """Retract a queued sub-job; returns whether it was present."""
+        entry = self._entries.pop(id(subjob), None)
+        if entry is None:
+            return False
+        entry[1] = False
+        return True
 
     def pop(self) -> SubJob:
         """Remove and return the earliest-deadline sub-job."""
-        if not self._heap:
-            raise IndexError("pop from empty ready queue")
-        return heapq.heappop(self._heap)[1]
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)[1]
+            if entry[1]:
+                subjob = entry[0]
+                del self._entries[id(subjob)]
+                return subjob
+        raise IndexError("pop from empty ready queue")
 
     def peek(self) -> Optional[SubJob]:
-        return self._heap[0][1] if self._heap else None
+        heap = self._heap
+        while heap and not heap[0][1][1]:
+            heapq.heappop(heap)
+        return heap[0][1][0] if heap else None
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._entries)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return bool(self._entries)
 
     def drain(self) -> List[SubJob]:
         """Remove and return all sub-jobs in EDF order (for inspection)."""
         out = []
-        while self._heap:
+        while self._entries:
             out.append(self.pop())
         return out

@@ -180,12 +180,24 @@ class Simulator:
         start_wall = _wall.perf_counter() if observed else 0.0
         start_events = self._events_processed
         self._running = True
+        # Inlined step loop: the engine spends its life here, so the
+        # heap, heappop and counters are bound locally and each event is
+        # inspected exactly once (no separate peek + pop passes).
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while True:
-                next_time = self.peek_time()
-                if next_time is None or next_time > horizon:
+            while heap:
+                head = heap[0]
+                if head.cancelled:
+                    heappop(heap)
+                    continue
+                if head.time > horizon:
                     break
-                self.step()
+                event = heappop(heap)
+                if event.time > self._now:
+                    self._now = event.time
+                self._events_processed += 1
+                event.fire()
                 if self._stopped:
                     break
         finally:

@@ -14,7 +14,6 @@ the standard O(log n) technique for binary-heap based simulators.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from .timecmp import quantize_time
@@ -37,7 +36,6 @@ PRIORITY_DISPATCH = 1000
 _sequence_counter = itertools.count()
 
 
-@dataclass
 class Event:
     """A single scheduled occurrence in the simulation.
 
@@ -48,19 +46,43 @@ class Event:
     their relative order is decided by ``priority`` (release before
     timer before dispatch) as the design intends — not by which
     arithmetic path accumulated less rounding error.
+
+    A ``__slots__`` class, not a dataclass: the engine allocates one per
+    scheduled callback, and heap sifts compare events ``O(log n)`` times
+    each, so the sort key is computed **once** at construction
+    (``quantize_time`` is off the comparison path) and ``__lt__`` is a
+    single tuple comparison.
     """
 
-    time: float
-    priority: int = PRIORITY_NORMAL
-    seq: int = field(default_factory=lambda: next(_sequence_counter))
-    callback: Optional[Callable[["Event"], None]] = None
-    payload: Any = None
-    name: str = ""
-    cancelled: bool = False
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "callback",
+        "payload",
+        "name",
+        "cancelled",
+        "sort_key",
+    )
 
-    @property
-    def sort_key(self) -> tuple:
-        return (quantize_time(self.time), self.priority, self.seq)
+    def __init__(
+        self,
+        time: float,
+        priority: int = PRIORITY_NORMAL,
+        seq: Optional[int] = None,
+        callback: Optional[Callable[["Event"], None]] = None,
+        payload: Any = None,
+        name: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = next(_sequence_counter) if seq is None else seq
+        self.callback = callback
+        self.payload = payload
+        self.name = name
+        self.cancelled = cancelled
+        self.sort_key = (quantize_time(time), priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
         return self.sort_key < other.sort_key

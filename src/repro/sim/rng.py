@@ -18,11 +18,11 @@ is derived from ``(root_seed, stream_name)``.
 from __future__ import annotations
 
 import zlib
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
-__all__ = ["RandomStreams", "derive_seed"]
+__all__ = ["RandomStreams", "derive_seed", "spawn_streams"]
 
 
 def derive_seed(root_seed: int, name: str) -> int:
@@ -34,6 +34,27 @@ def derive_seed(root_seed: int, name: str) -> int:
     """
     name_hash = zlib.crc32(name.encode("utf-8"))
     return (int(root_seed) * 0x9E3779B1 + name_hash) % (2**32)
+
+
+def spawn_streams(seed: int, n: int) -> "List[RandomStreams]":
+    """Spawn ``n`` independent :class:`RandomStreams` from one root seed.
+
+    Built on ``numpy.random.SeedSequence.spawn``, so the children are
+    statistically independent of each other *and* of a
+    ``RandomStreams(seed)`` parent.  The result depends only on
+    ``(seed, index)`` — not on how the list is later sliced across
+    workers — which is what lets :class:`repro.parallel.SweepRunner`
+    reproduce a serial sweep bit-for-bit at any worker count: work unit
+    ``i`` always receives ``spawn_streams(seed, n)[i]`` no matter which
+    process executes it.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} streams")
+    children = np.random.SeedSequence(int(seed)).spawn(n)
+    return [
+        RandomStreams(seed=int(child.generate_state(1, dtype=np.uint32)[0]))
+        for child in children
+    ]
 
 
 class RandomStreams:

@@ -1,0 +1,140 @@
+"""Unit tests for the MCKP solver cache."""
+
+import pytest
+
+from repro.knapsack import (
+    MCKPClass,
+    MCKPInstance,
+    MCKPItem,
+    SolverCache,
+    canonical_instance_key,
+    solve_dp,
+)
+
+
+def _instance(capacity=10.0, tags=("a", "b")):
+    classes = (
+        MCKPClass(
+            "c0",
+            (
+                MCKPItem(value=1.0, weight=0.0, tag=tags[0]),
+                MCKPItem(value=5.0, weight=4.0, tag=tags[1]),
+            ),
+        ),
+        MCKPClass(
+            "c1",
+            (
+                MCKPItem(value=2.0, weight=0.0),
+                MCKPItem(value=9.0, weight=7.0),
+            ),
+        ),
+    )
+    return MCKPInstance(classes=classes, capacity=capacity)
+
+
+def _infeasible():
+    return MCKPInstance(
+        classes=(MCKPClass("c0", (MCKPItem(value=1.0, weight=5.0),)),),
+        capacity=1.0,
+    )
+
+
+def _counting(solver):
+    calls = []
+
+    def wrapped(instance, **kwargs):
+        calls.append(instance)
+        return solver(instance, **kwargs)
+
+    return wrapped, calls
+
+
+class TestCanonicalKey:
+    def test_identical_structure_same_key(self):
+        assert canonical_instance_key(_instance()) == canonical_instance_key(
+            _instance()
+        )
+
+    def test_tags_do_not_affect_key(self):
+        assert canonical_instance_key(
+            _instance(tags=("a", "b"))
+        ) == canonical_instance_key(_instance(tags=("x", "y")))
+
+    def test_capacity_affects_key(self):
+        assert canonical_instance_key(
+            _instance(capacity=10.0)
+        ) != canonical_instance_key(_instance(capacity=11.0))
+
+
+class TestSolverCache:
+    def test_miss_then_hit(self):
+        cache = SolverCache()
+        solver, calls = _counting(solve_dp)
+        first = cache.solve("dp", solver, _instance(), resolution=100)
+        second = cache.solve("dp", solver, _instance(), resolution=100)
+        assert len(calls) == 1
+        assert cache.stats == {"hits": 1, "misses": 1, "entries": 1}
+        assert second.choices == first.choices
+        assert second.total_value == first.total_value
+
+    def test_hit_rebinds_to_callers_instance(self):
+        """The cached choices come back bound to the *caller's* instance,
+        so its tags (response times in the ODM) are honoured."""
+        cache = SolverCache()
+        cache.solve("dp", solve_dp, _instance(tags=(0.0, 0.1)))
+        mine = _instance(tags=(0.0, 0.25))
+        hit = cache.solve("dp", solve_dp, mine)
+        assert hit.instance is mine
+        assert hit.item_for("c0").tag in (0.0, 0.25)
+
+    def test_kwargs_distinguish_entries(self):
+        cache = SolverCache()
+        solver, calls = _counting(solve_dp)
+        cache.solve("dp", solver, _instance(), resolution=10)
+        cache.solve("dp", solver, _instance(), resolution=20)
+        assert len(calls) == 2
+        assert cache.misses == 2
+
+    def test_solver_name_distinguishes_entries(self):
+        cache = SolverCache()
+        solver, calls = _counting(solve_dp)
+        cache.solve("dp", solver, _instance())
+        cache.solve("other", solver, _instance())
+        assert len(calls) == 2
+
+    def test_infeasible_none_is_cached(self):
+        cache = SolverCache()
+        solver, calls = _counting(solve_dp)
+        assert cache.solve("dp", solver, _infeasible()) is None
+        assert cache.solve("dp", solver, _infeasible()) is None
+        assert len(calls) == 1
+        assert cache.hits == 1
+
+    def test_lru_eviction(self):
+        cache = SolverCache(maxsize=2)
+        a, b, c = (
+            _instance(capacity=5.0),
+            _instance(capacity=6.0),
+            _instance(capacity=7.0),
+        )
+        solver, calls = _counting(solve_dp)
+        cache.solve("dp", solver, a)
+        cache.solve("dp", solver, b)
+        cache.solve("dp", solver, c)  # evicts a (oldest)
+        assert len(cache) == 2
+        cache.solve("dp", solver, b)  # still cached
+        assert cache.hits == 1
+        cache.solve("dp", solver, a)  # evicted: recomputed
+        assert len(calls) == 4
+
+    def test_clear(self):
+        cache = SolverCache()
+        cache.solve("dp", solve_dp, _instance())
+        cache.clear()
+        assert len(cache) == 0
+        cache.solve("dp", solve_dp, _instance())
+        assert cache.misses == 2
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            SolverCache(maxsize=0)

@@ -20,11 +20,14 @@ from repro.knapsack import (
     MCKPClass,
     MCKPInstance,
     MCKPItem,
+    SolverCache,
     solve_branch_bound,
     solve_brute_force,
     solve_dp,
+    solve_dp_reference,
     solve_heu_oe,
 )
+from repro.knapsack import dp as dp_module
 
 #: 20 parametrized seeds x 10 instances each = 200 differential cases.
 NUM_SEEDS = 20
@@ -89,6 +92,69 @@ def test_exact_solvers_agree_and_heuristic_never_wins(seed):
         assert heu.total_value <= optimum + VALUE_TOL, (
             f"heu_oe={heu.total_value} > optimum={optimum} on {label}"
         )
+
+
+@pytest.mark.parametrize("seed", range(NUM_SEEDS))
+def test_optimized_dp_paths_match_reference(seed):
+    """Sparse frontier, forced dense fallback, and the reference DP all
+    report the identical optimum (or identical infeasibility) over the
+    full corpus."""
+    rng = random.Random(seed)
+    for case in range(INSTANCES_PER_SEED):
+        instance = _random_instance(rng)
+        resolution = int(instance.capacity)
+        reference = solve_dp_reference(instance, resolution=resolution)
+        sparse = solve_dp(instance, resolution=resolution)
+        saved = dp_module._SPARSE_CANDIDATE_FACTOR
+        dp_module._SPARSE_CANDIDATE_FACTOR = 0  # every layer goes dense
+        try:
+            dense = solve_dp(instance, resolution=resolution)
+        finally:
+            dp_module._SPARSE_CANDIDATE_FACTOR = saved
+        label = f"seed={seed} case={case} instance={instance!r}"
+
+        if reference is None:
+            assert sparse is None, f"sparse solved infeasible {label}"
+            assert dense is None, f"dense solved infeasible {label}"
+            continue
+        assert sparse is not None and sparse.is_feasible, label
+        assert dense is not None and dense.is_feasible, label
+        assert abs(sparse.total_value - reference.total_value) <= VALUE_TOL, (
+            f"sparse={sparse.total_value} != "
+            f"reference={reference.total_value} on {label}"
+        )
+        assert abs(dense.total_value - reference.total_value) <= VALUE_TOL, (
+            f"dense={dense.total_value} != "
+            f"reference={reference.total_value} on {label}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(NUM_SEEDS))
+def test_solver_cache_hits_reproduce_selections(seed):
+    """A cache hit returns a Selection identical to the original solve
+    (same choices, value, weight), rebound to the caller's instance."""
+    rng = random.Random(seed)
+    cache = SolverCache()
+    for case in range(INSTANCES_PER_SEED):
+        instance = _random_instance(rng)
+        resolution = int(instance.capacity)
+        first = cache.solve(
+            "dp", solve_dp, instance, resolution=resolution
+        )
+        misses = cache.misses
+        second = cache.solve(
+            "dp", solve_dp, instance, resolution=resolution
+        )
+        label = f"seed={seed} case={case}"
+        assert cache.misses == misses, f"second solve missed on {label}"
+        if first is None:
+            assert second is None, label
+            continue
+        assert second is not None, label
+        assert second.choices == first.choices, label
+        assert second.total_value == first.total_value, label
+        assert second.total_weight == first.total_weight, label
+        assert second.instance is instance, label
 
 
 def test_differential_corpus_size():

@@ -88,3 +88,53 @@ class TestEDFReadyQueue:
         drained = q.drain()
         assert [sj.absolute_deadline for sj in drained] == sorted(deadlines)
         assert not q
+
+    def test_remove_excludes_subjob_from_pop(self):
+        q = EDFReadyQueue()
+        a, b, c = _subjob(1.0), _subjob(2.0), _subjob(3.0)
+        for sj in (a, b, c):
+            q.push(sj)
+        assert q.remove(b) is True
+        assert len(q) == 2
+        assert q.pop() is a
+        assert q.pop() is c
+        assert not q
+
+    def test_remove_head_updates_peek(self):
+        q = EDFReadyQueue()
+        a, b = _subjob(1.0), _subjob(2.0)
+        q.push(a)
+        q.push(b)
+        assert q.remove(a)
+        assert q.peek() is b
+
+    def test_remove_unknown_returns_false(self):
+        q = EDFReadyQueue()
+        q.push(_subjob(1.0))
+        assert q.remove(_subjob(2.0)) is False
+        assert len(q) == 1
+
+    def test_removed_subjob_can_be_requeued(self):
+        q = EDFReadyQueue()
+        sj = _subjob(1.0)
+        q.push(sj)
+        q.remove(sj)
+        q.push(sj)  # lazy deletion must not shadow the re-push
+        assert q.pop() is sj
+        assert not q
+
+    def test_duplicate_push_rejected(self):
+        q = EDFReadyQueue()
+        sj = _subjob(1.0)
+        q.push(sj)
+        with pytest.raises(ValueError):
+            q.push(sj)
+
+    def test_drain_skips_removed(self):
+        q = EDFReadyQueue()
+        subjobs = [_subjob(d) for d in (4.0, 1.0, 3.0, 2.0)]
+        for sj in subjobs:
+            q.push(sj)
+        q.remove(subjobs[2])  # deadline 3.0
+        drained = q.drain()
+        assert [sj.absolute_deadline for sj in drained] == [1.0, 2.0, 4.0]
