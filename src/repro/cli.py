@@ -309,6 +309,110 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if report.differential_ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .observability import Observability
+    from .service import BatchPolicy, ODMService, serve_tcp
+
+    service = ODMService(
+        resolution=args.resolution,
+        workers=args.workers,
+        batch_policy=BatchPolicy(
+            max_batch=args.max_batch,
+            max_wait=args.max_wait,
+            queue_capacity=args.queue_capacity,
+        ),
+        observability=Observability.enabled(profile=False),
+    )
+    asyncio.run(
+        serve_tcp(
+            service, host=args.host, port=args.port,
+            duration=args.duration,
+        )
+    )
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .service import (
+        LoadGenConfig,
+        ODMService,
+        ServiceClient,
+        run_loadgen,
+    )
+
+    config = LoadGenConfig(
+        seed=args.seed,
+        bursts=args.bursts,
+        mean_burst_size=args.burst_size,
+        unique_sets=args.unique_sets,
+        num_tasks=args.tasks,
+    )
+
+    async def drive():
+        if args.in_process:
+            service = ODMService(
+                resolution=args.resolution, workers=args.workers
+            )
+            async with service:
+                return await run_loadgen(
+                    service.submit, config,
+                    record_outcome=service.record_outcome,
+                    close_window=service.close_health_window,
+                    stats=service.stats,
+                    resolution=args.resolution,
+                )
+        client = ServiceClient(args.host, args.port)
+        async with client:
+            report = await run_loadgen(
+                client.submit, config,
+                record_outcome=client.record_outcome,
+                close_window=client.close_window,
+                stats=client.stats,
+                resolution=args.resolution,
+            )
+            if args.shutdown:
+                await client.shutdown()
+            return report
+
+    report = asyncio.run(drive())
+    record = report.to_dict()
+    latency = record["latency"]
+    print(
+        f"loadgen: {report.requests} requests over {report.bursts} "
+        f"bursts — {report.admitted} admitted, {report.rejected} "
+        f"rejected, {report.shed} shed"
+    )
+    print(f"rungs served: {record['rungs_seen']}")
+    print(
+        f"degraded-server breaker: opened={report.breaker_opened} "
+        f"reclosed={report.breaker_reclosed}"
+    )
+    print(
+        f"latency p50/p99: batched {latency['batched_p50'] * 1e3:.2f}/"
+        f"{latency['batched_p99'] * 1e3:.2f} ms vs serial "
+        f"{latency['serial_p50'] * 1e3:.2f}/"
+        f"{latency['serial_p99'] * 1e3:.2f} ms "
+        f"(p99 speedup {latency['p99_speedup']:.2f}x)"
+    )
+    print(
+        f"audit: {report.anomaly_count} anomalies "
+        f"({'OK' if report.ok else 'VIOLATIONS'})"
+    )
+    for anomaly in report.anomalies:
+        print(f"  ! {anomaly}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if report.ok else 1
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     tasks = table1_task_set()
     system = OffloadingSystem(
@@ -465,6 +569,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write the JSON report to PATH")
     add_workers(p)
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="online ODM admission service (newline-delimited JSON/TCP)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7741)
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument(
+        "--max-wait", type=float, default=0.002,
+        help="micro-batch linger in seconds",
+    )
+    p.add_argument("--queue-capacity", type=int, default=256)
+    p.add_argument("--resolution", type=int, default=20_000)
+    p.add_argument(
+        "--duration", type=float, default=None,
+        help="exit cleanly after SECONDS even without a shutdown op",
+    )
+    add_workers(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="bursty load + differential audit against the service",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7741)
+    p.add_argument(
+        "--in-process", action="store_true",
+        help="drive an embedded service instead of a TCP one",
+    )
+    p.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    p.add_argument("--bursts", type=int, default=30)
+    p.add_argument("--burst-size", type=float, default=5.0)
+    p.add_argument("--unique-sets", type=int, default=10)
+    p.add_argument("--tasks", type=int, default=5)
+    p.add_argument("--resolution", type=int, default=20_000)
+    p.add_argument(
+        "--out", help="write the report JSON (BENCH_service.json) to PATH"
+    )
+    p.add_argument(
+        "--shutdown", action="store_true",
+        help="send a shutdown op to the TCP service when done",
+    )
+    add_workers(p)
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser("demo", help="one end-to-end run with a Gantt chart")
     p.add_argument("--scenario", default="idle")

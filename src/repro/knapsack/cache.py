@@ -92,6 +92,41 @@ class SolverCache:
             "entries": len(self._entries),
         }
 
+    @staticmethod
+    def key_for(
+        solver_name: str, instance: MCKPInstance, **kwargs: Any
+    ) -> Tuple:
+        """The full cache key of a ``(solver, kwargs, instance)`` call."""
+        return (
+            solver_name,
+            tuple(sorted(kwargs.items())),
+            canonical_instance_key(instance),
+        )
+
+    def lookup(self, key: Tuple) -> Tuple[bool, Optional[Dict[str, int]]]:
+        """Probe the cache: ``(hit, choices-or-None)``.
+
+        A hit returns the stored choices dict (``None`` for a cached
+        infeasible verdict); callers rebind onto their own instance.
+        Updates the hit/miss counters and LRU recency, so the batched
+        service path and :meth:`solve` share one statistics stream.
+        """
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return True, self._entries[key]
+        self.misses += 1
+        return False, None
+
+    def store(
+        self, key: Tuple, choices: Optional[Dict[str, int]]
+    ) -> None:
+        """Insert one solved result (``None`` = infeasible), evicting LRU."""
+        self._entries[key] = None if choices is None else dict(choices)
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
     def solve(
         self,
         solver_name: str,
@@ -100,24 +135,15 @@ class SolverCache:
         **kwargs: Any,
     ) -> Optional[Selection]:
         """Solve ``instance`` with ``solver``, memoized."""
-        key = (
-            solver_name,
-            tuple(sorted(kwargs.items())),
-            canonical_instance_key(instance),
-        )
-        if key in self._entries:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            choices = self._entries[key]
+        key = self.key_for(solver_name, instance, **kwargs)
+        hit, choices = self.lookup(key)
+        if hit:
             if choices is None:
                 return None
             return Selection(instance, dict(choices))
 
-        self.misses += 1
         selection = solver(instance, **kwargs)
-        self._entries[key] = (
-            None if selection is None else dict(selection.choices)
+        self.store(
+            key, None if selection is None else dict(selection.choices)
         )
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
         return selection

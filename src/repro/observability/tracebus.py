@@ -25,7 +25,9 @@ events once ``capacity`` is exceeded (``dropped`` counts them).
 
 Schema
 ------
-``SCHEMA_VERSION`` identifies the event vocabulary.  Version 1 kinds:
+``SCHEMA_VERSION`` identifies the event vocabulary.  Version 2 kinds
+(version 2 adds the ``service.*`` family emitted by the online ODM
+service in :mod:`repro.service`; every version-1 kind is unchanged):
 
 =====================  ===============================================
 kind                   fields
@@ -46,6 +48,11 @@ kind                   fields
 ``odm.decision``       solver, offloaded, expected_benefit, demand_rate
 ``breaker.state``      window, old, new
 ``engine.run``         events, wall_seconds
+``service.request``    request, queue_depth
+``service.shed``       request, queue_depth
+``service.batch``      size, level, queue_depth, wall_seconds
+``service.response``   request, status, level, solver, latency
+``service.degrade``    old_level, new_level, queue_depth
 =====================  ===============================================
 
 Events are plain data; :func:`TraceBus.to_records` /
@@ -72,7 +79,7 @@ from typing import (
 __all__ = ["SCHEMA_VERSION", "TraceEvent", "TraceBus", "NULL_BUS"]
 
 #: Version of the event vocabulary documented above.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)

@@ -103,6 +103,42 @@ class SweepRunner:
         #: How the last ``map`` actually executed: "serial" or
         #: "parallel".  Lets callers (and tests) observe fallbacks.
         self.last_mode = "serial"
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # persistent-pool mode (the online service's hot path)
+    # ------------------------------------------------------------------
+    def start(self) -> "SweepRunner":
+        """Create a persistent worker pool reused across ``map`` calls.
+
+        Experiment sweeps amortize pool startup over one large sweep;
+        the online service instead issues many small batches, where a
+        fresh pool per batch would cost more than the solves.  A started
+        runner keeps one pool alive until :meth:`close`.  Pool creation
+        failures leave the runner in serial mode (same degradation
+        contract as :meth:`map`).
+        """
+        if self.workers > 1 and self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=self._resolve_context(),
+                )
+            except Exception:
+                self._pool = None
+        return self
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op when not started)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _resolve_context(self):
@@ -131,24 +167,41 @@ class SweepRunner:
         """Submit chunks to a pool; None signals "fall back to serial"."""
         results: list = [None] * n
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(chunk_args)),
-                mp_context=self._resolve_context(),
-            ) as pool:
-                futures = [
-                    (span, pool.submit(worker, *args))
-                    for span, args in zip(spans, chunk_args)
-                ]
-                for span, future in futures:
-                    chunk_result = future.result()
-                    for offset, index in enumerate(span):
-                        results[index] = chunk_result[offset]
+            if self._pool is not None:
+                self._drain(self._pool, worker, spans, chunk_args, results)
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(chunk_args)),
+                    mp_context=self._resolve_context(),
+                ) as pool:
+                    self._drain(pool, worker, spans, chunk_args, results)
         except Exception:
             # Pool creation/pickling failures (sandboxes, lambdas,
             # missing start methods) degrade to the serial reference
             # path.  Genuine unit errors re-raise there identically.
+            # A broken persistent pool is discarded so later calls get
+            # a clean retry instead of reusing dead workers.
+            if self._pool is not None:
+                self.close()
             return None
         return results
+
+    @staticmethod
+    def _drain(
+        pool: ProcessPoolExecutor,
+        worker: Callable,
+        spans: List[range],
+        chunk_args: List[tuple],
+        results: list,
+    ) -> None:
+        futures = [
+            (span, pool.submit(worker, *args))
+            for span, args in zip(spans, chunk_args)
+        ]
+        for span, future in futures:
+            chunk_result = future.result()
+            for offset, index in enumerate(span):
+                results[index] = chunk_result[offset]
 
     # ------------------------------------------------------------------
     def map(

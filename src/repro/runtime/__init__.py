@@ -11,6 +11,7 @@ from .health import (
     ResilienceReport,
     ResilienceWindow,
     ResilientOffloadingSystem,
+    local_only_tasks,
 )
 from .report import SystemReport
 from .system import OffloadingSystem
@@ -32,4 +33,5 @@ __all__ = [
     "ResilienceWindow",
     "ResilienceReport",
     "ResilientOffloadingSystem",
+    "local_only_tasks",
 ]

@@ -50,9 +50,41 @@ __all__ = [
     "ResilienceWindow",
     "ResilienceReport",
     "ResilientOffloadingSystem",
+    "local_only_tasks",
 ]
 
 BREAKER_STATES = ("closed", "open", "half_open")
+
+
+def local_only_tasks(tasks: TaskSet) -> TaskSet:
+    """Demote every offloadable task to its local-only configuration.
+
+    The benefit function is truncated to the mandatory ``r = 0`` point,
+    so offloading becomes structurally impossible while the task set
+    stays a valid ODM input — the degraded decision is still an
+    explicit, Theorem-3-verified decision rather than an ad-hoc patch.
+    Shared by the circuit-breaker loop here and the online service's
+    degradation ladder (:mod:`repro.service.degradation`).
+    """
+    survivors = TaskSet()
+    for task in tasks:
+        if isinstance(task, OffloadableTask):
+            survivors.add(
+                OffloadableTask(
+                    task_id=task.task_id,
+                    wcet=task.wcet,
+                    period=task.period,
+                    deadline=task.deadline,
+                    weight=task.weight,
+                    setup_time=task.setup_time,
+                    compensation_time=task.compensation_time,
+                    post_time=task.post_time,
+                    benefit=BenefitFunction([task.benefit.points[0]]),
+                )
+            )
+        else:
+            survivors.add(task)
+    return survivors
 
 
 class HealthMonitor:
@@ -302,25 +334,7 @@ class ResilientOffloadingSystem:
     # ------------------------------------------------------------------
     def _local_only_tasks(self) -> TaskSet:
         """The surviving configuration: offloading structurally disabled."""
-        survivors = TaskSet()
-        for task in self.tasks:
-            if isinstance(task, OffloadableTask):
-                survivors.add(
-                    OffloadableTask(
-                        task_id=task.task_id,
-                        wcet=task.wcet,
-                        period=task.period,
-                        deadline=task.deadline,
-                        weight=task.weight,
-                        setup_time=task.setup_time,
-                        compensation_time=task.compensation_time,
-                        post_time=task.post_time,
-                        benefit=BenefitFunction([task.benefit.points[0]]),
-                    )
-                )
-            else:
-                survivors.add(task)
-        return survivors
+        return local_only_tasks(self.tasks)
 
     def _decide(self) -> OffloadingDecision:
         if self.breaker.allows_offloading:

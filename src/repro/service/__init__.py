@@ -1,0 +1,73 @@
+"""Online ODM service: async batching, sharded solves, safe degradation.
+
+The paper's Offloading Decision Manager is a batch algorithm: given a
+task set and per-server response-time bounds, solve one MCKP.  This
+package turns it into an *online admission service*:
+
+* :mod:`repro.service.request` — the request/response model and the
+  per-request multi-server MCKP reduction (estimates as ``R_i`` scale
+  factors);
+* :mod:`repro.service.batching` — micro-batching + bounded-queue
+  backpressure;
+* :mod:`repro.service.sharding` — cache-probed, deduplicated,
+  process-sharded batch solving (bit-identical to serial);
+* :mod:`repro.service.degradation` — the exact → heuristic →
+  local-only ladder (cheaper under load, never less safe);
+* :mod:`repro.service.server` — the :class:`ODMService` orchestrator
+  and the TCP JSON-lines front-end behind ``repro serve``;
+* :mod:`repro.service.loadgen` — reproducible bursty traffic with an
+  online differential audit, behind ``repro loadgen``.
+
+Every admitted response passes Theorem 3 before its future resolves,
+whatever the degradation rung — the service trades *benefit* under
+load, never the deadline guarantee.
+"""
+
+from .batching import BatchPolicy, MicroBatcher
+from .degradation import DegradationLevel, DegradationPolicy
+from .loadgen import (
+    LoadGenConfig,
+    LoadGenReport,
+    ServiceClient,
+    audit_response,
+    generate_bursts,
+    measure_serial_baseline,
+    run_loadgen,
+)
+from .request import (
+    REQUEST_STATUSES,
+    AdmissionRequest,
+    AdmissionResponse,
+    build_request_instance,
+    scale_response_times,
+    task_from_dict,
+    task_to_dict,
+)
+from .server import ODMService, ServerHealth, serve_tcp
+from .sharding import ShardSolver, SolveJob
+
+__all__ = [
+    "AdmissionRequest",
+    "AdmissionResponse",
+    "REQUEST_STATUSES",
+    "scale_response_times",
+    "build_request_instance",
+    "task_to_dict",
+    "task_from_dict",
+    "BatchPolicy",
+    "MicroBatcher",
+    "DegradationLevel",
+    "DegradationPolicy",
+    "ShardSolver",
+    "SolveJob",
+    "ODMService",
+    "ServerHealth",
+    "serve_tcp",
+    "LoadGenConfig",
+    "LoadGenReport",
+    "ServiceClient",
+    "generate_bursts",
+    "audit_response",
+    "measure_serial_baseline",
+    "run_loadgen",
+]

@@ -1,0 +1,132 @@
+"""Micro-batching and backpressure for the admission queue.
+
+Concurrent admission requests are coalesced into *micro-batches* so one
+trip through the solver layer amortizes process-pool dispatch, enables
+duplicate-instance collapsing (clients re-submitting the same task set
+with unchanged estimates are answered by one solve) and gives the
+shards real work.  The policy is the classic two-knob linger:
+
+* ``max_batch`` — hard size cap per batch;
+* ``max_wait`` — once the first request of a batch arrives, wait at
+  most this long for stragglers before dispatching.
+
+Backpressure is a bounded queue: :meth:`MicroBatcher.offer` refuses
+(returns ``False``) when ``queue_capacity`` requests are already
+waiting, and the service answers ``shed`` immediately instead of
+letting latency grow without bound.  Queue depth also drives the
+degradation ladder (:mod:`repro.service.degradation`), so the system
+degrades *before* it sheds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Generic, List, TypeVar
+
+__all__ = ["BatchPolicy", "MicroBatcher"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """The micro-batching knobs (see module docstring)."""
+
+    max_batch: int = 16
+    max_wait: float = 0.002
+    queue_capacity: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+
+class MicroBatcher(Generic[T]):
+    """Bounded FIFO of pending requests with batch extraction.
+
+    Must be created and used from within a running event loop (it owns
+    an :class:`asyncio.Queue`).
+    """
+
+    def __init__(self, policy: BatchPolicy) -> None:
+        self.policy = policy
+        self._queue: "asyncio.Queue[T]" = asyncio.Queue(
+            maxsize=policy.queue_capacity
+        )
+        self._staged = 0
+
+    @property
+    def depth(self) -> int:
+        """Current number of queued (not yet batched) requests."""
+        return self._queue.qsize()
+
+    @property
+    def staged(self) -> int:
+        """Requests pulled off the queue by an in-progress
+        :meth:`collect` that has not yet returned its batch.
+
+        A drain loop must treat ``staged > 0`` as "not idle": during
+        the linger wait those requests live only in the collector's
+        local batch, so cancelling the collector then would lose them.
+        """
+        return self._staged
+
+    @property
+    def capacity(self) -> int:
+        return self.policy.queue_capacity
+
+    def offer(self, item: T) -> bool:
+        """Enqueue without blocking; ``False`` = queue full (shed)."""
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            return False
+        return True
+
+    async def collect(self) -> List[T]:
+        """Block for the next micro-batch (never returns empty).
+
+        Waits for the first request, then lingers up to
+        ``policy.max_wait`` seconds (or until ``policy.max_batch``) for
+        followers.  Anything already queued is taken without waiting,
+        so a deep queue drains at full batch size regardless of the
+        linger clock.
+        """
+        first = await self._queue.get()
+        batch: List[T] = [first]
+        self._staged = 1
+        policy = self.policy
+        if policy.max_batch == 1:
+            self._staged = 0
+            return batch
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + policy.max_wait
+        while len(batch) < policy.max_batch:
+            try:
+                batch.append(self._queue.get_nowait())
+                self._staged = len(batch)
+                continue
+            except asyncio.QueueEmpty:
+                pass
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(
+                    await asyncio.wait_for(
+                        self._queue.get(), timeout=remaining
+                    )
+                )
+                self._staged = len(batch)
+            except asyncio.TimeoutError:
+                break
+        # Reset just before handing the batch over: the caller resumes
+        # in the same event-loop step, so no drain check can observe
+        # the window between this reset and the caller taking over.
+        self._staged = 0
+        return batch

@@ -1,0 +1,544 @@
+"""Bursty load generation + online differential audit for the service.
+
+The loadgen is the service's adversary and notary in one: it drives
+bursty admission traffic (seeded, reproducible), injects chaos against
+one server through a :class:`repro.faults.injectors.FaultSchedule`
+(blackhole windows → failed outcomes → the breaker opens), and audits
+**every** response against the offline ground truth:
+
+* an *admitted* response must pass Theorem 3 when re-checked from the
+  raw request (the deadline-guarantee invariant — zero tolerance);
+* an ``exact``-rung response must be **bit-identical** to
+  :func:`repro.knapsack.solve_dp_reference` on the same instance —
+  same placements, same expected benefit;
+* a degraded response (``heuristic``/``local_only``) must agree with
+  the exact reference on *admissibility*: degradation may cost
+  benefit, never flip an exact-path rejection into an admission (or
+  vice versa).
+
+It also measures the headline trade: per-request latency under
+micro-batching versus a modeled serial queue (each burst's requests
+solved one after another, no batching, no cache), reported as
+p50/p99 pairs for ``BENCH_service.json``.
+
+The generator is transport-agnostic: :func:`run_loadgen` drives any
+``async submit(request) -> response`` callable, so the same audit runs
+against an in-process :class:`~repro.service.server.ODMService` (tests)
+or a TCP connection to ``repro serve`` (:class:`ServiceClient`, CI
+smoke).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+from ..core.schedulability import OffloadAssignment, theorem3_test
+from ..faults.injectors import FaultSchedule
+from ..knapsack import solve_dp_reference
+from ..sim.rng import RandomStreams
+from ..workloads.generator import random_offloading_task_set
+from .request import (
+    AdmissionRequest,
+    AdmissionResponse,
+    build_request_instance,
+)
+
+__all__ = [
+    "LoadGenConfig",
+    "LoadGenReport",
+    "ServiceClient",
+    "generate_bursts",
+    "audit_response",
+    "measure_serial_baseline",
+    "run_loadgen",
+]
+
+#: Estimate *profiles* drawn per request (cycled over the configured
+#: servers).  A small discrete palette, not continuous jitter: online
+#: clients re-poll the same believed state, and those repeats are what
+#: make the solver cache and in-batch dedup see realistic traffic.
+ESTIMATE_PALETTE = (
+    (1.0, 1.0, 1.0),
+    (1.0, 1.1, 0.9),
+    (0.9, 1.0, 1.25),
+    (1.1, 1.0, 1.0),
+)
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Knobs of one reproducible loadgen run."""
+
+    seed: int = 0
+    bursts: int = 30
+    mean_burst_size: float = 5.0
+    mean_burst_gap: float = 0.25
+    unique_sets: int = 10
+    num_tasks: int = 5
+    total_utilization: float = 0.55
+    servers: Tuple[str, ...] = ("edge", "cloud", "flaky")
+    degraded_server: str = "flaky"
+    #: close one breaker window every this many bursts
+    window_every: int = 3
+    #: outcomes synthesized per server per burst (probes keeping the
+    #: health windows evidenced even when routing avoids a server)
+    probes_per_burst: int = 3
+    audit: bool = True
+    max_anomalies: int = 32
+
+    def __post_init__(self) -> None:
+        if self.bursts < 1:
+            raise ValueError("bursts must be >= 1")
+        if self.mean_burst_size < 1:
+            raise ValueError("mean_burst_size must be >= 1")
+        if self.unique_sets < 1:
+            raise ValueError("unique_sets must be >= 1")
+        if self.degraded_server not in self.servers:
+            raise ValueError(
+                f"degraded_server {self.degraded_server!r} "
+                f"not in servers {self.servers}"
+            )
+        if self.window_every < 1:
+            raise ValueError("window_every must be >= 1")
+
+    def chaos_schedule(self) -> FaultSchedule:
+        """Blackhole the degraded server over the middle of the run.
+
+        The virtual timeline advances ``mean_burst_gap`` per burst, so
+        the window covers roughly the middle third of the bursts: the
+        breaker must open mid-run and re-close after recovery.
+        """
+        horizon = self.bursts * self.mean_burst_gap
+        return FaultSchedule.partition(
+            start=horizon / 3.0,
+            duration=horizon / 3.0,
+            label=f"degrade:{self.degraded_server}",
+        )
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One arrival burst on the virtual timeline."""
+
+    time: float
+    requests: Tuple[AdmissionRequest, ...]
+    degraded: bool
+
+
+def generate_bursts(config: LoadGenConfig) -> List[Burst]:
+    """The full, deterministic arrival trace for ``config``.
+
+    Task sets rotate through a small pool and estimates come from a
+    discrete palette, so identical instances recur — the traffic shape
+    the cache and dedup layers exist for.
+    """
+    streams = RandomStreams(seed=config.seed)
+    wl_rng = streams.get("workloads")
+    arrivals = streams.get("arrivals")
+    pool = [
+        random_offloading_task_set(
+            wl_rng,
+            num_tasks=config.num_tasks,
+            total_utilization=config.total_utilization,
+        )
+        for _ in range(config.unique_sets)
+    ]
+    chaos = config.chaos_schedule()
+    bursts: List[Burst] = []
+    time = 0.0
+    counter = 0
+    for _ in range(config.bursts):
+        # Burstiness lives in the Poisson sizes; spacing is deterministic
+        # so the chaos window always covers its third of the bursts.
+        time += config.mean_burst_gap
+        size = 1 + int(arrivals.poisson(config.mean_burst_size - 1))
+        requests = []
+        for _ in range(size):
+            tasks = pool[int(arrivals.integers(len(pool)))]
+            profile = ESTIMATE_PALETTE[
+                int(arrivals.integers(len(ESTIMATE_PALETTE)))
+            ]
+            estimates = {
+                server: float(profile[i % len(profile)])
+                for i, server in enumerate(config.servers)
+            }
+            requests.append(
+                AdmissionRequest(
+                    request_id=f"req-{counter:05d}",
+                    tasks=tasks,
+                    server_estimates=estimates,
+                )
+            )
+            counter += 1
+        bursts.append(
+            Burst(
+                time=time,
+                requests=tuple(requests),
+                degraded=chaos.blackholed(time),
+            )
+        )
+    return bursts
+
+
+# ----------------------------------------------------------------------
+# auditing
+# ----------------------------------------------------------------------
+def audit_response(
+    request: AdmissionRequest,
+    response: AdmissionResponse,
+    resolution: int = 20_000,
+) -> List[str]:
+    """Offline re-verification of one decision; returns anomaly strings.
+
+    Checks (1) the Theorem 3 deadline guarantee of every admission, (2)
+    bit-identity of exact-rung answers against
+    :func:`solve_dp_reference`, (3) admissibility agreement of degraded
+    answers with the exact reference on the instance the service
+    actually offered (``response.allowed_servers``).
+    """
+    anomalies: List[str] = []
+    rid = response.request_id
+    if response.status == "shed":
+        return anomalies
+
+    if response.admitted:
+        assignments = [
+            OffloadAssignment(tid, r)
+            for tid, (_server, r) in response.placements.items()
+            if r > 0
+        ]
+        check = theorem3_test(request.tasks, assignments)
+        if not check.feasible:
+            anomalies.append(
+                f"{rid}: admitted but Theorem 3 fails "
+                f"(demand rate {check.total_demand_rate:.6f})"
+            )
+
+    instance = build_request_instance(request, response.allowed_servers)
+    reference = solve_dp_reference(instance, resolution=resolution)
+
+    if response.admitted != (reference is not None):
+        # The ceil-quantized DP may reject a borderline set whose true
+        # weight fits; a *degraded* rung admitting there is sound (the
+        # Theorem 3 check above certifies it) as long as the demand
+        # rate sits within one quantization unit per class of the
+        # capacity.  Everything else is a real divergence.
+        quantization_slack = (
+            instance.capacity * (len(instance.classes) + 1) / resolution
+            + 1e-9
+        )
+        boundary_admission = (
+            response.admitted
+            and reference is None
+            and response.degradation != "exact"
+            and response.total_demand_rate
+            >= instance.capacity - quantization_slack
+        )
+        if not boundary_admission:
+            anomalies.append(
+                f"{rid}: status {response.status!r} at rung "
+                f"{response.degradation!r} but exact reference says "
+                f"{'feasible' if reference is not None else 'infeasible'}"
+            )
+        return anomalies
+
+    if response.degradation == "exact" and reference is not None:
+        expected = {
+            cls.class_id: reference.item_for(cls.class_id).tag
+            for cls in instance.classes
+        }
+        got = {
+            tid: (server, r)
+            for tid, (server, r) in response.placements.items()
+        }
+        if got != {
+            tid: (server, float(r))
+            for tid, (server, r) in expected.items()
+        }:
+            anomalies.append(f"{rid}: exact placements differ from reference")
+        if response.expected_benefit != reference.total_value:
+            anomalies.append(
+                f"{rid}: exact benefit {response.expected_benefit!r} != "
+                f"reference {reference.total_value!r}"
+            )
+    return anomalies
+
+
+def measure_serial_baseline(
+    bursts: List[Burst], resolution: int = 20_000
+) -> List[float]:
+    """Per-request latency of a no-batching, no-cache serial server.
+
+    Each burst's requests are solved one after another with the exact
+    DP; request ``k``'s latency is the queueing sum of solves 0..k —
+    what a client of a naive serial service would observe.
+    """
+    latencies: List[float] = []
+    for burst in bursts:
+        elapsed = 0.0
+        for request in burst.requests:
+            started = perf_counter()
+            solve_dp_reference(
+                build_request_instance(request, request.server_estimates),
+                resolution=resolution,
+            )
+            elapsed += perf_counter() - started
+            latencies.append(elapsed)
+    return latencies
+
+
+def _percentile(values: List[float], p: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class LoadGenReport:
+    """What the run did and what the audit concluded."""
+
+    requests: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    bursts: int = 0
+    rungs_seen: Dict[str, int] = field(default_factory=dict)
+    breaker_opened: bool = False
+    breaker_reclosed: bool = False
+    anomalies: List[str] = field(default_factory=list)
+    anomaly_count: int = 0
+    latencies: List[float] = field(default_factory=list)
+    serial_latencies: List[float] = field(default_factory=list)
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True iff the audit found zero invariant violations."""
+        return self.anomaly_count == 0
+
+    def to_dict(self) -> Dict[str, object]:
+        batched_p50 = _percentile(self.latencies, 50)
+        batched_p99 = _percentile(self.latencies, 99)
+        serial_p50 = _percentile(self.serial_latencies, 50)
+        serial_p99 = _percentile(self.serial_latencies, 99)
+        return {
+            "requests": self.requests,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "bursts": self.bursts,
+            "rungs_seen": dict(self.rungs_seen),
+            "breaker_opened": self.breaker_opened,
+            "breaker_reclosed": self.breaker_reclosed,
+            "anomaly_count": self.anomaly_count,
+            "anomalies": list(self.anomalies),
+            "ok": self.ok,
+            "latency": {
+                "batched_p50": batched_p50,
+                "batched_p99": batched_p99,
+                "serial_p50": serial_p50,
+                "serial_p99": serial_p99,
+                "p99_speedup": (
+                    serial_p99 / batched_p99 if batched_p99 > 0 else 0.0
+                ),
+            },
+            "stats": self.stats,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+# ----------------------------------------------------------------------
+# driving
+# ----------------------------------------------------------------------
+SubmitFn = Callable[[AdmissionRequest], Awaitable[AdmissionResponse]]
+#: Health-surface callbacks may be sync (bound service methods) or
+#: async (ServiceClient protocol ops); results are awaited when needed.
+OutcomeFn = Callable[[str, bool, float], object]
+WindowFn = Callable[[], object]
+
+
+async def _maybe_await(value):
+    if asyncio.iscoroutine(value) or isinstance(value, asyncio.Future):
+        return await value
+    return value
+
+
+async def run_loadgen(
+    submit: SubmitFn,
+    config: LoadGenConfig,
+    record_outcome: Optional[OutcomeFn] = None,
+    close_window: Optional[WindowFn] = None,
+    stats: Optional[Callable[[], Dict[str, object]]] = None,
+    resolution: int = 20_000,
+    serial_baseline: bool = True,
+) -> LoadGenReport:
+    """Drive the full arrival trace through ``submit`` and audit it.
+
+    ``record_outcome``/``close_window``/``stats`` are the service's
+    health surface — bound methods for in-process runs, protocol ops
+    for :class:`ServiceClient` runs; any may be ``None`` (skipped).
+    """
+    bursts = generate_bursts(config)
+    report = LoadGenReport(bursts=len(bursts))
+
+    for index, burst in enumerate(bursts):
+        responses = await asyncio.gather(
+            *(submit(request) for request in burst.requests)
+        )
+        for request, response in zip(burst.requests, responses):
+            report.requests += 1
+            if response.status == "admitted":
+                report.admitted += 1
+            elif response.status == "rejected":
+                report.rejected += 1
+            else:
+                report.shed += 1
+            rung = response.degradation
+            report.rungs_seen[rung] = report.rungs_seen.get(rung, 0) + 1
+            if response.status != "shed":
+                report.latencies.append(response.latency)
+            if config.audit:
+                anomalies = audit_response(request, response, resolution)
+                report.anomaly_count += len(anomalies)
+                remaining = config.max_anomalies - len(report.anomalies)
+                if remaining > 0:
+                    report.anomalies.extend(anomalies[:remaining])
+
+        if record_outcome is not None:
+            for server in config.servers:
+                ok = not (burst.degraded and server == config.degraded_server)
+                for _ in range(config.probes_per_burst):
+                    await _maybe_await(record_outcome(server, ok, burst.time))
+            for response in responses:
+                for server, r in response.placements.values():
+                    if server is None or r <= 0:
+                        continue
+                    ok = not (
+                        burst.degraded and server == config.degraded_server
+                    )
+                    await _maybe_await(record_outcome(server, ok, burst.time))
+        if close_window is not None and (index + 1) % config.window_every == 0:
+            states = await _maybe_await(close_window())
+            state = states.get(config.degraded_server)
+            if state == "open":
+                report.breaker_opened = True
+            if report.breaker_opened and state == "closed":
+                report.breaker_reclosed = True
+
+    if stats is not None:
+        report.stats = await _maybe_await(stats())
+    if serial_baseline:
+        report.serial_latencies = measure_serial_baseline(
+            bursts, resolution=resolution
+        )
+    return report
+
+
+class ServiceClient:
+    """Async JSON-lines client for :func:`repro.service.server.serve_tcp`.
+
+    Pipelines ``admit`` ops (responses are demultiplexed by
+    ``request_id``) and exposes the health surface as plain calls, so
+    :func:`run_loadgen` can drive a remote service exactly like an
+    in-process one.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7741) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+        self._pending: Dict[str, "asyncio.Future[Dict[str, object]]"] = {}
+        self._plain: List["asyncio.Future[Dict[str, object]]"] = []
+        self._reader_task: Optional[asyncio.Task] = None
+
+    async def connect(self) -> "ServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.create_task(self._dispatch())
+        return self
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _dispatch(self) -> None:
+        assert self._reader is not None
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                break
+            record = json.loads(line)
+            if record.get("op") == "response":
+                future = self._pending.pop(str(record["request_id"]), None)
+            else:
+                future = self._plain.pop(0) if self._plain else None
+            if future is not None and not future.done():
+                future.set_result(record)
+
+    async def _send(self, payload: Dict[str, object]) -> None:
+        assert self._writer is not None
+        async with self._lock:
+            self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+            await self._writer.drain()
+
+    async def _call(self, payload: Dict[str, object]) -> Dict[str, object]:
+        future = asyncio.get_running_loop().create_future()
+        self._plain.append(future)
+        await self._send(payload)
+        return await future
+
+    async def submit(self, request: AdmissionRequest) -> AdmissionResponse:
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request.request_id] = future
+        await self._send({"op": "admit", "request": request.to_dict()})
+        record = await future
+        return AdmissionResponse.from_dict(record)
+
+    async def record_outcome(
+        self, server: str, ok: bool, time: float
+    ) -> None:
+        await self._call({"op": "outcome", "server": server,
+                          "ok": ok, "time": time})
+
+    async def close_window(self) -> Dict[str, str]:
+        record = await self._call({"op": "window"})
+        return dict(record.get("breakers") or {})
+
+    async def stats(self) -> Dict[str, object]:
+        record = await self._call({"op": "stats"})
+        return {k: v for k, v in record.items() if k != "op"}
+
+    async def shutdown(self) -> None:
+        await self._call({"op": "shutdown"})

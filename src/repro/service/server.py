@@ -1,0 +1,723 @@
+"""The asyncio online ODM service + its TCP JSON-lines front-end.
+
+:class:`ODMService` turns the paper's batch Offloading Decision Manager
+into an online admission service:
+
+* clients ``await service.submit(request)`` concurrently;
+* requests are coalesced into micro-batches
+  (:class:`~repro.service.batching.MicroBatcher`);
+* each batch's MCKP instances are solved through the cache-aware,
+  deduplicated, process-sharded
+  :class:`~repro.service.sharding.ShardSolver`;
+* a bounded queue provides backpressure (overflow → ``shed``), and
+  occupancy watermarks plus per-server circuit breakers drive the
+  degradation ladder (:mod:`repro.service.degradation`);
+* **every** admitted response — whatever the rung — is re-verified
+  against Theorem 3 before the future resolves.  The service never
+  hands out a deadline guarantee it has not just checked.
+
+The solver layer runs in a worker thread (``asyncio.to_thread``), so
+the event loop keeps accepting and shedding while a batch solves.
+
+:func:`serve_tcp` exposes the service over newline-delimited JSON on a
+TCP socket — the transport behind ``repro serve`` / ``repro loadgen``.
+Operations: ``admit``, ``outcome``, ``window``, ``stats``,
+``shutdown``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.schedulability import OffloadAssignment, theorem3_test
+from ..core.task import OffloadableTask
+from ..knapsack import SolverCache
+from ..observability import Observability
+from ..parallel import SweepRunner
+from ..runtime.health import CircuitBreaker, HealthMonitor
+from .batching import BatchPolicy, MicroBatcher
+from .degradation import DegradationLevel, DegradationPolicy
+from .request import (
+    AdmissionRequest,
+    AdmissionResponse,
+    build_request_instance,
+)
+from .sharding import ShardSolver
+
+__all__ = ["ODMService", "ServerHealth", "serve_tcp"]
+
+
+@dataclass
+class ServerHealth:
+    """Health-tracking state for one named server."""
+
+    monitor: HealthMonitor
+    breaker: CircuitBreaker
+    successes: int = 0
+    failures: int = 0
+
+    def record(self, ok: bool, time: float) -> None:
+        self.monitor.record(time, ok)
+        if ok:
+            self.successes += 1
+        else:
+            self.failures += 1
+
+    def close_window(self, window: int) -> str:
+        state = self.breaker.record_window(
+            window, successes=self.successes, failures=self.failures
+        )
+        self.successes = 0
+        self.failures = 0
+        return state
+
+
+@dataclass
+class _Pending:
+    """One queued request with its completion future."""
+
+    request: AdmissionRequest
+    future: "asyncio.Future[AdmissionResponse]"
+    enqueued: float = field(default_factory=perf_counter)
+
+
+class ODMService:
+    """Online admission control over the §5 decision pipeline.
+
+    Parameters
+    ----------
+    resolution:
+        DP capacity quantization forwarded to :func:`solve_dp`.
+    workers:
+        Process-pool width for sharded solves (``<= 1`` = in-process).
+    batch_policy / degradation_policy:
+        See :class:`BatchPolicy` / :class:`DegradationPolicy`.
+    cache:
+        ``True`` (default) for a private :class:`SolverCache`, an
+        explicit instance to share one, or ``None``/``False`` to
+        disable memoization.
+    observability:
+        Optional :class:`Observability` bundle; service metrics land in
+        its registry, events on its bus.
+    breaker_kwargs:
+        Constructor kwargs for the per-server
+        :class:`~repro.runtime.health.CircuitBreaker` instances.
+    health_window:
+        Sliding window (seconds of outcome time) of the per-server
+        :class:`~repro.runtime.health.HealthMonitor`.
+    """
+
+    def __init__(
+        self,
+        resolution: int = 20_000,
+        workers: Optional[int] = None,
+        batch_policy: Optional[BatchPolicy] = None,
+        degradation_policy: Optional[DegradationPolicy] = None,
+        cache: "Optional[SolverCache | bool]" = True,
+        observability: Optional[Observability] = None,
+        breaker_kwargs: Optional[Dict[str, object]] = None,
+        health_window: float = 10.0,
+    ) -> None:
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        self.resolution = int(resolution)
+        self.batch_policy = batch_policy or BatchPolicy()
+        self.degradation_policy = (
+            degradation_policy or DegradationPolicy()
+        )
+        if cache is True:
+            cache = SolverCache()
+        elif cache is False:
+            cache = None
+        self.cache: Optional[SolverCache] = cache
+        self.runner = SweepRunner(workers=workers)
+        self.shard_solver = ShardSolver(self.runner, self.cache)
+        self.observability = (
+            observability
+            if observability is not None
+            else Observability.disabled()
+        )
+        self._breaker_kwargs = dict(breaker_kwargs or {})
+        self._health_window = health_window
+        self._servers: Dict[str, ServerHealth] = {}
+        self._window_index = 0
+        self._outcome_clock = 0.0
+
+        self._batcher: Optional[MicroBatcher[_Pending]] = None
+        self._loop_task: Optional[asyncio.Task] = None
+        self._busy = False
+        self._forced_level: Optional[DegradationLevel] = None
+        self._level = DegradationLevel.EXACT
+
+        reg = self.observability.metrics
+        self._m_requests = reg.counter("service.requests")
+        self._m_admitted = reg.counter("service.admitted")
+        self._m_rejected = reg.counter("service.rejected")
+        self._m_shed = reg.counter("service.shed")
+        self._m_batches = reg.counter("service.batches")
+        self._m_degraded = reg.counter("service.degraded_batches")
+        self._m_queue = reg.gauge("service.queue_depth")
+        self._m_level = reg.gauge("service.degradation_level")
+        self._m_batch_size = reg.histogram("service.batch_size")
+        self._m_latency = reg.histogram("service.solve_latency")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._loop_task is not None
+
+    async def start(self) -> "ODMService":
+        """Create the queue, the worker pool and the batch loop."""
+        if self.started:
+            return self
+        self._batcher = MicroBatcher(self.batch_policy)
+        self.runner.start()
+        self._loop_task = asyncio.create_task(
+            self._batch_loop(), name="odm-service-batch-loop"
+        )
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Shut down cleanly.
+
+        ``drain=True`` (default) answers everything already queued
+        before stopping; ``drain=False`` sheds the queue immediately.
+        """
+        if not self.started:
+            return
+        assert self._batcher is not None
+        if drain:
+            # staged > 0 means a collect() holds requests in its local
+            # batch (linger wait); cancelling the loop then would lose
+            # their futures, so wait for the batch to land.
+            while (
+                self._batcher.depth > 0
+                or self._batcher.staged > 0
+                or self._busy
+            ):
+                await asyncio.sleep(0.001)
+        task = self._loop_task
+        self._loop_task = None
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+        # anything still queued (drain=False) is shed, never dropped
+        while True:
+            try:
+                pending = self._batcher._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            self._resolve(
+                pending,
+                self._response(pending, status="shed", batch_size=0),
+            )
+        self.runner.close()
+        self._batcher = None
+
+    async def __aenter__(self) -> "ODMService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    async def submit(self, request: AdmissionRequest) -> AdmissionResponse:
+        """Queue one admission request and await its response."""
+        if not self.started:
+            raise RuntimeError("service is not started")
+        assert self._batcher is not None
+        self._m_requests.inc()
+        bus = self.observability.bus
+        pending = _Pending(
+            request, asyncio.get_running_loop().create_future()
+        )
+        if not self._batcher.offer(pending):
+            response = self._response(
+                pending, status="shed", batch_size=0
+            )
+            self._m_shed.inc()
+            if bus.enabled:
+                bus.emit(
+                    "service.shed",
+                    self._outcome_clock,
+                    request=request.request_id,
+                    queue_depth=self._batcher.depth,
+                )
+            return response
+        self._m_queue.set(self._batcher.depth)
+        if bus.enabled:
+            bus.emit(
+                "service.request",
+                self._outcome_clock,
+                request=request.request_id,
+                queue_depth=self._batcher.depth,
+            )
+        return await pending.future
+
+    # ------------------------------------------------------------------
+    # health / breaker surface
+    # ------------------------------------------------------------------
+    def _health(self, server_id: str) -> ServerHealth:
+        health = self._servers.get(server_id)
+        if health is None:
+            health = ServerHealth(
+                monitor=HealthMonitor(window=self._health_window),
+                breaker=CircuitBreaker(**self._breaker_kwargs),
+            )
+            self._servers[server_id] = health
+        return health
+
+    def breaker_state(self, server_id: str) -> str:
+        """Current breaker state (``closed`` for unknown servers)."""
+        health = self._servers.get(server_id)
+        return health.breaker.state if health is not None else "closed"
+
+    def record_outcome(
+        self, server_id: str, ok: bool, time: Optional[float] = None
+    ) -> None:
+        """Feed one offload outcome observed against ``server_id``."""
+        if time is None:
+            time = self._outcome_clock
+        self._outcome_clock = max(self._outcome_clock, time)
+        self._health(server_id).record(ok, time)
+
+    def close_health_window(self) -> Dict[str, str]:
+        """Advance every server's breaker one window; returns states."""
+        bus = self.observability.bus
+        states: Dict[str, str] = {}
+        window = self._window_index
+        self._window_index += 1
+        for server_id in sorted(self._servers):
+            health = self._servers[server_id]
+            before = health.breaker.state
+            after = health.close_window(window)
+            states[server_id] = after
+            if bus.enabled and after != before:
+                bus.emit(
+                    "breaker.state",
+                    self._outcome_clock,
+                    window=window,
+                    old=before,
+                    new=after,
+                    server=server_id,
+                )
+        return states
+
+    def force_level(self, level: Optional[DegradationLevel]) -> None:
+        """Pin the ladder rung (tests/ops); ``None`` resumes policy."""
+        self._forced_level = level
+
+    # ------------------------------------------------------------------
+    # batch processing
+    # ------------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        assert self._batcher is not None
+        while True:
+            batch = await self._batcher.collect()
+            self._busy = True
+            try:
+                await self._process_batch(batch)
+            except Exception as exc:  # keep the loop alive; fail batch
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(exc)
+            finally:
+                self._busy = False
+
+    def _current_level(self) -> DegradationLevel:
+        if self._forced_level is not None:
+            return self._forced_level
+        assert self._batcher is not None
+        return self.degradation_policy.level_for(
+            self._batcher.depth, self._batcher.capacity
+        )
+
+    async def _process_batch(self, batch: List[_Pending]) -> None:
+        assert self._batcher is not None
+        bus = self.observability.bus
+        started = perf_counter()
+        level = self._current_level()
+        if level != self._level:
+            if bus.enabled:
+                bus.emit(
+                    "service.degrade",
+                    self._outcome_clock,
+                    old_level=self._level.label,
+                    new_level=level.label,
+                    queue_depth=self._batcher.depth,
+                )
+            self._level = level
+        self._m_level.set(int(level))
+        self._m_queue.set(self._batcher.depth)
+        self._m_batches.inc()
+        self._m_batch_size.observe(len(batch))
+        if level != DegradationLevel.EXACT:
+            self._m_degraded.inc()
+
+        # Build per-request solve entries (None = local-only fast path).
+        plans: List[Optional[Tuple[str, object, Dict[str, object]]]] = []
+        alloweds: List[Dict[str, float]] = []
+        for pending in batch:
+            allowed: Dict[str, float] = {}
+            if level != DegradationLevel.LOCAL_ONLY:
+                allowed = {
+                    server_id: scale
+                    for server_id, scale in sorted(
+                        pending.request.server_estimates.items()
+                    )
+                    if self._health(server_id).breaker.allows_offloading
+                }
+            alloweds.append(allowed)
+            if not allowed:
+                plans.append(None)
+                continue
+            if level == DegradationLevel.EXACT:
+                solver_name = "dp"
+                kwargs: Dict[str, object] = {
+                    "resolution": self.resolution
+                }
+            else:
+                solver_name = "heu_oe"
+                kwargs = {}
+            instance = build_request_instance(pending.request, allowed)
+            plans.append((solver_name, instance, kwargs))
+
+        entries = [plan for plan in plans if plan is not None]
+        if entries:
+            selections = await asyncio.to_thread(
+                self.shard_solver.solve_batch, entries
+            )
+        else:
+            selections = []
+
+        cursor = 0
+        for pending, plan, allowed in zip(batch, plans, alloweds):
+            if plan is None:
+                response = self._decide_local_only(
+                    pending, level, len(batch)
+                )
+            else:
+                selection = selections[cursor]
+                cursor += 1
+                response = self._decide_from_selection(
+                    pending, plan, selection, allowed, level, len(batch)
+                )
+            self._resolve(pending, response)
+
+        if bus.enabled:
+            bus.emit(
+                "service.batch",
+                self._outcome_clock,
+                size=len(batch),
+                level=level.label,
+                queue_depth=self._batcher.depth,
+                wall_seconds=perf_counter() - started,
+            )
+
+    # ------------------------------------------------------------------
+    # decision assembly
+    # ------------------------------------------------------------------
+    def _decide_local_only(
+        self, pending: _Pending, level: DegradationLevel, batch_size: int
+    ) -> AdmissionResponse:
+        """Admit at the all-local configuration iff Theorem 3 closes.
+
+        Soundness: the all-local selection is one particular selection
+        of the exact instance, so admission here implies the exact path
+        would have found *some* feasible selection too.
+        """
+        tasks = pending.request.tasks
+        check = theorem3_test(tasks, ())
+        if not check.feasible:
+            return self._response(
+                pending,
+                status="rejected",
+                degradation=DegradationLevel.LOCAL_ONLY.label,
+                batch_size=batch_size,
+                solver="none",
+            )
+        placements = {
+            task.task_id: (None, 0.0) for task in tasks
+        }
+        benefit = sum(
+            task.benefit.local_benefit * task.weight
+            for task in tasks
+            if isinstance(task, OffloadableTask)
+        )
+        return self._response(
+            pending,
+            status="admitted",
+            placements=placements,
+            expected_benefit=benefit,
+            total_demand_rate=check.total_demand_rate,
+            degradation=DegradationLevel.LOCAL_ONLY.label,
+            batch_size=batch_size,
+            solver="none",
+        )
+
+    def _decide_from_selection(
+        self,
+        pending: _Pending,
+        plan: Tuple[str, object, Dict[str, object]],
+        selection,
+        allowed: Mapping[str, float],
+        level: DegradationLevel,
+        batch_size: int,
+    ) -> AdmissionResponse:
+        solver_name, instance, _kwargs = plan
+        if selection is None:
+            return self._response(
+                pending,
+                status="rejected",
+                degradation=level.label,
+                batch_size=batch_size,
+                solver=solver_name,
+                allowed_servers=allowed,
+            )
+        placements: Dict[str, Tuple[Optional[str], float]] = {}
+        for cls in instance.classes:
+            server_id, r = selection.item_for(cls.class_id).tag
+            placements[cls.class_id] = (server_id, float(r))
+        assignments = [
+            OffloadAssignment(tid, r)
+            for tid, (_server, r) in placements.items()
+            if r > 0
+        ]
+        check = theorem3_test(pending.request.tasks, assignments)
+        if not check.feasible:
+            # Cannot happen while MCKP weights and Theorem 3 agree; if
+            # they ever diverge the safe answer is rejection, never an
+            # unverified admission.
+            self.observability.metrics.counter(
+                "service.verify_failures"
+            ).inc()
+            return self._response(
+                pending,
+                status="rejected",
+                degradation=level.label,
+                batch_size=batch_size,
+                solver=solver_name,
+                allowed_servers=allowed,
+            )
+        return self._response(
+            pending,
+            status="admitted",
+            placements=placements,
+            expected_benefit=selection.total_value,
+            total_demand_rate=check.total_demand_rate,
+            degradation=level.label,
+            batch_size=batch_size,
+            solver=solver_name,
+            allowed_servers=allowed,
+        )
+
+    def _response(
+        self,
+        pending: _Pending,
+        status: str,
+        placements: Optional[
+            Mapping[str, Tuple[Optional[str], float]]
+        ] = None,
+        expected_benefit: float = 0.0,
+        total_demand_rate: float = 0.0,
+        degradation: str = DegradationLevel.EXACT.label,
+        batch_size: int = 0,
+        solver: str = "dp",
+        allowed_servers: Optional[Mapping[str, float]] = None,
+    ) -> AdmissionResponse:
+        return AdmissionResponse(
+            request_id=pending.request.request_id,
+            status=status,
+            placements=dict(placements or {}),
+            expected_benefit=expected_benefit,
+            total_demand_rate=total_demand_rate,
+            degradation=degradation,
+            solver=solver,
+            allowed_servers=dict(allowed_servers or {}),
+            latency=perf_counter() - pending.enqueued,
+            batch_size=batch_size,
+        )
+
+    def _resolve(
+        self, pending: _Pending, response: AdmissionResponse
+    ) -> None:
+        if response.status == "admitted":
+            self._m_admitted.inc()
+        elif response.status == "rejected":
+            self._m_rejected.inc()
+        else:
+            self._m_shed.inc()
+        if response.status != "shed":
+            self._m_latency.observe(response.latency)
+        bus = self.observability.bus
+        if bus.enabled:
+            bus.emit(
+                "service.response",
+                self._outcome_clock,
+                request=response.request_id,
+                status=response.status,
+                level=response.degradation,
+                solver=response.solver,
+                latency=response.latency,
+            )
+        if not pending.future.done():
+            pending.future.set_result(response)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """A JSON-able snapshot of the service's vital signs."""
+        reg = self.observability.metrics
+        latency = self._m_latency
+        snapshot: Dict[str, object] = {
+            "requests": reg.value("service.requests"),
+            "admitted": reg.value("service.admitted"),
+            "rejected": reg.value("service.rejected"),
+            "shed": reg.value("service.shed"),
+            "batches": reg.value("service.batches"),
+            "degraded_batches": reg.value("service.degraded_batches"),
+            "queue_depth": (
+                self._batcher.depth if self._batcher is not None else 0
+            ),
+            "degradation_level": self._level.label,
+            "batch_size_mean": (
+                self._m_batch_size.total / self._m_batch_size.count
+                if self._m_batch_size.count
+                else 0.0
+            ),
+            "solve_latency_p50": (
+                latency.percentile(50) if latency.count else 0.0
+            ),
+            "solve_latency_p99": (
+                latency.percentile(99) if latency.count else 0.0
+            ),
+            "parallel_mode": self.runner.last_mode,
+            "breakers": {
+                server_id: health.breaker.state
+                for server_id, health in sorted(self._servers.items())
+            },
+        }
+        if self.cache is not None:
+            snapshot["cache"] = self.cache.stats
+        return snapshot
+
+
+# ----------------------------------------------------------------------
+# TCP JSON-lines front-end
+# ----------------------------------------------------------------------
+async def serve_tcp(
+    service: ODMService,
+    host: str = "127.0.0.1",
+    port: int = 7741,
+    duration: Optional[float] = None,
+    ready_message: bool = True,
+) -> None:
+    """Serve ``service`` over newline-delimited JSON until shutdown.
+
+    Each request line is ``{"op": ...}``; ops: ``admit`` (an
+    :class:`AdmissionRequest` under ``"request"``), ``outcome``
+    (``server``/``ok``/``time``), ``window`` (close one health window),
+    ``stats``, ``shutdown``.  Responses echo an ``op`` so pipelined
+    clients can demultiplex.  ``duration`` is a safety cap: the server
+    exits cleanly after that many seconds even without a shutdown op
+    (CI never hangs on a crashed client).
+    """
+    done = asyncio.Event()
+
+    async def handle(reader, writer) -> None:
+        lock = asyncio.Lock()
+
+        async def reply(payload: Dict[str, object]) -> None:
+            async with lock:
+                writer.write(
+                    json.dumps(payload).encode("utf-8") + b"\n"
+                )
+                await writer.drain()
+
+        async def admit(record: Dict[str, object]) -> None:
+            try:
+                request = AdmissionRequest.from_dict(record["request"])
+            except (KeyError, TypeError, ValueError) as exc:
+                await reply({"op": "error", "error": str(exc)})
+                return
+            response = await service.submit(request)
+            await reply({"op": "response", **response.to_dict()})
+
+        tasks: List[asyncio.Task] = []
+        try:
+            while not done.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    op = record.get("op")
+                except (json.JSONDecodeError, AttributeError) as exc:
+                    await reply({"op": "error", "error": str(exc)})
+                    continue
+                if op == "admit":
+                    tasks.append(asyncio.create_task(admit(record)))
+                elif op == "outcome":
+                    service.record_outcome(
+                        str(record["server"]),
+                        bool(record["ok"]),
+                        record.get("time"),
+                    )
+                    await reply({"op": "ack"})
+                elif op == "window":
+                    await reply(
+                        {
+                            "op": "window",
+                            "breakers": service.close_health_window(),
+                        }
+                    )
+                elif op == "stats":
+                    await reply({"op": "stats", **service.stats()})
+                elif op == "shutdown":
+                    await reply({"op": "bye"})
+                    done.set()
+                else:
+                    await reply(
+                        {"op": "error", "error": f"unknown op {op!r}"}
+                    )
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    await service.start()
+    server = await asyncio.start_server(handle, host=host, port=port)
+    sockets = server.sockets or ()
+    bound_port = sockets[0].getsockname()[1] if sockets else port
+    if ready_message:
+        print(f"serving on {host}:{bound_port}", flush=True)
+    try:
+        if duration is not None:
+            try:
+                await asyncio.wait_for(done.wait(), timeout=duration)
+            except asyncio.TimeoutError:
+                pass
+        else:
+            await done.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.stop()

@@ -1,0 +1,129 @@
+"""Cache-aware, deduplicated, process-sharded batch MCKP solving.
+
+One micro-batch of admission requests becomes one call to
+:meth:`ShardSolver.solve_batch`, which layers three reuse mechanisms in
+front of the raw solvers — all of them exact-result-preserving:
+
+1. **Cache probe** (:class:`repro.knapsack.SolverCache`).  Online
+   traffic re-submits the same believed task set with unchanged
+   estimates over and over; those are dictionary lookups.
+2. **In-batch deduplication.**  Concurrent identical requests in the
+   same batch collapse to a single solve keyed by the same canonical
+   instance fingerprint the cache uses.
+3. **Sharding.**  The surviving unique instances are distributed
+   across the :class:`repro.parallel.SweepRunner` process pool (one
+   unit per instance, order-preserving merge) and fall back to serial
+   solving under the runner's usual degradation contract.
+
+Determinism: solvers are pure functions of ``(instance, kwargs)`` and
+the merge is order-preserving, so a batched + sharded + cached answer
+is **bit-identical** to calling the same solver serially on the same
+instance.  The differential suite pins that bit-identity, and
+separately pins the underlying ``solve_dp`` against the serial oracle
+``solve_dp_reference`` for feasibility / optimal value / minimal
+quantized weight (the two DPs may break argmax *ties* differently).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..knapsack import SOLVERS, MCKPInstance, Selection, SolverCache
+from ..parallel import SweepRunner
+
+__all__ = ["SolveJob", "ShardSolver"]
+
+#: A unit of work: ``(solver_name, sorted kwargs items, instance)``.
+#: Everything is picklable, so units cross the process boundary as-is.
+SolveJob = Tuple[str, Tuple, MCKPInstance]
+
+
+def _solve_unit(unit: SolveJob) -> Optional[Dict[str, int]]:
+    """Worker-side solve of one unique instance → choices dict."""
+    solver_name, kwargs_items, instance = unit
+    selection = SOLVERS[solver_name](instance, **dict(kwargs_items))
+    return None if selection is None else dict(selection.choices)
+
+
+class ShardSolver:
+    """Batch front-end over the solver registry (see module docstring).
+
+    Parameters
+    ----------
+    runner:
+        The process-pool runner shared with the rest of the service.
+        Start it (:meth:`~repro.parallel.SweepRunner.start`) to reuse
+        one pool across batches; unstarted runners still work but pay
+        pool startup per batch (or run serially for ``workers <= 1``).
+    cache:
+        Optional :class:`SolverCache`; ``None`` disables memoization
+        (every batch still deduplicates internally).
+    """
+
+    def __init__(
+        self,
+        runner: Optional[SweepRunner] = None,
+        cache: Optional[SolverCache] = None,
+    ) -> None:
+        self.runner = runner if runner is not None else SweepRunner()
+        self.cache = cache
+
+    def solve_batch(
+        self,
+        entries: Sequence[Tuple[str, MCKPInstance, Dict[str, object]]],
+    ) -> List[Optional[Selection]]:
+        """Solve ``(solver_name, instance, kwargs)`` entries in order.
+
+        Returns one ``Optional[Selection]`` per entry (``None`` =
+        infeasible), each bound to the caller's own instance object.
+        """
+        n = len(entries)
+        results: List[Optional[Dict[str, int]]] = [None] * n
+        solved: List[bool] = [False] * n
+
+        # Pass 1: cache probes + in-batch dedup bookkeeping.
+        keys: List[Tuple] = []
+        pending: "Dict[Tuple, List[int]]" = {}
+        units: List[SolveJob] = []
+        unit_keys: List[Tuple] = []
+        for i, (solver_name, instance, kwargs) in enumerate(entries):
+            if solver_name not in SOLVERS:
+                raise ValueError(
+                    f"unknown solver {solver_name!r}; "
+                    f"available: {sorted(SOLVERS)}"
+                )
+            key = SolverCache.key_for(solver_name, instance, **kwargs)
+            keys.append(key)
+            if self.cache is not None:
+                hit, choices = self.cache.lookup(key)
+                if hit:
+                    results[i] = choices
+                    solved[i] = True
+                    continue
+            waiters = pending.get(key)
+            if waiters is None:
+                pending[key] = [i]
+                units.append(
+                    (solver_name, tuple(sorted(kwargs.items())), instance)
+                )
+                unit_keys.append(key)
+            else:
+                waiters.append(i)
+
+        # Pass 2: shard the unique misses across the pool.
+        if units:
+            unit_results = self.runner.map(_solve_unit, units)
+            for key, choices in zip(unit_keys, unit_results):
+                if self.cache is not None:
+                    self.cache.store(key, choices)
+                for i in pending[key]:
+                    results[i] = choices
+                    solved[i] = True
+
+        assert all(solved), "shard solve left unanswered entries"
+        return [
+            None
+            if choices is None
+            else Selection(entries[i][1], dict(choices))
+            for i, choices in enumerate(results)
+        ]

@@ -1,12 +1,94 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Also hosts two suite-wide guards:
+
+* **Hypothesis profiles** — ``ci`` (derandomized, no deadline) for the
+  tier-1 matrix, ``dev`` (default) for local runs.  CI selects with
+  ``--hypothesis-profile=ci --hypothesis-seed=0``.
+* **RNG discipline** (:func:`scan_rng_discipline`) — an AST scan over
+  ``src/repro`` rejecting bare ``np.random.*`` draws, unseeded
+  ``default_rng()`` and the stdlib ``random`` module.  All randomness
+  must flow through :mod:`repro.sim.rng` (named streams / pinned
+  ``SeedSequence``s) so every artifact stays reproducible.  Enforced by
+  ``tests/test_rng_discipline.py``.
+"""
+
+import ast
+from pathlib import Path
+from typing import List
 
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.core.benefit import BenefitFunction, BenefitPoint
 from repro.core.task import OffloadableTask, Task, TaskSet
 from repro.sim.engine import Simulator
 from repro.vision.tasks import table1_task_set
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci", deadline=None, derandomize=True, print_blob=True
+)
+settings.load_profile("dev")
+
+#: ``np.random.X`` attributes that are seeded-construction plumbing, not
+#: draws.  ``default_rng`` is allowed only when called with a seed.
+_NP_RANDOM_ALLOWED = {
+    "SeedSequence", "Generator", "PCG64", "BitGenerator", "default_rng",
+}
+
+
+def scan_rng_discipline(root: Path) -> List[str]:
+    """AST-scan ``root`` for nondeterministic RNG use; returns violations.
+
+    Flags (a) the stdlib ``random`` module (import or use), (b) any
+    ``np.random.<draw>()`` call on the shared global state, and (c)
+    ``np.random.default_rng()`` with no seed argument.
+    """
+    violations: List[str] = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        rel = path.relative_to(root.parent)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        violations.append(
+                            f"{rel}:{node.lineno}: stdlib random import"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    violations.append(
+                        f"{rel}:{node.lineno}: stdlib random import"
+                    )
+            elif isinstance(node, ast.Attribute):
+                # match <anything>.random.<attr> — numpy's global state
+                value = node.value
+                if (
+                    isinstance(value, ast.Attribute)
+                    and value.attr == "random"
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id in ("np", "numpy")
+                ):
+                    if node.attr not in _NP_RANDOM_ALLOWED:
+                        violations.append(
+                            f"{rel}:{node.lineno}: np.random.{node.attr} "
+                            "draws from the shared global state"
+                        )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "default_rng"
+                and not node.args
+                and not node.keywords
+            ):
+                violations.append(
+                    f"{rel}:{node.lineno}: default_rng() without a seed"
+                )
+    return violations
 
 
 @pytest.fixture

@@ -1,0 +1,182 @@
+"""Property-based verification of the §5.1 deadline-split formula.
+
+The paper's proportional rule::
+
+    D_{i,1} = C_{i,1} · (D_i − R_i) / (C_{i,1} + C_{i,2})
+
+is load-bearing: the scheduler releases sub-jobs by it and Theorem 3 is
+tight exactly because it equalizes the two sub-job densities.  These
+Hypothesis properties pin its whole envelope — range, monotonicity in
+``R_i``, density equalization, and the degenerate corners (``C_{i,2} →
+0`` via the §3 guaranteed-result extension, ``R_i → D_i`` at the
+structural feasibility boundary) where naive implementations go
+negative or NaN.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.deadlines import SPLIT_POLICIES, split_deadlines
+from repro.core.task import OffloadableTask
+
+proportional = SPLIT_POLICIES["proportional"]
+
+positive = st.floats(
+    min_value=1e-6, max_value=1e3,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+def make_task(deadline, setup, comp, response_time, bound=None):
+    return OffloadableTask(
+        task_id="t",
+        wcet=min(setup + comp, deadline) / 2.0,
+        period=deadline,
+        deadline=deadline,
+        setup_time=setup,
+        compensation_time=comp,
+        post_time=0.0,
+        server_response_bound=bound,
+        benefit=BenefitFunction(
+            [BenefitPoint(0.0, 0.0), BenefitPoint(response_time, 1.0)]
+        ),
+    )
+
+
+@given(setup=positive, comp=positive, slack=positive)
+def test_raw_formula_range_and_finiteness(setup, comp, slack):
+    """``0 < D1 < slack`` whenever both WCETs are positive."""
+    d1 = proportional(setup, comp, slack)
+    assert math.isfinite(d1)
+    assert 0.0 < d1 < slack
+
+
+@given(setup=positive, slack=positive)
+def test_raw_formula_degenerate_no_second_phase(setup, slack):
+    """``C2 = 0`` collapses to ``D1 = slack`` — never negative or NaN."""
+    d1 = proportional(setup, 0.0, slack)
+    assert math.isfinite(d1)
+    assert d1 > 0.0
+    assert math.isclose(d1, slack, rel_tol=1e-12)
+
+
+@given(
+    deadline=st.floats(min_value=0.1, max_value=100.0),
+    setup_frac=st.floats(min_value=0.01, max_value=0.45),
+    comp_frac=st.floats(min_value=0.01, max_value=0.45),
+    r_frac=st.floats(min_value=0.01, max_value=0.9),
+)
+@settings(max_examples=200)
+def test_split_range_density_and_budgets(
+    deadline, setup_frac, comp_frac, r_frac
+):
+    """End-to-end split: range, equal densities, budget accounting."""
+    response_time = r_frac * deadline
+    slack = deadline - response_time
+    setup = setup_frac * slack
+    comp = comp_frac * slack
+    assume(setup > 1e-9 and comp > 1e-9)
+    task = make_task(deadline, setup, comp, response_time)
+
+    split = split_deadlines(task, response_time)
+    d1 = split.setup_deadline
+    assert math.isfinite(d1)
+    assert 0.0 < d1 < slack
+    # both sub-jobs fit their own budgets in isolation
+    assert setup <= d1 + 1e-9
+    assert comp <= split.compensation_budget + 1e-9
+    # the budgets partition the slack exactly
+    assert math.isclose(
+        d1 + split.compensation_budget, slack, rel_tol=1e-9
+    )
+    # equal densities: D1 / slack == C1 / (C1 + C2)
+    assert math.isclose(
+        d1 / slack, setup / (setup + comp), rel_tol=1e-9
+    )
+    assert math.isclose(
+        split.density, (setup + comp) / slack, rel_tol=1e-9
+    )
+
+
+@given(
+    deadline=st.floats(min_value=0.1, max_value=100.0),
+    setup_frac=st.floats(min_value=0.01, max_value=0.2),
+    comp_frac=st.floats(min_value=0.01, max_value=0.2),
+    r_lo=st.floats(min_value=0.05, max_value=0.5),
+    r_hi=st.floats(min_value=0.05, max_value=0.5),
+)
+@settings(max_examples=200)
+def test_setup_deadline_monotone_decreasing_in_response_time(
+    deadline, setup_frac, comp_frac, r_lo, r_hi
+):
+    """Larger ``R_i`` → smaller slack → strictly smaller ``D_{i,1}``."""
+    lo, hi = sorted((r_lo, r_hi))
+    assume(hi - lo > 1e-6)
+    r1, r2 = lo * deadline, hi * deadline
+    tight_slack = deadline - r2
+    setup = setup_frac * tight_slack
+    comp = comp_frac * tight_slack
+    assume(setup > 1e-9 and comp > 1e-9)
+
+    d1_lo = split_deadlines(
+        make_task(deadline, setup, comp, r1), r1
+    ).setup_deadline
+    d1_hi = split_deadlines(
+        make_task(deadline, setup, comp, r2), r2
+    ).setup_deadline
+    assert d1_hi < d1_lo
+
+
+@given(
+    deadline=st.floats(min_value=0.1, max_value=100.0),
+    setup_frac=st.floats(min_value=0.01, max_value=0.45),
+    comp_frac=st.floats(min_value=0.01, max_value=0.45),
+)
+@settings(max_examples=200)
+def test_response_time_at_feasibility_boundary(
+    deadline, setup_frac, comp_frac
+):
+    """``R_i → D_i``: at ``slack = C1 + C2`` exactly, the split still
+    yields non-negative finite budgets (``D1 = C1``)."""
+    setup = setup_frac * deadline / 4.0
+    comp = comp_frac * deadline / 4.0
+    assume(setup > 1e-9 and comp > 1e-9)
+    response_time = deadline - (setup + comp)
+    assume(response_time > 1e-9)
+    split = split_deadlines(
+        make_task(deadline, setup, comp, response_time), response_time
+    )
+    assert math.isfinite(split.setup_deadline)
+    assert split.setup_deadline >= 0.0
+    assert split.compensation_budget >= comp - 1e-9
+    assert math.isclose(split.setup_deadline, setup, rel_tol=1e-6)
+
+
+@given(
+    deadline=st.floats(min_value=0.1, max_value=100.0),
+    setup_frac=st.floats(min_value=0.01, max_value=0.4),
+    r_frac=st.floats(min_value=0.1, max_value=0.9),
+)
+@settings(max_examples=200)
+def test_guaranteed_result_collapses_second_phase(
+    deadline, setup_frac, r_frac
+):
+    """§3 extension with ``C_{i,3} = 0``: the compensation phase
+    vanishes (``C2 → 0``) and the setup sub-job gets the whole slack —
+    finite, never negative."""
+    response_time = r_frac * deadline
+    slack = deadline - response_time
+    setup = setup_frac * slack
+    assume(setup > 1e-9)
+    task = make_task(
+        deadline, setup, slack * 0.5 + 1e-6, response_time,
+        bound=response_time,  # R_i meets the bound → result guaranteed
+    )
+    split = split_deadlines(task, response_time)
+    assert split.compensation_wcet == 0.0
+    assert math.isfinite(split.setup_deadline)
+    assert math.isclose(split.setup_deadline, slack, rel_tol=1e-9)
+    assert split.compensation_budget >= -1e-12

@@ -1,0 +1,100 @@
+"""Micro-batcher unit tests: policy validation, coalescing, shedding."""
+
+import asyncio
+
+import pytest
+
+from repro.service import BatchPolicy, MicroBatcher
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_batch": 0},
+        {"max_wait": -0.1},
+        {"queue_capacity": 0},
+    ],
+)
+def test_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        BatchPolicy(**kwargs)
+
+
+def test_offer_sheds_at_capacity():
+    async def scenario():
+        batcher = MicroBatcher(BatchPolicy(queue_capacity=3))
+        assert all(batcher.offer(i) for i in range(3))
+        assert batcher.depth == 3
+        assert batcher.capacity == 3
+        assert not batcher.offer(99)  # full -> shed
+        assert batcher.depth == 3
+
+    run(scenario())
+
+
+def test_collect_drains_queued_up_to_max_batch():
+    async def scenario():
+        batcher = MicroBatcher(
+            BatchPolicy(max_batch=4, max_wait=0.0, queue_capacity=16)
+        )
+        for i in range(7):
+            batcher.offer(i)
+        first = await batcher.collect()
+        second = await batcher.collect()
+        assert first == [0, 1, 2, 3]  # capped at max_batch
+        assert second == [4, 5, 6]  # rest, no waiting at max_wait=0
+        assert batcher.depth == 0
+
+    run(scenario())
+
+
+def test_collect_lingers_for_stragglers():
+    async def scenario():
+        batcher = MicroBatcher(
+            BatchPolicy(max_batch=8, max_wait=0.25, queue_capacity=16)
+        )
+
+        async def straggler():
+            await asyncio.sleep(0.02)
+            batcher.offer("late")
+
+        task = asyncio.create_task(straggler())
+        batcher.offer("early")
+        batch = await batcher.collect()
+        await task
+        assert batch == ["early", "late"]
+
+    run(scenario())
+
+
+def test_collect_max_batch_one_skips_linger():
+    async def scenario():
+        batcher = MicroBatcher(
+            BatchPolicy(max_batch=1, max_wait=10.0, queue_capacity=4)
+        )
+        batcher.offer("only")
+        batcher.offer("next")
+        assert await batcher.collect() == ["only"]
+        assert await batcher.collect() == ["next"]
+
+    run(scenario())
+
+
+def test_collect_blocks_until_first_item():
+    async def scenario():
+        batcher = MicroBatcher(BatchPolicy(max_wait=0.0))
+
+        async def feed():
+            await asyncio.sleep(0.02)
+            batcher.offer(42)
+
+        task = asyncio.create_task(feed())
+        batch = await batcher.collect()
+        await task
+        assert batch == [42]
+
+    run(scenario())

@@ -1,0 +1,122 @@
+"""Degradation ladder tests, including the property-based safety
+invariant: no rung ever admits a task set the exact path would reject.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedulability import theorem3_test
+from repro.knapsack import solve_dp, solve_heu_oe
+from repro.service import (
+    AdmissionRequest,
+    DegradationLevel,
+    DegradationPolicy,
+    build_request_instance,
+)
+from repro.workloads.generator import random_offloading_task_set
+
+
+def test_levels_are_ordered():
+    assert DegradationLevel.EXACT < DegradationLevel.HEURISTIC
+    assert DegradationLevel.HEURISTIC < DegradationLevel.LOCAL_ONLY
+    assert DegradationLevel.EXACT.label == "exact"
+    assert DegradationLevel.LOCAL_ONLY.label == "local_only"
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"heuristic_watermark": 0.0},
+        {"heuristic_watermark": 1.5},
+        {"heuristic_watermark": 0.8, "local_watermark": 0.5},
+        {"local_watermark": 1.5},
+    ],
+)
+def test_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        DegradationPolicy(**kwargs)
+
+
+def test_level_for_watermarks():
+    policy = DegradationPolicy(
+        heuristic_watermark=0.5, local_watermark=0.9
+    )
+    assert policy.level_for(0, 10) == DegradationLevel.EXACT
+    assert policy.level_for(4, 10) == DegradationLevel.EXACT
+    assert policy.level_for(5, 10) == DegradationLevel.HEURISTIC
+    assert policy.level_for(8, 10) == DegradationLevel.HEURISTIC
+    assert policy.level_for(9, 10) == DegradationLevel.LOCAL_ONLY
+    assert policy.level_for(10, 10) == DegradationLevel.LOCAL_ONLY
+
+
+def test_level_for_input_validation():
+    policy = DegradationPolicy()
+    with pytest.raises(ValueError):
+        policy.level_for(-1, 10)
+    with pytest.raises(ValueError):
+        policy.level_for(0, 0)
+
+
+# ----------------------------------------------------------------------
+# the safety invariant, property-based
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    utilization=st.floats(min_value=0.2, max_value=1.4),
+    num_tasks=st.integers(min_value=2, max_value=6),
+    scale=st.sampled_from([0.8, 1.0, 1.3]),
+)
+@settings(max_examples=60)
+def test_no_rung_admits_what_exact_rejects(
+    seed, utilization, num_tasks, scale
+):
+    """HEURISTIC admits iff EXACT admits; LOCAL_ONLY admits only if
+    EXACT admits.  Degradation trades benefit, never safety."""
+    rng = np.random.default_rng(seed)
+    tasks = random_offloading_task_set(
+        rng, num_tasks=num_tasks, total_utilization=utilization
+    )
+    request = AdmissionRequest(
+        request_id="prop",
+        tasks=tasks,
+        server_estimates={"edge": scale, "cloud": 1.0},
+    )
+    instance = build_request_instance(
+        request, request.server_estimates
+    )
+    resolution = 20_000
+    exact = solve_dp(instance, resolution=resolution)
+    heuristic = solve_heu_oe(instance)
+    local_check = theorem3_test(tasks, ())
+
+    # The ceil-quantized DP is (slightly) pessimistic: it may reject a
+    # borderline set whose true weight still fits the capacity.  The
+    # gap is bounded by one quantization unit per class.
+    quantization_slack = (
+        instance.capacity * (len(instance.classes) + 1) / resolution
+        + 1e-9
+    )
+    boundary = instance.capacity - quantization_slack
+
+    # Exact admission implies heuristic admission: HEU-OE starts from
+    # the all-lightest selection, which fits whenever anything does.
+    # Degrading never *loses* an admission.
+    if exact is not None:
+        assert heuristic is not None
+    # The converse holds away from the quantization boundary; at the
+    # boundary the heuristic's answer must still be Theorem-3 safe.
+    if heuristic is not None and exact is None:
+        assert heuristic.total_weight >= boundary
+    # The all-local configuration is one particular selection of the
+    # exact instance: its feasibility implies exact feasibility, again
+    # modulo the quantization boundary.
+    if local_check.feasible and exact is None:
+        assert local_check.total_demand_rate >= boundary
+    # And every admitted selection must clear Theorem 3 end-to-end —
+    # the unconditional safety half of the invariant.
+    for selection in (exact, heuristic):
+        if selection is None:
+            continue
+        assert selection.total_weight <= instance.capacity + 1e-9

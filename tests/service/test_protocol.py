@@ -1,0 +1,146 @@
+"""TCP wire protocol: serve_tcp <-> ServiceClient round-trips over a
+real socket, including error replies and clean shutdown."""
+
+import asyncio
+import json
+import socket
+
+import numpy as np
+
+from repro.service import (
+    AdmissionRequest,
+    BatchPolicy,
+    ODMService,
+    ServiceClient,
+    serve_tcp,
+)
+from repro.workloads.generator import random_offloading_task_set
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def make_request(request_id="r1", seed=1):
+    tasks = random_offloading_task_set(
+        np.random.default_rng(seed), num_tasks=3, total_utilization=0.5
+    )
+    return AdmissionRequest(
+        request_id=request_id,
+        tasks=tasks,
+        server_estimates={"edge": 1.0},
+    )
+
+
+def make_service():
+    return ODMService(
+        workers=1,
+        batch_policy=BatchPolicy(max_batch=8, max_wait=0.001,
+                                 queue_capacity=32),
+    )
+
+
+async def serving(port):
+    """Start serve_tcp in the background; return the serve task."""
+    task = asyncio.create_task(
+        serve_tcp(
+            make_service(), port=port, duration=30.0,
+            ready_message=False,
+        )
+    )
+    # wait for the listener to come up
+    for _ in range(200):
+        try:
+            _r, w = await asyncio.open_connection("127.0.0.1", port)
+            w.close()
+            await w.wait_closed()
+            return task
+        except OSError:
+            await asyncio.sleep(0.01)
+    raise RuntimeError("server never came up")
+
+
+def test_full_client_round_trip():
+    async def scenario():
+        port = free_port()
+        serve_task = await serving(port)
+        async with ServiceClient(port=port) as client:
+            responses = await asyncio.gather(
+                *(
+                    client.submit(make_request(f"r{i}", seed=i))
+                    for i in range(5)
+                )
+            )
+            await client.record_outcome("edge", True, 1.0)
+            await client.record_outcome("edge", False, 2.0)
+            breakers = await client.close_window()
+            stats = await client.stats()
+            await client.shutdown()
+        await asyncio.wait_for(serve_task, timeout=10.0)
+        return responses, breakers, stats
+
+    responses, breakers, stats = asyncio.run(scenario())
+    assert [r.request_id for r in responses] == [
+        f"r{i}" for i in range(5)
+    ]
+    assert all(r.admitted for r in responses)
+    assert breakers == {"edge": "closed"}
+    assert stats["requests"] == 5
+    assert stats["admitted"] == 5
+    assert "cache" in stats and "breakers" in stats
+
+
+def test_wire_errors_do_not_kill_the_connection():
+    async def scenario():
+        port = free_port()
+        serve_task = await serving(port)
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+        async def call(line):
+            writer.write(line + b"\n")
+            await writer.drain()
+            return json.loads(await reader.readline())
+
+        bad_json = await call(b"{not json")
+        unknown = await call(b'{"op": "frobnicate"}')
+        bad_admit = await call(b'{"op": "admit"}')
+        # the connection survives all three and still serves
+        request = make_request("alive")
+        good = await call(
+            json.dumps(
+                {"op": "admit", "request": request.to_dict()}
+            ).encode()
+        )
+        bye = await call(b'{"op": "shutdown"}')
+        writer.close()
+        await writer.wait_closed()
+        await asyncio.wait_for(serve_task, timeout=10.0)
+        return bad_json, unknown, bad_admit, good, bye
+
+    bad_json, unknown, bad_admit, good, bye = asyncio.run(scenario())
+    assert bad_json["op"] == "error"
+    assert unknown["op"] == "error"
+    assert "frobnicate" in unknown["error"]
+    assert bad_admit["op"] == "error"
+    assert good["op"] == "response"
+    assert good["request_id"] == "alive"
+    assert good["status"] == "admitted"
+    assert bye["op"] == "bye"
+
+
+def test_duration_cap_stops_a_quiet_server():
+    async def scenario():
+        port = free_port()
+        service = make_service()
+        await asyncio.wait_for(
+            serve_tcp(
+                service, port=port, duration=0.2, ready_message=False
+            ),
+            timeout=10.0,
+        )
+        return service
+
+    service = asyncio.run(scenario())
+    assert not service.started  # stopped cleanly on the way out

@@ -1,0 +1,257 @@
+"""ODMService end-to-end: admission, verification, backpressure,
+forced degradation, breaker-driven routing, clean shutdown."""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.schedulability import OffloadAssignment, theorem3_test
+from repro.service import (
+    AdmissionRequest,
+    BatchPolicy,
+    DegradationLevel,
+    ODMService,
+)
+from repro.workloads.generator import random_offloading_task_set
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_request(request_id="r1", seed=1, utilization=0.5, servers=None):
+    tasks = random_offloading_task_set(
+        np.random.default_rng(seed),
+        num_tasks=4,
+        total_utilization=utilization,
+    )
+    return AdmissionRequest(
+        request_id=request_id,
+        tasks=tasks,
+        server_estimates=dict(servers or {"edge": 1.0, "cloud": 1.1}),
+    )
+
+
+def small_service(**kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault(
+        "batch_policy",
+        BatchPolicy(max_batch=8, max_wait=0.001, queue_capacity=32),
+    )
+    return ODMService(**kwargs)
+
+
+def test_submit_requires_start():
+    service = small_service()
+
+    async def scenario():
+        with pytest.raises(RuntimeError):
+            await service.submit(make_request())
+
+    run(scenario())
+
+
+def test_admission_is_theorem3_verified():
+    async def scenario():
+        async with small_service() as service:
+            request = make_request()
+            response = await service.submit(request)
+        assert response.admitted
+        assert response.degradation == "exact"
+        assert response.solver == "dp"
+        assert set(response.placements) == {
+            t.task_id for t in request.tasks
+        }
+        assignments = [
+            OffloadAssignment(tid, r)
+            for tid, (_s, r) in response.placements.items()
+            if r > 0
+        ]
+        check = theorem3_test(request.tasks, assignments)
+        assert check.feasible
+        assert response.total_demand_rate == pytest.approx(
+            check.total_demand_rate
+        )
+        assert response.latency > 0
+        assert response.batch_size >= 1
+
+    run(scenario())
+
+
+def test_concurrent_submissions_coalesce_into_batches():
+    async def scenario():
+        async with small_service() as service:
+            requests = [
+                make_request(f"r{i}", seed=i % 3) for i in range(8)
+            ]
+            responses = await asyncio.gather(
+                *(service.submit(r) for r in requests)
+            )
+        assert all(r.admitted for r in responses)
+        assert max(r.batch_size for r in responses) >= 2
+        stats = service.stats()
+        assert stats["requests"] == 8
+        assert stats["batches"] < 8
+        assert stats["cache"]["hits"] + stats["cache"]["misses"] >= 1
+
+    run(scenario())
+
+
+def test_backpressure_sheds_when_queue_is_full():
+    async def scenario():
+        service = small_service(
+            batch_policy=BatchPolicy(
+                max_batch=1, max_wait=0.0, queue_capacity=2
+            ),
+        )
+        async with service:
+            original = service.shard_solver.solve_batch
+
+            def slow(entries):
+                time.sleep(0.25)
+                return original(entries)
+
+            service.shard_solver.solve_batch = slow
+            first = asyncio.create_task(
+                service.submit(make_request("head"))
+            )
+            await asyncio.sleep(0.05)  # head enters the slow solve
+            rest = await asyncio.gather(
+                *(
+                    service.submit(make_request(f"r{i}"))
+                    for i in range(4)
+                )
+            )
+            head = await first
+        assert head.admitted
+        statuses = sorted(r.status for r in rest)
+        assert statuses.count("shed") == 2  # queue held the other two
+        assert statuses.count("admitted") == 2
+        shed = [r for r in rest if r.status == "shed"]
+        assert all(r.placements == {} for r in shed)
+
+    run(scenario())
+
+
+def test_forced_degradation_levels():
+    async def scenario():
+        async with small_service() as service:
+            request = make_request()
+            exact = await service.submit(request)
+
+            service.force_level(DegradationLevel.HEURISTIC)
+            heuristic = await service.submit(request)
+
+            service.force_level(DegradationLevel.LOCAL_ONLY)
+            local = await service.submit(request)
+
+            service.force_level(None)
+            back = await service.submit(request)
+        assert exact.degradation == "exact" and exact.solver == "dp"
+        assert heuristic.degradation == "heuristic"
+        assert heuristic.solver == "heu_oe"
+        assert local.degradation == "local_only"
+        assert local.solver == "none"
+        assert back.degradation == "exact"
+        # degradation never flips a feasible set into a rejection here
+        assert exact.admitted and heuristic.admitted and local.admitted
+        # local-only serves everything at the local point
+        assert all(r == 0.0 for _s, r in local.placements.values())
+        assert local.allowed_servers == {}
+        # heuristic may lose benefit but never beats the exact optimum
+        assert (
+            heuristic.expected_benefit
+            <= exact.expected_benefit + 1e-9
+        )
+
+    run(scenario())
+
+
+def test_open_breaker_removes_server_from_routing():
+    async def scenario():
+        service = small_service(
+            breaker_kwargs={"min_samples": 3, "cooldown_windows": 1},
+        )
+        async with service:
+            request = make_request(servers={"edge": 1.0})
+            before = await service.submit(request)
+
+            for _ in range(5):
+                service.record_outcome("edge", False, 1.0)
+            states = service.close_health_window()
+            assert states["edge"] == "open"
+            assert service.breaker_state("edge") == "open"
+
+            during = await service.submit(request)
+
+            # cooldown: open -> half_open, then a good probe recloses
+            service.close_health_window()
+            assert service.breaker_state("edge") == "half_open"
+            for _ in range(5):
+                service.record_outcome("edge", True, 2.0)
+            states = service.close_health_window()
+            assert states["edge"] == "closed"
+
+            after = await service.submit(request)
+
+        # with the only server broken, the request fell back to the
+        # local-only direct path (still a verified admission)
+        assert before.allowed_servers == {"edge": 1.0}
+        assert during.allowed_servers == {}
+        assert during.degradation == "local_only"
+        assert after.allowed_servers == {"edge": 1.0}
+        assert after.degradation == "exact"
+
+    run(scenario())
+
+
+def test_stop_with_drain_answers_everything():
+    async def scenario():
+        service = small_service()
+        await service.start()
+        futures = [
+            asyncio.create_task(service.submit(make_request(f"r{i}")))
+            for i in range(6)
+        ]
+        await asyncio.sleep(0)  # let them enqueue
+        await service.stop(drain=True)
+        responses = await asyncio.gather(*futures)
+        assert all(r.status in ("admitted", "rejected") for r in responses)
+        assert not service.started
+
+    run(scenario())
+
+
+def test_stats_snapshot_shape():
+    async def scenario():
+        async with small_service() as service:
+            await service.submit(make_request())
+            return service.stats()
+
+    stats = run(scenario())
+    for key in (
+        "requests", "admitted", "rejected", "shed", "batches",
+        "queue_depth", "degradation_level", "batch_size_mean",
+        "solve_latency_p50", "solve_latency_p99", "breakers", "cache",
+    ):
+        assert key in stats
+    assert stats["requests"] == 1
+    assert stats["admitted"] == 1
+    assert stats["degradation_level"] == "exact"
+
+
+def test_infeasible_set_is_rejected_not_errored():
+    async def scenario():
+        async with small_service() as service:
+            # utilization far above 1: nothing can make this schedulable
+            request = make_request(seed=3, utilization=3.0)
+            return await service.submit(request)
+
+    response = run(scenario())
+    assert response.status == "rejected"
+    assert response.placements == {}
+
+    run_report = response.to_dict()
+    assert run_report["status"] == "rejected"
