@@ -413,6 +413,76 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_fleet_campaign(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .fleet import FleetCampaignConfig, run_fleet_campaign
+    from .service import LoadGenConfig
+
+    config = FleetCampaignConfig(
+        seed=args.seed,
+        replicas=args.replicas,
+        load=LoadGenConfig(
+            seed=args.seed,
+            bursts=args.bursts,
+            mean_burst_size=args.burst_size,
+            unique_sets=args.unique_sets,
+            num_tasks=args.tasks,
+        ),
+        policy=args.policy,
+        kill_replica=None if args.no_chaos else args.kill_replica,
+        lossy_link=None if args.no_chaos else args.lossy_link,
+        pacing=args.pacing,
+        resolution=args.resolution,
+    )
+    report = asyncio.run(run_fleet_campaign(config))
+    record = report.to_dict()
+    latency = record["latency"]
+    recovery = record["recovery"]
+    print(
+        f"fleet-campaign: {report.requests} requests over "
+        f"{report.bursts} bursts across {args.replicas} replicas — "
+        f"{report.admitted} admitted, {report.rejected} rejected, "
+        f"{report.shed} shed, {report.unrouted} unrouted"
+    )
+    print(f"served by: {record['served_by']}")
+    router = record["router"]
+    print(
+        f"router: {router['failovers']} failovers, "
+        f"{router['retries']} retries, {router['hedges']} hedges "
+        f"({router['hedge_wins']} won), {report.dedup_hits} dedup hits"
+    )
+    print(
+        f"fleet latency p50/p99: {latency['fleet_p50'] * 1e3:.2f}/"
+        f"{latency['fleet_p99'] * 1e3:.2f} ms; "
+        f"shed rate {record['shed_rate']:.3f}"
+    )
+    print(
+        f"chaos: {[e['action'] for e in report.chaos_events]}; "
+        f"recoveries {recovery['count']} "
+        f"(max {recovery['max_seconds']:.2f}s)"
+    )
+    print(
+        f"degraded-server breaker: opened={report.breaker_opened} "
+        f"reclosed={report.breaker_reclosed} "
+        f"remote_trips={record['remote_trips']}"
+    )
+    print(
+        f"audit: {report.anomaly_count} anomalies, "
+        f"{report.duplicate_deliveries} duplicate deliveries "
+        f"({'OK' if report.ok else 'VIOLATIONS'})"
+    )
+    for anomaly in report.anomalies:
+        print(f"  ! {anomaly}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if report.ok else 1
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     tasks = table1_task_set()
     system = OffloadingSystem(
@@ -615,6 +685,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_workers(p)
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "fleet-campaign",
+        help=(
+            "multi-replica chaos campaign: failover router + gossip "
+            "under replica death (writes BENCH_fleet.json)"
+        ),
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--replicas", type=int, default=3)
+    p.add_argument("--bursts", type=int, default=30)
+    p.add_argument("--burst-size", type=float, default=5.0)
+    p.add_argument("--unique-sets", type=int, default=10)
+    p.add_argument("--tasks", type=int, default=5)
+    p.add_argument(
+        "--policy", default="least_loaded",
+        choices=("least_loaded", "consistent_hash"),
+    )
+    p.add_argument(
+        "--kill-replica", default="replica-1",
+        help="replica killed (and later restarted) mid-campaign",
+    )
+    p.add_argument(
+        "--lossy-link", default="replica-2",
+        help="replica whose router link suffers loss + latency chaos",
+    )
+    p.add_argument(
+        "--no-chaos", action="store_true",
+        help="disable process and link chaos (baseline fleet run)",
+    )
+    p.add_argument(
+        "--pacing", type=float, default=0.01,
+        help="real seconds slept per burst (probe/gossip airtime)",
+    )
+    p.add_argument("--resolution", type=int, default=20_000)
+    p.add_argument(
+        "--out", help="write the report JSON (BENCH_fleet.json) to PATH"
+    )
+    p.set_defaults(func=_cmd_fleet_campaign)
 
     p = sub.add_parser("demo", help="one end-to-end run with a Gantt chart")
     p.add_argument("--scenario", default="idle")

@@ -14,7 +14,11 @@ hostile half of the story:
 * :mod:`repro.faults.chaos` — the chaos harness: run a task set under a
   scripted or randomized :class:`FaultSchedule`, drive the circuit
   breaker in :mod:`repro.runtime.health`, and assert the no-deadline-
-  miss invariant end to end.
+  miss invariant end to end;
+* :mod:`repro.faults.process` — fleet-level chaos: supervised replica
+  kill/restart (:class:`ReplicaProcess`), scripted fleet schedules
+  (:class:`FleetChaosSchedule`) and router-link fault interpretation
+  (:class:`LinkChaos`) for the :mod:`repro.fleet` campaign.
 """
 
 from .injectors import (
@@ -24,6 +28,14 @@ from .injectors import (
     FaultSchedule,
 )
 from .chaos import ChaosReport, FAULT_PROFILES, format_chaos, run_chaos
+from .process import (
+    CHAOS_ACTIONS,
+    ChaosAction,
+    FleetChaosSchedule,
+    LinkChaos,
+    LinkLoss,
+    ReplicaProcess,
+)
 
 __all__ = [
     "FAULT_KINDS",
@@ -34,4 +46,10 @@ __all__ = [
     "FAULT_PROFILES",
     "format_chaos",
     "run_chaos",
+    "CHAOS_ACTIONS",
+    "ChaosAction",
+    "FleetChaosSchedule",
+    "LinkChaos",
+    "LinkLoss",
+    "ReplicaProcess",
 ]

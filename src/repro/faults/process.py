@@ -1,0 +1,340 @@
+"""Process- and link-level chaos for the replica fleet.
+
+:mod:`repro.faults.injectors` attacks the *offload path* (the link
+between the scheduler and the timing unreliable server).  This module
+attacks the *control plane* of the online service itself:
+
+* :class:`ReplicaProcess` supervises one :class:`ODMService` behind
+  :func:`serve_tcp` and can kill it abruptly (every connection RST,
+  like a ``SIGKILL``-ed process) and later restart it on the **same
+  port**, so a router sees the classic crash/recover lifecycle;
+* :class:`ChaosAction` / :class:`FleetChaosSchedule` script timed
+  kill/restart actions against named replicas on the campaign's
+  virtual timeline — pure data, replayable, seed-independent;
+* :class:`LinkChaos` interprets per-replica :class:`FaultSchedule`\\ s
+  on the router→replica links: blackhole windows and probabilistic
+  loss surface as :class:`LinkLoss` (a ``ConnectionError``, so the
+  router fails over exactly as for a dead socket), latency-spike
+  windows add real delay in front of the request.
+
+None of this can break admission safety — every admitted response is
+Theorem-3-verified inside the replica and re-audited by the campaign;
+chaos can only cost availability and benefit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..service.server import ODMService, TcpServerControl, serve_tcp
+from .injectors import FaultSchedule
+
+__all__ = [
+    "CHAOS_ACTIONS",
+    "ChaosAction",
+    "FleetChaosSchedule",
+    "LinkChaos",
+    "LinkLoss",
+    "ReplicaProcess",
+]
+
+#: The fleet chaos vocabulary: abrupt death and same-port rebirth.
+CHAOS_ACTIONS = ("kill", "restart")
+
+
+class LinkLoss(ConnectionError):
+    """An injected router→replica link failure (loss or blackhole)."""
+
+
+# ----------------------------------------------------------------------
+# replica supervision
+# ----------------------------------------------------------------------
+class ReplicaProcess:
+    """One supervised ODM replica: an in-loop stand-in for a process.
+
+    The replica runs :func:`serve_tcp` as a task; :meth:`kill` aborts
+    it through :class:`TcpServerControl` — every open connection gets a
+    TCP RST, in-flight clients observe ``ConnectionLost`` exactly as if
+    the process had died under ``SIGKILL``.  :meth:`start` after a kill
+    rebinds the *same* port (pinned on first bind), so routers with a
+    static member list reconnect without re-discovery.
+
+    ``service_factory`` builds a **fresh** :class:`ODMService` per
+    start: a restarted replica loses all in-memory state (dedup cache,
+    breaker evidence, stats) — that amnesia is part of what the fleet
+    campaign must survive.
+    """
+
+    def __init__(
+        self,
+        replica_id: str,
+        service_factory: Callable[[], ODMService],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if not replica_id:
+            raise ValueError("replica_id must be non-empty")
+        self.replica_id = replica_id
+        self.service_factory = service_factory
+        self.host = host
+        self.port = port
+        self.service: Optional[ODMService] = None
+        self.control: Optional[TcpServerControl] = None
+        self.starts = 0
+        self.kills = 0
+        self._task: Optional[asyncio.Task] = None
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    async def start(self, timeout: float = 10.0) -> "ReplicaProcess":
+        """Boot (or reboot) the replica; resolves once it is listening."""
+        if self.running:
+            return self
+        self.service = self.service_factory()
+        self.control = TcpServerControl()
+        self._task = asyncio.create_task(
+            serve_tcp(
+                self.service,
+                host=self.host,
+                port=self.port,
+                ready_message=False,
+                control=self.control,
+            ),
+            name=f"replica-{self.replica_id}",
+        )
+        ready = asyncio.create_task(self.control.ready.wait())
+        done, _pending = await asyncio.wait(
+            {ready, self._task},
+            timeout=timeout,
+            return_when=asyncio.FIRST_COMPLETED,
+        )
+        if ready not in done:
+            ready.cancel()
+            if self._task in done:
+                # surface the bind error instead of a bare timeout
+                self._task.result()
+            raise TimeoutError(
+                f"replica {self.replica_id} did not bind within {timeout}s"
+            )
+        # pin the kernel-chosen port so restarts land on the same address
+        self.port = self.control.bound_port or self.port
+        self.starts += 1
+        return self
+
+    @staticmethod
+    async def _reap(task: asyncio.Task, timeout: float) -> None:
+        """Wait for the serve task to exit; cancel it past ``timeout``."""
+        _done, pending = await asyncio.wait({task}, timeout=timeout)
+        if pending:
+            task.cancel()
+        # collect the outcome so the loop never logs it as unretrieved
+        await asyncio.gather(task, return_exceptions=True)
+
+    async def kill(self) -> None:
+        """Abrupt death: RST every connection, stop serving, no drain."""
+        if self._task is None:
+            return
+        self.kills += 1
+        if self.control is not None:
+            self.control.abort()
+        task, self._task = self._task, None
+        await self._reap(task, timeout=10.0)
+
+    async def stop(self) -> None:
+        """Graceful exit: stop accepting, drain the service, close."""
+        if self._task is None:
+            return
+        if self.control is not None and self.control._done is not None:
+            self.control._done.set()
+        task, self._task = self._task, None
+        await self._reap(task, timeout=10.0)
+
+    async def restart(self, timeout: float = 10.0) -> "ReplicaProcess":
+        """Kill (if running) and boot a fresh service on the same port."""
+        await self.kill()
+        return await self.start(timeout=timeout)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+
+# ----------------------------------------------------------------------
+# scripted fleet chaos
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosAction:
+    """One timed action against one replica on the virtual timeline."""
+
+    at: float
+    action: str
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.action not in CHAOS_ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {self.action!r}; "
+                f"known: {CHAOS_ACTIONS}"
+            )
+        if not np.isfinite(self.at) or self.at < 0:
+            raise ValueError(
+                f"action time must be finite and >= 0, got {self.at}"
+            )
+        if not self.target:
+            raise ValueError("action target must be a replica id")
+
+
+class FleetChaosSchedule:
+    """Ordered kill/restart actions plus per-link fault schedules.
+
+    Pure data, like :class:`FaultSchedule`: the campaign pops actions
+    as virtual time advances (:meth:`due`) and hands the link
+    schedules to :class:`LinkChaos`.
+    """
+
+    def __init__(
+        self,
+        actions: "tuple[ChaosAction, ...] | List[ChaosAction]" = (),
+        link_faults: Optional[Mapping[str, FaultSchedule]] = None,
+    ) -> None:
+        self.actions: Tuple[ChaosAction, ...] = tuple(
+            sorted(actions, key=lambda a: (a.at, a.target, a.action))
+        )
+        self.link_faults: Dict[str, FaultSchedule] = dict(link_faults or {})
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self):
+        return iter(self.actions)
+
+    @property
+    def remaining(self) -> int:
+        return len(self.actions) - self._cursor
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def due(self, now: float) -> List[ChaosAction]:
+        """Pop every not-yet-executed action with ``at <= now``."""
+        due: List[ChaosAction] = []
+        while (
+            self._cursor < len(self.actions)
+            and self.actions[self._cursor].at <= now
+        ):
+            due.append(self.actions[self._cursor])
+            self._cursor += 1
+        return due
+
+    @classmethod
+    def kill_restart(
+        cls,
+        target: str,
+        kill_at: float,
+        restart_at: float,
+        link_faults: Optional[Mapping[str, FaultSchedule]] = None,
+    ) -> "FleetChaosSchedule":
+        """The canonical crash/recover scenario for one replica."""
+        if restart_at <= kill_at:
+            raise ValueError(
+                f"restart_at ({restart_at}) must come after "
+                f"kill_at ({kill_at})"
+            )
+        return cls(
+            [
+                ChaosAction(kill_at, "kill", target),
+                ChaosAction(restart_at, "restart", target),
+            ],
+            link_faults=link_faults,
+        )
+
+
+@dataclass
+class LinkStats:
+    """Per-link injection counters (``LinkChaos.stats`` values)."""
+
+    losses: int = 0
+    delays: int = 0
+    delay_seconds: float = 0.0
+
+
+class LinkChaos:
+    """Interpret per-replica :class:`FaultSchedule`\\ s on router links.
+
+    ``clock`` supplies the campaign's *virtual* time (the burst
+    timeline), so the same schedule is reproducible whatever the wall
+    clock does.  Loss draws use a seeded generator — two campaigns with
+    the same seed inject the same faults.
+    """
+
+    def __init__(
+        self,
+        link_faults: Mapping[str, FaultSchedule],
+        rng: np.random.Generator,
+        clock: Callable[[], float],
+        max_delay: float = 0.05,
+    ) -> None:
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.link_faults = dict(link_faults)
+        self.rng = rng
+        self.clock = clock
+        #: cap on *real* seconds slept per injected latency spike — the
+        #: schedule's magnitude is virtual-time seconds, the sleep is a
+        #: bounded real-time stand-in so campaigns stay fast
+        self.max_delay = max_delay
+        self.stats: Dict[str, LinkStats] = {}
+
+    def _stats(self, replica_id: str) -> LinkStats:
+        stats = self.stats.get(replica_id)
+        if stats is None:
+            stats = self.stats[replica_id] = LinkStats()
+        return stats
+
+    async def impose(self, replica_id: str) -> None:
+        """Apply this link's faults at the current virtual time.
+
+        Raises :class:`LinkLoss` when the link is blackholed or a loss
+        draw fires; otherwise sleeps a bounded real delay for latency
+        spikes and returns.
+        """
+        schedule = self.link_faults.get(replica_id)
+        if schedule is None:
+            return
+        now = self.clock()
+        if schedule.blackholed(now):
+            self._stats(replica_id).losses += 1
+            raise LinkLoss(
+                f"link to {replica_id} blackholed at t={now:.3f}"
+            )
+        drop = schedule.magnitude("drop", now)
+        if drop > 0 and self.rng.random() < drop:
+            self._stats(replica_id).losses += 1
+            raise LinkLoss(
+                f"link to {replica_id} dropped request at t={now:.3f}"
+            )
+        spike = schedule.magnitude("latency_spike", now)
+        if spike > 0:
+            delay = min(spike, self.max_delay)
+            stats = self._stats(replica_id)
+            stats.delays += 1
+            stats.delay_seconds += delay
+            await asyncio.sleep(delay)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {
+            replica_id: {
+                "losses": stats.losses,
+                "delays": stats.delays,
+                "delay_seconds": stats.delay_seconds,
+            }
+            for replica_id, stats in sorted(self.stats.items())
+        }

@@ -1,0 +1,245 @@
+"""Fleet membership: who is up, who is suspect, who is down.
+
+The router keeps one :class:`FleetMembership` over a static list of
+:class:`ReplicaSpec` addresses.  State is driven from two sides:
+
+* the *data path* — a failed send marks the replica suspect (straggler)
+  or down (connection-level failure), a successful one marks it up and
+  closes any open outage, recording the observed recovery time;
+* the *gossip path* — beacons update per-replica load/breaker views
+  (sequence-numbered, stale beacons discarded) so the router can stop
+  sending to a drowning replica *before* its socket dies.
+
+:class:`HashRing` provides the consistent-hash routing policy: request
+ids map stably onto healthy replicas, so retries of the same id land on
+the same replica whenever it is alive (maximizing the replica-local
+dedup hit rate) and only move when it is not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "REPLICA_STATES",
+    "HashRing",
+    "FleetMembership",
+    "ReplicaSpec",
+    "ReplicaStatus",
+]
+
+REPLICA_STATES = ("up", "suspect", "down")
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """Static address of one fleet replica."""
+
+    replica_id: str
+    host: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not self.replica_id:
+            raise ValueError("replica_id must be non-empty")
+        if not 0 < self.port < 65536:
+            raise ValueError(f"invalid port {self.port}")
+
+
+@dataclass
+class ReplicaStatus:
+    """Mutable, router-local view of one replica."""
+
+    spec: ReplicaSpec
+    state: str = "up"
+    consecutive_failures: int = 0
+    beacon: Dict[str, object] = field(default_factory=dict)
+    beacon_seq: int = -1
+    down_since: Optional[float] = None
+    #: completed outage durations (seconds), data-path observed
+    recovery_times: List[float] = field(default_factory=list)
+
+    @property
+    def occupancy(self) -> float:
+        """Queue occupancy in [0, 1] from the freshest beacon (0 unknown)."""
+        capacity = float(self.beacon.get("queue_capacity", 0) or 0)
+        if capacity <= 0:
+            return 0.0
+        depth = float(self.beacon.get("queue_depth", 0) or 0)
+        return min(1.0, max(0.0, depth / capacity))
+
+
+class FleetMembership:
+    """Failure-detector state over a static replica list."""
+
+    def __init__(
+        self,
+        specs: Sequence[ReplicaSpec],
+        down_threshold: int = 2,
+    ) -> None:
+        if not specs:
+            raise ValueError("a fleet needs at least one replica")
+        if down_threshold < 1:
+            raise ValueError("down_threshold must be >= 1")
+        ids = [spec.replica_id for spec in specs]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate replica ids in {ids}")
+        self.down_threshold = down_threshold
+        self.replicas: Dict[str, ReplicaStatus] = {
+            spec.replica_id: ReplicaStatus(spec=spec) for spec in specs
+        }
+        self.transitions: List[Tuple[float, str, str, str]] = []
+
+    def __contains__(self, replica_id: str) -> bool:
+        return replica_id in self.replicas
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def status(self, replica_id: str) -> ReplicaStatus:
+        return self.replicas[replica_id]
+
+    def ids(self) -> List[str]:
+        return sorted(self.replicas)
+
+    def healthy(self) -> List[str]:
+        """Replicas the router may route to (``up`` or ``suspect``)."""
+        return sorted(
+            rid
+            for rid, status in self.replicas.items()
+            if status.state != "down"
+        )
+
+    def _move(self, status: ReplicaStatus, new_state: str, now: float) -> None:
+        if new_state == status.state:
+            return
+        self.transitions.append(
+            (now, status.spec.replica_id, status.state, new_state)
+        )
+        status.state = new_state
+
+    # ------------------------------------------------------------------
+    # data-path evidence
+    # ------------------------------------------------------------------
+    def mark_failure(
+        self, replica_id: str, now: float, fatal: bool = False
+    ) -> str:
+        """One failed send.  ``fatal`` = connection-level (socket died).
+
+        A fatal failure downs the replica immediately; timeouts
+        (non-fatal stragglers) need ``down_threshold`` consecutive
+        strikes, passing through ``suspect`` on the way.
+        """
+        status = self.replicas[replica_id]
+        status.consecutive_failures += 1
+        if fatal or status.consecutive_failures >= self.down_threshold:
+            if status.state != "down":
+                status.down_since = now
+            self._move(status, "down", now)
+        else:
+            self._move(status, "suspect", now)
+        return status.state
+
+    def mark_success(self, replica_id: str, now: float) -> Optional[float]:
+        """One successful exchange; returns the closed outage's length.
+
+        ``None`` unless this success ends a ``down`` spell — in that
+        case the observed recovery time (seconds from the first fatal
+        failure to this success) is recorded and returned.
+        """
+        status = self.replicas[replica_id]
+        status.consecutive_failures = 0
+        recovered: Optional[float] = None
+        if status.state == "down" and status.down_since is not None:
+            recovered = max(0.0, now - status.down_since)
+            status.recovery_times.append(recovered)
+            status.down_since = None
+        self._move(status, "up", now)
+        return recovered
+
+    # ------------------------------------------------------------------
+    # gossip evidence
+    # ------------------------------------------------------------------
+    def update_beacon(
+        self, replica_id: str, beacon: Mapping[str, object]
+    ) -> bool:
+        """Fold a beacon in; ``False`` if stale (older sequence)."""
+        status = self.replicas[replica_id]
+        seq = int(beacon.get("seq", 0) or 0)
+        if seq <= status.beacon_seq:
+            return False
+        status.beacon_seq = seq
+        status.beacon = dict(beacon)
+        return True
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def recovery_times(self) -> Dict[str, List[float]]:
+        return {
+            rid: list(status.recovery_times)
+            for rid, status in sorted(self.replicas.items())
+            if status.recovery_times
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            rid: {
+                "state": status.state,
+                "occupancy": status.occupancy,
+                "beacon_seq": status.beacon_seq,
+                "recovery_times": list(status.recovery_times),
+            }
+            for rid, status in sorted(self.replicas.items())
+        }
+
+
+class HashRing:
+    """Consistent hashing over replica ids with virtual nodes.
+
+    Placement depends only on ``(node ids, vnodes)`` — deterministic
+    across processes (BLAKE2 digests, no Python hash randomization).
+    ``route`` walks clockwise from the key's position to the first
+    *alive* node, so keys owned by a dead replica redistribute without
+    moving anyone else's keys.
+    """
+
+    def __init__(self, nodes: Sequence[str], vnodes: int = 64) -> None:
+        if not nodes:
+            raise ValueError("ring needs at least one node")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        points: List[Tuple[int, str]] = []
+        for node in nodes:
+            for index in range(vnodes):
+                points.append((self._hash(f"{node}#{index}"), node))
+        points.sort()
+        self._points = points
+        self._hashes = [point for point, _node in points]
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        digest = hashlib.blake2b(
+            key.encode("utf-8"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big")
+
+    def route(
+        self, key: str, alive: Optional[Sequence[str]] = None
+    ) -> Optional[str]:
+        """The alive node owning ``key`` (``None`` if nothing is alive)."""
+        allowed = None if alive is None else set(alive)
+        if allowed is not None and not allowed:
+            return None
+        start = bisect_right(self._hashes, self._hash(key))
+        seen = 0
+        total = len(self._points)
+        while seen < total:
+            _point, node = self._points[(start + seen) % total]
+            if allowed is None or node in allowed:
+                return node
+            seen += 1
+        return None

@@ -25,35 +25,52 @@ events once ``capacity`` is exceeded (``dropped`` counts them).
 
 Schema
 ------
-``SCHEMA_VERSION`` identifies the event vocabulary.  Version 2 kinds
-(version 2 adds the ``service.*`` family emitted by the online ODM
-service in :mod:`repro.service`; every version-1 kind is unchanged):
+``SCHEMA_VERSION`` identifies the event vocabulary.  Version 2 added
+the ``service.*`` family emitted by the online ODM service in
+:mod:`repro.service`.  Version 3 adds the wire-hardening and dedup
+events, the ``fleet.*`` family emitted by the multi-replica router and
+chaos campaign in :mod:`repro.fleet`, and two optional fields on
+``breaker.state`` (``server`` identifies the offload server, ``source``
+is ``gossip:<replica>`` when a state change was driven by a remote
+beacon rather than local evidence).  Every older kind is unchanged:
 
-=====================  ===============================================
-kind                   fields
-=====================  ===============================================
-``job.release``        task, job, release, deadline, offloaded
-``subjob.submit``      task, job, phase, deadline, priority_key
-``subjob.start``       task, job, phase
-``subjob.preempt``     task, job, phase, remaining
-``subjob.finish``      task, job, phase
-``job.finish``         task, job, finish, response_time, benefit,
-                       met_deadline, offloaded, returned, compensated
-``deadline.miss``      task, job, deadline, finish, lateness
-``offload.send``       task, job, budget
-``offload.receive``    task, job, latency, late
-``offload.timeout``    task, job, budget
-``offload.drop``       task, job, where
-``phase.transition``   task, job, from, to
-``odm.decision``       solver, offloaded, expected_benefit, demand_rate
-``breaker.state``      window, old, new
-``engine.run``         events, wall_seconds
-``service.request``    request, queue_depth
-``service.shed``       request, queue_depth
-``service.batch``      size, level, queue_depth, wall_seconds
-``service.response``   request, status, level, solver, latency
-``service.degrade``    old_level, new_level, queue_depth
-=====================  ===============================================
+==========================  ==========================================
+kind                        fields
+==========================  ==========================================
+``job.release``             task, job, release, deadline, offloaded
+``subjob.submit``           task, job, phase, deadline, priority_key
+``subjob.start``            task, job, phase
+``subjob.preempt``          task, job, phase, remaining
+``subjob.finish``           task, job, phase
+``job.finish``              task, job, finish, response_time, benefit,
+                            met_deadline, offloaded, returned,
+                            compensated
+``deadline.miss``           task, job, deadline, finish, lateness
+``offload.send``            task, job, budget
+``offload.receive``         task, job, latency, late
+``offload.timeout``         task, job, budget
+``offload.drop``            task, job, where
+``phase.transition``        task, job, from, to
+``odm.decision``            solver, offloaded, expected_benefit,
+                            demand_rate
+``breaker.state``           window, old, new [, server, source]
+``engine.run``              events, wall_seconds
+``service.request``         request, queue_depth
+``service.shed``            request, queue_depth
+``service.batch``           size, level, queue_depth, wall_seconds
+``service.response``        request, status, level, solver, latency
+``service.degrade``         old_level, new_level, queue_depth
+``service.dedup``           request, settled
+``service.wire_error``      error
+``fleet.failover``          request, attempt, to, error
+``fleet.hedge``             request, primary, hedge
+``fleet.unrouted``          request, attempts, error
+``fleet.replica_down``      replica
+``fleet.replica_up``        replica, outage_seconds
+``fleet.duplicate_delivery``  request
+``fleet.kill``              replica
+``fleet.restart``           replica
+==========================  ==========================================
 
 Events are plain data; :func:`TraceBus.to_records` /
 :meth:`TraceBus.from_records` round-trip them through JSON so a trace
@@ -79,7 +96,7 @@ from typing import (
 __all__ = ["SCHEMA_VERSION", "TraceEvent", "TraceBus", "NULL_BUS"]
 
 #: Version of the event vocabulary documented above.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)

@@ -167,6 +167,8 @@ class CircuitBreaker:
         self.state = "closed"
         self.trips = 0
         self.recoveries = 0
+        #: trips caused by remote (gossiped) evidence, not local windows
+        self.remote_trips = 0
         self._cooldown_left = 0
         #: (window_index, old_state, new_state) transition log
         self.transitions: List[Tuple[int, str, str]] = []
@@ -208,6 +210,36 @@ class CircuitBreaker:
                 # probe failed (or produced no evidence): back off again
                 self._cooldown_left = self.cooldown_windows
                 self._move(window, "open")
+        return self.state
+
+    def apply_remote(self, state: str, window: int = 0) -> str:
+        """Fold a peer's gossiped breaker state in; returns new state.
+
+        Two remote transitions are trusted, both asymmetric by design:
+
+        * remote ``open`` trips a ``closed``/``half_open`` breaker — a
+          peer has already paid the failed-offload evidence for this
+          server, so we stop *before* wasting our own traffic on it;
+        * remote ``closed`` re-closes only a ``half_open`` breaker —
+          the probe window is exactly where we are looking for
+          recovery evidence, and a peer's successful traffic is such
+          evidence.  A locally ``open`` breaker still sits out its
+          cooldown first (the peer's recovery may be partition-local),
+          so gossip can never skip the back-off entirely.
+        """
+        if state not in BREAKER_STATES:
+            raise ValueError(
+                f"unknown remote breaker state {state!r}; "
+                f"expected one of {BREAKER_STATES}"
+            )
+        if state == "open" and self.state in ("closed", "half_open"):
+            self.trips += 1
+            self.remote_trips += 1
+            self._cooldown_left = self.cooldown_windows
+            self._move(window, "open")
+        elif state == "closed" and self.state == "half_open":
+            self.recoveries += 1
+            self._move(window, "closed")
         return self.state
 
 

@@ -23,15 +23,13 @@ whatever the degradation rung — the service trades *benefit* under
 load, never the deadline guarantee.
 """
 
+from .audit import audit_response, measure_serial_baseline, percentile
 from .batching import BatchPolicy, MicroBatcher
 from .degradation import DegradationLevel, DegradationPolicy
 from .loadgen import (
     LoadGenConfig,
     LoadGenReport,
-    ServiceClient,
-    audit_response,
     generate_bursts,
-    measure_serial_baseline,
     run_loadgen,
 )
 from .request import (
@@ -43,7 +41,14 @@ from .request import (
     task_from_dict,
     task_to_dict,
 )
-from .server import ODMService, ServerHealth, serve_tcp
+from .server import (
+    ConnectionLost,
+    ODMService,
+    ServerHealth,
+    ServiceClient,
+    TcpServerControl,
+    serve_tcp,
+)
 from .sharding import ShardSolver, SolveJob
 
 __all__ = [
@@ -62,6 +67,8 @@ __all__ = [
     "SolveJob",
     "ODMService",
     "ServerHealth",
+    "ConnectionLost",
+    "TcpServerControl",
     "serve_tcp",
     "LoadGenConfig",
     "LoadGenReport",
@@ -69,5 +76,6 @@ __all__ = [
     "generate_bursts",
     "audit_response",
     "measure_serial_baseline",
+    "percentile",
     "run_loadgen",
 ]

@@ -33,19 +33,14 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Awaitable, Callable, Dict, List, Optional, Tuple
 
-from ..core.schedulability import OffloadAssignment, theorem3_test
 from ..faults.injectors import FaultSchedule
-from ..knapsack import solve_dp_reference
 from ..sim.rng import RandomStreams
 from ..workloads.generator import random_offloading_task_set
-from .request import (
-    AdmissionRequest,
-    AdmissionResponse,
-    build_request_instance,
-)
+from .audit import audit_response, measure_serial_baseline, percentile
+from .request import AdmissionRequest, AdmissionResponse
+from .server import ServiceClient
 
 __all__ = [
     "LoadGenConfig",
@@ -185,123 +180,9 @@ def generate_bursts(config: LoadGenConfig) -> List[Burst]:
 
 
 # ----------------------------------------------------------------------
-# auditing
+# reporting (auditing itself lives in repro.service.audit, shared with
+# the fleet campaign driver)
 # ----------------------------------------------------------------------
-def audit_response(
-    request: AdmissionRequest,
-    response: AdmissionResponse,
-    resolution: int = 20_000,
-) -> List[str]:
-    """Offline re-verification of one decision; returns anomaly strings.
-
-    Checks (1) the Theorem 3 deadline guarantee of every admission, (2)
-    bit-identity of exact-rung answers against
-    :func:`solve_dp_reference`, (3) admissibility agreement of degraded
-    answers with the exact reference on the instance the service
-    actually offered (``response.allowed_servers``).
-    """
-    anomalies: List[str] = []
-    rid = response.request_id
-    if response.status == "shed":
-        return anomalies
-
-    if response.admitted:
-        assignments = [
-            OffloadAssignment(tid, r)
-            for tid, (_server, r) in response.placements.items()
-            if r > 0
-        ]
-        check = theorem3_test(request.tasks, assignments)
-        if not check.feasible:
-            anomalies.append(
-                f"{rid}: admitted but Theorem 3 fails "
-                f"(demand rate {check.total_demand_rate:.6f})"
-            )
-
-    instance = build_request_instance(request, response.allowed_servers)
-    reference = solve_dp_reference(instance, resolution=resolution)
-
-    if response.admitted != (reference is not None):
-        # The ceil-quantized DP may reject a borderline set whose true
-        # weight fits; a *degraded* rung admitting there is sound (the
-        # Theorem 3 check above certifies it) as long as the demand
-        # rate sits within one quantization unit per class of the
-        # capacity.  Everything else is a real divergence.
-        quantization_slack = (
-            instance.capacity * (len(instance.classes) + 1) / resolution
-            + 1e-9
-        )
-        boundary_admission = (
-            response.admitted
-            and reference is None
-            and response.degradation != "exact"
-            and response.total_demand_rate
-            >= instance.capacity - quantization_slack
-        )
-        if not boundary_admission:
-            anomalies.append(
-                f"{rid}: status {response.status!r} at rung "
-                f"{response.degradation!r} but exact reference says "
-                f"{'feasible' if reference is not None else 'infeasible'}"
-            )
-        return anomalies
-
-    if response.degradation == "exact" and reference is not None:
-        expected = {
-            cls.class_id: reference.item_for(cls.class_id).tag
-            for cls in instance.classes
-        }
-        got = {
-            tid: (server, r)
-            for tid, (server, r) in response.placements.items()
-        }
-        if got != {
-            tid: (server, float(r))
-            for tid, (server, r) in expected.items()
-        }:
-            anomalies.append(f"{rid}: exact placements differ from reference")
-        if response.expected_benefit != reference.total_value:
-            anomalies.append(
-                f"{rid}: exact benefit {response.expected_benefit!r} != "
-                f"reference {reference.total_value!r}"
-            )
-    return anomalies
-
-
-def measure_serial_baseline(
-    bursts: List[Burst], resolution: int = 20_000
-) -> List[float]:
-    """Per-request latency of a no-batching, no-cache serial server.
-
-    Each burst's requests are solved one after another with the exact
-    DP; request ``k``'s latency is the queueing sum of solves 0..k —
-    what a client of a naive serial service would observe.
-    """
-    latencies: List[float] = []
-    for burst in bursts:
-        elapsed = 0.0
-        for request in burst.requests:
-            started = perf_counter()
-            solve_dp_reference(
-                build_request_instance(request, request.server_estimates),
-                resolution=resolution,
-            )
-            elapsed += perf_counter() - started
-            latencies.append(elapsed)
-    return latencies
-
-
-def _percentile(values: List[float], p: float) -> float:
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = (p / 100.0) * (len(ordered) - 1)
-    lo = int(rank)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = rank - lo
-    return ordered[lo] * (1 - frac) + ordered[hi] * frac
-
-
 @dataclass
 class LoadGenReport:
     """What the run did and what the audit concluded."""
@@ -326,10 +207,10 @@ class LoadGenReport:
         return self.anomaly_count == 0
 
     def to_dict(self) -> Dict[str, object]:
-        batched_p50 = _percentile(self.latencies, 50)
-        batched_p99 = _percentile(self.latencies, 99)
-        serial_p50 = _percentile(self.serial_latencies, 50)
-        serial_p99 = _percentile(self.serial_latencies, 99)
+        batched_p50 = percentile(self.latencies, 50)
+        batched_p99 = percentile(self.latencies, 99)
+        serial_p50 = percentile(self.serial_latencies, 50)
+        serial_p99 = percentile(self.serial_latencies, 99)
         return {
             "requests": self.requests,
             "admitted": self.admitted,
@@ -443,102 +324,3 @@ async def run_loadgen(
             bursts, resolution=resolution
         )
     return report
-
-
-class ServiceClient:
-    """Async JSON-lines client for :func:`repro.service.server.serve_tcp`.
-
-    Pipelines ``admit`` ops (responses are demultiplexed by
-    ``request_id``) and exposes the health surface as plain calls, so
-    :func:`run_loadgen` can drive a remote service exactly like an
-    in-process one.
-    """
-
-    def __init__(self, host: str = "127.0.0.1", port: int = 7741) -> None:
-        self.host = host
-        self.port = port
-        self._reader: Optional[asyncio.StreamReader] = None
-        self._writer: Optional[asyncio.StreamWriter] = None
-        self._lock = asyncio.Lock()
-        self._pending: Dict[str, "asyncio.Future[Dict[str, object]]"] = {}
-        self._plain: List["asyncio.Future[Dict[str, object]]"] = []
-        self._reader_task: Optional[asyncio.Task] = None
-
-    async def connect(self) -> "ServiceClient":
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
-        )
-        self._reader_task = asyncio.create_task(self._dispatch())
-        return self
-
-    async def close(self) -> None:
-        if self._reader_task is not None:
-            self._reader_task.cancel()
-            try:
-                await self._reader_task
-            except asyncio.CancelledError:
-                pass
-            self._reader_task = None
-        if self._writer is not None:
-            self._writer.close()
-            try:
-                await self._writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
-            self._writer = None
-
-    async def __aenter__(self) -> "ServiceClient":
-        return await self.connect()
-
-    async def __aexit__(self, *exc_info) -> None:
-        await self.close()
-
-    async def _dispatch(self) -> None:
-        assert self._reader is not None
-        while True:
-            line = await self._reader.readline()
-            if not line:
-                break
-            record = json.loads(line)
-            if record.get("op") == "response":
-                future = self._pending.pop(str(record["request_id"]), None)
-            else:
-                future = self._plain.pop(0) if self._plain else None
-            if future is not None and not future.done():
-                future.set_result(record)
-
-    async def _send(self, payload: Dict[str, object]) -> None:
-        assert self._writer is not None
-        async with self._lock:
-            self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
-            await self._writer.drain()
-
-    async def _call(self, payload: Dict[str, object]) -> Dict[str, object]:
-        future = asyncio.get_running_loop().create_future()
-        self._plain.append(future)
-        await self._send(payload)
-        return await future
-
-    async def submit(self, request: AdmissionRequest) -> AdmissionResponse:
-        future = asyncio.get_running_loop().create_future()
-        self._pending[request.request_id] = future
-        await self._send({"op": "admit", "request": request.to_dict()})
-        record = await future
-        return AdmissionResponse.from_dict(record)
-
-    async def record_outcome(
-        self, server: str, ok: bool, time: float
-    ) -> None:
-        await self._call({"op": "outcome", "server": server,
-                          "ok": ok, "time": time})
-
-    async def close_window(self) -> Dict[str, str]:
-        record = await self._call({"op": "window"})
-        return dict(record.get("breakers") or {})
-
-    async def stats(self) -> Dict[str, object]:
-        record = await self._call({"op": "stats"})
-        return {k: v for k, v in record.items() if k != "op"}
-
-    async def shutdown(self) -> None:
-        await self._call({"op": "shutdown"})

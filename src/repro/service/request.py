@@ -249,6 +249,8 @@ class AdmissionResponse:
     allowed_servers: Mapping[str, float] = field(default_factory=dict)
     latency: float = 0.0
     batch_size: int = 0
+    #: id of the ODM service replica that produced the decision
+    replica: str = ""
 
     def __post_init__(self) -> None:
         if self.status not in REQUEST_STATUSES:
@@ -287,6 +289,7 @@ class AdmissionResponse:
             "allowed_servers": dict(self.allowed_servers),
             "latency": self.latency,
             "batch_size": self.batch_size,
+            "replica": self.replica,
         }
 
     @classmethod
@@ -312,4 +315,5 @@ class AdmissionResponse:
             },
             latency=float(record.get("latency", 0.0)),
             batch_size=int(record.get("batch_size", 0)),
+            replica=str(record.get("replica", "")),
         )

@@ -29,9 +29,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from ..core.schedulability import OffloadAssignment, theorem3_test
 from ..core.task import OffloadableTask
@@ -48,7 +49,23 @@ from .request import (
 )
 from .sharding import ShardSolver
 
-__all__ = ["ODMService", "ServerHealth", "serve_tcp"]
+__all__ = [
+    "ConnectionLost",
+    "ODMService",
+    "ServerHealth",
+    "ServiceClient",
+    "TcpServerControl",
+    "serve_tcp",
+]
+
+
+class ConnectionLost(ConnectionError):
+    """The TCP connection died with requests still in flight.
+
+    Raised by :class:`ServiceClient` to fail pipelined futures *fast*
+    when the peer disappears — the fleet router turns this into an
+    immediate failover instead of a hung await.
+    """
 
 
 @dataclass
@@ -109,6 +126,15 @@ class ODMService:
     health_window:
         Sliding window (seconds of outcome time) of the per-server
         :class:`~repro.runtime.health.HealthMonitor`.
+    replica_id:
+        This service's identity in a fleet — stamped onto gossip
+        beacons (:meth:`beacon`) and ignored for standalone use.
+    dedup_capacity:
+        Bounded LRU of settled request ids for idempotent retries: a
+        re-submitted request id is answered by the original future
+        instead of being re-admitted (``0`` disables dedup).  Shed
+        outcomes and failures are *not* remembered, so a genuine retry
+        after backpressure gets a fresh decision.
     """
 
     def __init__(
@@ -121,10 +147,20 @@ class ODMService:
         observability: Optional[Observability] = None,
         breaker_kwargs: Optional[Dict[str, object]] = None,
         health_window: float = 10.0,
+        replica_id: str = "replica-0",
+        dedup_capacity: int = 4096,
     ) -> None:
         if resolution <= 0:
             raise ValueError("resolution must be positive")
+        if dedup_capacity < 0:
+            raise ValueError("dedup_capacity must be non-negative")
         self.resolution = int(resolution)
+        self.replica_id = str(replica_id)
+        self._dedup_capacity = int(dedup_capacity)
+        self._dedup: "OrderedDict[str, asyncio.Future[AdmissionResponse]]" = (
+            OrderedDict()
+        )
+        self._beacon_seq = 0
         self.batch_policy = batch_policy or BatchPolicy()
         self.degradation_policy = (
             degradation_policy or DegradationPolicy()
@@ -164,6 +200,8 @@ class ODMService:
         self._m_level = reg.gauge("service.degradation_level")
         self._m_batch_size = reg.histogram("service.batch_size")
         self._m_latency = reg.histogram("service.solve_latency")
+        self._m_dedup = reg.counter("service.dedup_hits")
+        self._m_gossip = reg.counter("service.gossip_absorbed")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -232,12 +270,30 @@ class ODMService:
     # client API
     # ------------------------------------------------------------------
     async def submit(self, request: AdmissionRequest) -> AdmissionResponse:
-        """Queue one admission request and await its response."""
+        """Queue one admission request and await its response.
+
+        Idempotent on ``request_id``: a retried or hedged duplicate of
+        an in-flight or settled request shares the original future, so
+        one id is decided exactly once (never double-admitted).
+        """
         if not self.started:
             raise RuntimeError("service is not started")
         assert self._batcher is not None
         self._m_requests.inc()
         bus = self.observability.bus
+        shared = self._dedup.get(request.request_id)
+        if shared is not None:
+            self._m_dedup.inc()
+            if bus.enabled:
+                bus.emit(
+                    "service.dedup",
+                    self._outcome_clock,
+                    request=request.request_id,
+                    settled=shared.done(),
+                )
+            # shield: a cancelled duplicate waiter must not cancel the
+            # original request's future out from under its owner
+            return await asyncio.shield(shared)
         pending = _Pending(
             request, asyncio.get_running_loop().create_future()
         )
@@ -254,6 +310,7 @@ class ODMService:
                     queue_depth=self._batcher.depth,
                 )
             return response
+        self._register_dedup(request.request_id, pending.future)
         self._m_queue.set(self._batcher.depth)
         if bus.enabled:
             bus.emit(
@@ -263,6 +320,36 @@ class ODMService:
                 queue_depth=self._batcher.depth,
             )
         return await pending.future
+
+    def _register_dedup(
+        self,
+        request_id: str,
+        future: "asyncio.Future[AdmissionResponse]",
+    ) -> None:
+        if self._dedup_capacity <= 0:
+            return
+        dedup = self._dedup
+        dedup[request_id] = future
+        dedup.move_to_end(request_id)
+        # Evict settled entries beyond capacity; in-flight entries are
+        # never evicted (they are bounded by the queue capacity anyway).
+        while len(dedup) > self._dedup_capacity:
+            oldest_id = next(iter(dedup))
+            if not dedup[oldest_id].done():
+                break
+            del dedup[oldest_id]
+
+        def _cleanup(fut: "asyncio.Future[AdmissionResponse]") -> None:
+            # shed/failed attempts must not poison genuine retries
+            forget = (
+                fut.cancelled()
+                or fut.exception() is not None
+                or fut.result().status == "shed"
+            )
+            if forget and dedup.get(request_id) is fut:
+                del dedup[request_id]
+
+        future.add_done_callback(_cleanup)
 
     # ------------------------------------------------------------------
     # health / breaker surface
@@ -316,6 +403,70 @@ class ODMService:
     def force_level(self, level: Optional[DegradationLevel]) -> None:
         """Pin the ladder rung (tests/ops); ``None`` resumes policy."""
         self._forced_level = level
+
+    # ------------------------------------------------------------------
+    # gossip surface
+    # ------------------------------------------------------------------
+    def beacon(self) -> Dict[str, object]:
+        """This replica's health beacon (a plain-JSON gossip payload).
+
+        Carries the signals a router or peer needs *before* the socket
+        dies: queue watermark, degradation rung and per-server breaker
+        states.  ``seq`` increases monotonically so receivers can
+        discard stale beacons regardless of arrival order.
+        """
+        self._beacon_seq += 1
+        depth = self._batcher.depth if self._batcher is not None else 0
+        return {
+            "replica_id": self.replica_id,
+            "seq": self._beacon_seq,
+            "queue_depth": depth,
+            "queue_capacity": self.batch_policy.queue_capacity,
+            "level": self._level.label,
+            "breakers": {
+                server_id: health.breaker.state
+                for server_id, health in sorted(self._servers.items())
+            },
+            "shed": self.observability.metrics.value("service.shed"),
+        }
+
+    def absorb_beacon(self, record: Mapping[str, object]) -> None:
+        """Fold a peer replica's beacon into local breaker state.
+
+        A peer reporting an *open* breaker for server S trips our own
+        breaker for S (:meth:`CircuitBreaker.apply_remote`): the fleet
+        stops offering a dead server everywhere after one replica has
+        paid the evidence, instead of each replica rediscovering the
+        outage on its own traffic.  A peer reporting ``closed`` only
+        re-closes a *probing* (half-open) local breaker — a locally
+        open breaker still pays its cooldown first.
+        """
+        breakers = record.get("breakers") or {}
+        if not isinstance(breakers, Mapping):
+            raise ValueError("beacon breakers must be a mapping")
+        origin = str(record.get("replica_id", "?"))
+        bus = self.observability.bus
+        self._m_gossip.inc()
+        for server_id, state in sorted(breakers.items()):
+            if state not in ("open", "closed"):
+                continue
+            if state == "closed" and str(server_id) not in self._servers:
+                continue  # no local breaker to reclose; don't create one
+            health = self._health(str(server_id))
+            before = health.breaker.state
+            after = health.breaker.apply_remote(
+                str(state), window=self._window_index
+            )
+            if bus.enabled and after != before:
+                bus.emit(
+                    "breaker.state",
+                    self._outcome_clock,
+                    window=self._window_index,
+                    old=before,
+                    new=after,
+                    server=str(server_id),
+                    source=f"gossip:{origin}",
+                )
 
     # ------------------------------------------------------------------
     # batch processing
@@ -546,6 +697,7 @@ class ODMService:
             allowed_servers=dict(allowed_servers or {}),
             latency=perf_counter() - pending.enqueued,
             batch_size=batch_size,
+            replica=self.replica_id,
         )
 
     def _resolve(
@@ -581,6 +733,8 @@ class ODMService:
         reg = self.observability.metrics
         latency = self._m_latency
         snapshot: Dict[str, object] = {
+            "replica_id": self.replica_id,
+            "dedup_hits": reg.value("service.dedup_hits"),
             "requests": reg.value("service.requests"),
             "admitted": reg.value("service.admitted"),
             "rejected": reg.value("service.rejected"),
@@ -607,6 +761,10 @@ class ODMService:
                 server_id: health.breaker.state
                 for server_id, health in sorted(self._servers.items())
             },
+            "breaker_remote_trips": {
+                server_id: health.breaker.remote_trips
+                for server_id, health in sorted(self._servers.items())
+            },
         }
         if self.cache is not None:
             snapshot["cache"] = self.cache.stats
@@ -616,27 +774,89 @@ class ODMService:
 # ----------------------------------------------------------------------
 # TCP JSON-lines front-end
 # ----------------------------------------------------------------------
+class TcpServerControl:
+    """External handle over one running :func:`serve_tcp`.
+
+    Built for the fleet chaos harness (:mod:`repro.faults.process`):
+    once :attr:`ready` is set, :attr:`bound_port` holds the actual
+    listening port (useful with ``port=0``) and :meth:`abort` hard-kills
+    the server — every open connection is RST instead of drained,
+    approximating a replica process dying under ``SIGKILL`` from the
+    clients' point of view.
+    """
+
+    def __init__(self) -> None:
+        self.ready = asyncio.Event()
+        self.bound_port: Optional[int] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._done: Optional[asyncio.Event] = None
+
+    def abort(self) -> None:
+        """RST every live connection and make the serve loop exit."""
+        for writer in list(self._writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        if self._done is not None:
+            self._done.set()
+
+
+async def _drain_oversized_line(reader: asyncio.StreamReader) -> bool:
+    """Discard bytes up to and including the next newline; False on EOF.
+
+    ``readuntil`` raises ``LimitOverrunError`` both when the separator
+    is already buffered past the limit and when the buffer filled up
+    without one; either way ``exc.consumed`` bytes of junk are still
+    sitting in the buffer, so discard exactly those and rescan instead
+    of blindly reading (which could swallow the *next* valid line).
+    """
+    while True:
+        try:
+            await reader.readuntil(b"\n")
+            return True
+        except asyncio.IncompleteReadError:
+            return False
+        except asyncio.LimitOverrunError as exc:
+            try:
+                await reader.readexactly(max(exc.consumed, 1))
+            except asyncio.IncompleteReadError:
+                return False
+
+
 async def serve_tcp(
     service: ODMService,
     host: str = "127.0.0.1",
     port: int = 7741,
     duration: Optional[float] = None,
     ready_message: bool = True,
+    max_line: int = 1 << 20,
+    control: Optional[TcpServerControl] = None,
 ) -> None:
     """Serve ``service`` over newline-delimited JSON until shutdown.
 
     Each request line is ``{"op": ...}``; ops: ``admit`` (an
     :class:`AdmissionRequest` under ``"request"``), ``outcome``
     (``server``/``ok``/``time``), ``window`` (close one health window),
+    ``gossip`` (absorb an optional peer ``beacon``, reply with ours),
     ``stats``, ``shutdown``.  Responses echo an ``op`` so pipelined
     clients can demultiplex.  ``duration`` is a safety cap: the server
     exits cleanly after that many seconds even without a shutdown op
     (CI never hangs on a crashed client).
+
+    Input hardening: malformed JSON, non-object records, unknown ops,
+    invalid op arguments and oversized lines (> ``max_line`` bytes) each
+    produce a structured ``{"op": "error"}`` reply and a
+    ``service.wire_error`` trace event on that connection — never a
+    killed connection task.
     """
     done = asyncio.Event()
+    if control is not None:
+        control._done = done
 
     async def handle(reader, writer) -> None:
         lock = asyncio.Lock()
+        if control is not None:
+            control._writers.add(writer)
 
         async def reply(payload: Dict[str, object]) -> None:
             async with lock:
@@ -645,11 +865,21 @@ async def serve_tcp(
                 )
                 await writer.drain()
 
+        async def wire_error(message: str) -> None:
+            bus = service.observability.bus
+            if bus.enabled:
+                bus.emit(
+                    "service.wire_error",
+                    service._outcome_clock,
+                    error=message[:200],
+                )
+            await reply({"op": "error", "error": message})
+
         async def admit(record: Dict[str, object]) -> None:
             try:
                 request = AdmissionRequest.from_dict(record["request"])
             except (KeyError, TypeError, ValueError) as exc:
-                await reply({"op": "error", "error": str(exc)})
+                await wire_error(f"bad admit request: {exc}")
                 return
             response = await service.submit(request)
             await reply({"op": "response", **response.to_dict()})
@@ -657,7 +887,21 @@ async def serve_tcp(
         tasks: List[asyncio.Task] = []
         try:
             while not done.is_set():
-                line = await reader.readline()
+                try:
+                    # readuntil (not readline): on overrun, readline
+                    # silently eats the junk when its newline is already
+                    # buffered, leaving the drain to swallow the *next*
+                    # valid request — readuntil leaves the buffer alone
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as exc:
+                    line = exc.partial  # EOF; final unterminated record
+                except asyncio.LimitOverrunError:
+                    if not await _drain_oversized_line(reader):
+                        break
+                    await wire_error(
+                        f"line exceeds maximum length ({max_line} bytes)"
+                    )
+                    continue
                 if not line:
                     break
                 line = line.strip()
@@ -665,18 +909,27 @@ async def serve_tcp(
                     continue
                 try:
                     record = json.loads(line)
-                    op = record.get("op")
-                except (json.JSONDecodeError, AttributeError) as exc:
-                    await reply({"op": "error", "error": str(exc)})
+                except json.JSONDecodeError as exc:
+                    await wire_error(str(exc))
                     continue
+                if not isinstance(record, dict):
+                    await wire_error(
+                        "request must be a JSON object with an 'op' field"
+                    )
+                    continue
+                op = record.get("op")
                 if op == "admit":
                     tasks.append(asyncio.create_task(admit(record)))
                 elif op == "outcome":
-                    service.record_outcome(
-                        str(record["server"]),
-                        bool(record["ok"]),
-                        record.get("time"),
-                    )
+                    try:
+                        service.record_outcome(
+                            str(record["server"]),
+                            bool(record["ok"]),
+                            record.get("time"),
+                        )
+                    except (KeyError, TypeError, ValueError) as exc:
+                        await wire_error(f"bad outcome: {exc}")
+                        continue
                     await reply({"op": "ack"})
                 elif op == "window":
                     await reply(
@@ -685,16 +938,33 @@ async def serve_tcp(
                             "breakers": service.close_health_window(),
                         }
                     )
+                elif op == "gossip":
+                    beacon = record.get("beacon")
+                    if beacon is not None:
+                        try:
+                            service.absorb_beacon(beacon)
+                        except (
+                            AttributeError,
+                            TypeError,
+                            ValueError,
+                        ) as exc:
+                            await wire_error(f"bad beacon: {exc}")
+                            continue
+                    await reply(
+                        {"op": "gossip", "beacon": service.beacon()}
+                    )
                 elif op == "stats":
                     await reply({"op": "stats", **service.stats()})
                 elif op == "shutdown":
                     await reply({"op": "bye"})
                     done.set()
                 else:
-                    await reply(
-                        {"op": "error", "error": f"unknown op {op!r}"}
-                    )
+                    await wire_error(f"unknown op {op!r}")
+        except (ConnectionError, OSError):
+            pass  # peer vanished mid-read/write; nothing to answer
         finally:
+            if control is not None:
+                control._writers.discard(writer)
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
             writer.close()
@@ -704,9 +974,14 @@ async def serve_tcp(
                 pass
 
     await service.start()
-    server = await asyncio.start_server(handle, host=host, port=port)
+    server = await asyncio.start_server(
+        handle, host=host, port=port, limit=max_line
+    )
     sockets = server.sockets or ()
     bound_port = sockets[0].getsockname()[1] if sockets else port
+    if control is not None:
+        control.bound_port = bound_port
+        control.ready.set()
     if ready_message:
         print(f"serving on {host}:{bound_port}", flush=True)
     try:
@@ -721,3 +996,251 @@ async def serve_tcp(
         server.close()
         await server.wait_closed()
         await service.stop()
+
+
+# ----------------------------------------------------------------------
+# pipelined JSON-lines client
+# ----------------------------------------------------------------------
+class ServiceClient:
+    """Async JSON-lines client for :func:`serve_tcp`.
+
+    Pipelines ``admit`` ops (responses are demultiplexed by
+    ``request_id``) and exposes the health surface as plain calls, so
+    :func:`repro.service.loadgen.run_loadgen` can drive a remote
+    service exactly like an in-process one.
+
+    Failure semantics (the fleet router depends on both):
+
+    * a dropped connection fails **every** in-flight future immediately
+      with :class:`ConnectionLost` — no stranded awaits;
+    * every call accepts ``timeout=`` seconds (falling back to
+      ``default_timeout``) and raises :class:`asyncio.TimeoutError`
+      when the peer straggles past it.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7741,
+        default_timeout: Optional[float] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.default_timeout = default_timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+        self._pending: Dict[str, "asyncio.Future[Dict[str, object]]"] = {}
+        self._plain: List["asyncio.Future[Dict[str, object]]"] = []
+        self._reader_task: Optional[asyncio.Task] = None
+        self._lost: Optional[ConnectionLost] = None
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None and self._lost is None
+
+    async def connect(self) -> "ServiceClient":
+        self._lost = None
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.create_task(self._dispatch())
+        return self
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+
+    #: strong refs to reader tasks cancelled via abort(): the loop only
+    #: holds tasks weakly, so without this a cancelled-but-unprocessed
+    #: task can be garbage-collected while still pending
+    _aborted_tasks: "Set[asyncio.Task]" = set()
+
+    def abort(self) -> None:
+        """Synchronous teardown: cancel the dispatch loop, drop the
+        socket.  For callers (the fleet router) that must discard a
+        broken client from non-async cleanup paths without leaving a
+        pending reader task behind."""
+        if self._reader_task is not None:
+            task, self._reader_task = self._reader_task, None
+            task.cancel()
+            ServiceClient._aborted_tasks.add(task)
+            task.add_done_callback(ServiceClient._aborted_tasks.discard)
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # receive loop
+    # ------------------------------------------------------------------
+    async def _dispatch(self) -> None:
+        assert self._reader is not None
+        cause: Optional[BaseException] = None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # garbled reply line; keep the stream alive
+                if record.get("op") == "response":
+                    future = self._pending.pop(
+                        str(record["request_id"]), None
+                    )
+                else:
+                    future = self._plain.pop(0) if self._plain else None
+                if future is not None and not future.done():
+                    future.set_result(record)
+        except asyncio.CancelledError:
+            self._fail_in_flight(None)
+            raise
+        except Exception as exc:  # noqa: BLE001 — any stream death
+            cause = exc
+        self._fail_in_flight(cause)
+
+    def _fail_in_flight(self, cause: Optional[BaseException]) -> None:
+        """Fail every pipelined future fast instead of stranding it."""
+        error = ConnectionLost(
+            f"connection to {self.host}:{self.port} lost with "
+            f"{len(self._pending) + len(self._plain)} request(s) in flight"
+        )
+        if cause is not None:
+            error.__cause__ = cause
+        self._lost = error
+        for future in list(self._pending.values()) + self._plain:
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+        self._plain.clear()
+
+    # ------------------------------------------------------------------
+    # send path
+    # ------------------------------------------------------------------
+    async def _send(self, payload: Dict[str, object]) -> None:
+        if self._lost is not None:
+            raise self._lost
+        if self._writer is None:
+            raise ConnectionLost("client is not connected")
+        try:
+            async with self._lock:
+                self._writer.write(
+                    json.dumps(payload).encode("utf-8") + b"\n"
+                )
+                await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            if isinstance(exc, ConnectionLost):
+                raise
+            error = ConnectionLost(
+                f"write to {self.host}:{self.port} failed: {exc}"
+            )
+            error.__cause__ = exc
+            self._lost = error
+            raise error from exc
+
+    async def _await(
+        self,
+        future: "asyncio.Future[Dict[str, object]]",
+        timeout: Optional[float],
+    ) -> Dict[str, object]:
+        limit = timeout if timeout is not None else self.default_timeout
+        if limit is None:
+            return await future
+        # wait_for cancels the future on timeout; a timed-out *plain*
+        # future stays queued so its eventual reply is still consumed
+        # in order and the pipeline never desynchronizes.
+        return await asyncio.wait_for(future, timeout=limit)
+
+    async def _call(
+        self,
+        payload: Dict[str, object],
+        timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        future = asyncio.get_running_loop().create_future()
+        self._plain.append(future)
+        try:
+            await self._send(payload)
+        except ConnectionLost:
+            if future in self._plain:
+                self._plain.remove(future)
+            raise
+        return await self._await(future, timeout)
+
+    # ------------------------------------------------------------------
+    # protocol ops
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        request: AdmissionRequest,
+        timeout: Optional[float] = None,
+    ) -> AdmissionResponse:
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request.request_id] = future
+        try:
+            await self._send(
+                {"op": "admit", "request": request.to_dict()}
+            )
+            record = await self._await(future, timeout)
+        finally:
+            if self._pending.get(request.request_id) is future:
+                if future.done():
+                    self._pending.pop(request.request_id, None)
+        return AdmissionResponse.from_dict(record)
+
+    async def record_outcome(
+        self,
+        server: str,
+        ok: bool,
+        time: float,
+        timeout: Optional[float] = None,
+    ) -> None:
+        await self._call(
+            {"op": "outcome", "server": server, "ok": ok, "time": time},
+            timeout=timeout,
+        )
+
+    async def close_window(
+        self, timeout: Optional[float] = None
+    ) -> Dict[str, str]:
+        record = await self._call({"op": "window"}, timeout=timeout)
+        return dict(record.get("breakers") or {})
+
+    async def gossip(
+        self,
+        beacon: Optional[Dict[str, object]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Exchange beacons: push ``beacon`` (if any), pull the peer's."""
+        payload: Dict[str, object] = {"op": "gossip"}
+        if beacon is not None:
+            payload["beacon"] = beacon
+        record = await self._call(payload, timeout=timeout)
+        return dict(record.get("beacon") or {})
+
+    async def stats(
+        self, timeout: Optional[float] = None
+    ) -> Dict[str, object]:
+        record = await self._call({"op": "stats"}, timeout=timeout)
+        return {k: v for k, v in record.items() if k != "op"}
+
+    async def shutdown(self, timeout: Optional[float] = None) -> None:
+        await self._call({"op": "shutdown"}, timeout=timeout)

@@ -103,6 +103,127 @@ class TestCircuitBreaker:
             CircuitBreaker().record_window(0, successes=-1, failures=0)
 
 
+class TestCircuitBreakerHalfOpenEdges:
+    """Edge transitions of the probe window (half_open) state."""
+
+    def tripped(self, **kwargs):
+        kwargs.setdefault("failure_threshold", 0.5)
+        kwargs.setdefault("min_samples", 2)
+        kwargs.setdefault("cooldown_windows", 1)
+        breaker = CircuitBreaker(**kwargs)
+        breaker.record_window(0, successes=0, failures=5)
+        window = 1
+        while breaker.state == "open":  # sit out the cooldown
+            breaker.record_window(window, successes=0, failures=0)
+            window += 1
+        assert breaker.state == "half_open"
+        return breaker
+
+    def test_probe_exactly_at_threshold_reopens(self):
+        # the threshold is "rate >= threshold trips", so a probe that
+        # fails exactly half its offloads under threshold 0.5 is judged
+        # failed, not recovered
+        breaker = self.tripped()
+        assert breaker.record_window(2, successes=2, failures=2) == "open"
+        assert breaker.recoveries == 0
+
+    def test_probe_just_below_threshold_recloses(self):
+        breaker = self.tripped()
+        assert breaker.record_window(2, successes=3, failures=2) == "closed"
+        assert breaker.recoveries == 1
+        assert breaker.allows_offloading
+
+    def test_probe_without_min_samples_reopens_even_if_clean(self):
+        # 1 success < min_samples=2: silence is not recovery evidence
+        breaker = self.tripped()
+        assert breaker.record_window(2, successes=1, failures=0) == "open"
+        assert breaker.recoveries == 0
+
+    def test_failed_probe_pays_the_full_cooldown_again(self):
+        breaker = self.tripped(cooldown_windows=2)
+        breaker.record_window(3, successes=0, failures=5)  # probe fails
+        assert breaker.state == "open"
+        assert breaker.record_window(4, successes=0, failures=0) == "open"
+        assert (
+            breaker.record_window(5, successes=0, failures=0) == "half_open"
+        )
+
+    def test_reclose_then_retrip_counts_both(self):
+        breaker = self.tripped()
+        breaker.record_window(2, successes=5, failures=0)
+        assert breaker.state == "closed"
+        breaker.record_window(3, successes=0, failures=5)
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        assert breaker.recoveries == 1
+
+    def test_concurrent_probe_windows_are_independent(self):
+        # two servers probing in the same window index: one recovers,
+        # one does not — state machines must not interfere
+        good = self.tripped()
+        bad = self.tripped()
+        assert good.record_window(2, successes=5, failures=0) == "closed"
+        assert bad.record_window(2, successes=0, failures=5) == "open"
+        assert good.transitions[-1] == (2, "half_open", "closed")
+        assert bad.transitions[-1] == (2, "half_open", "open")
+
+
+class TestCircuitBreakerApplyRemote:
+    """Gossiped (remote) breaker evidence folding."""
+
+    def test_remote_open_trips_closed_breaker(self):
+        breaker = CircuitBreaker(cooldown_windows=1)
+        assert breaker.apply_remote("open", window=3) == "open"
+        assert breaker.trips == 1
+        assert breaker.remote_trips == 1
+        assert breaker.transitions == [(3, "closed", "open")]
+        # the remote trip sets a real cooldown: open -> half_open later
+        assert breaker.record_window(4, successes=0, failures=0) == "half_open"
+
+    def test_remote_open_interrupts_probe(self):
+        breaker = CircuitBreaker(min_samples=2, cooldown_windows=1)
+        breaker.record_window(0, successes=0, failures=5)
+        breaker.record_window(1, successes=0, failures=0)
+        assert breaker.state == "half_open"
+        assert breaker.apply_remote("open", window=2) == "open"
+        assert breaker.remote_trips == 1
+
+    def test_remote_open_on_open_breaker_is_noop(self):
+        breaker = CircuitBreaker()
+        breaker.apply_remote("open")
+        trips = breaker.trips
+        assert breaker.apply_remote("open") == "open"
+        assert breaker.trips == trips  # no double counting
+
+    def test_remote_closed_recloses_only_a_probing_breaker(self):
+        breaker = CircuitBreaker(min_samples=2, cooldown_windows=2)
+        breaker.record_window(0, successes=0, failures=5)
+        # still in cooldown: a peer's recovery must NOT skip the back-off
+        assert breaker.apply_remote("closed", window=1) == "open"
+        assert breaker.recoveries == 0
+        breaker.record_window(1, successes=0, failures=0)
+        breaker.record_window(2, successes=0, failures=0)
+        assert breaker.state == "half_open"
+        # in the probe window, peer evidence of recovery counts
+        assert breaker.apply_remote("closed", window=3) == "closed"
+        assert breaker.recoveries == 1
+
+    def test_remote_closed_on_closed_breaker_is_noop(self):
+        breaker = CircuitBreaker()
+        assert breaker.apply_remote("closed") == "closed"
+        assert breaker.transitions == []
+
+    def test_remote_half_open_never_acts(self):
+        breaker = CircuitBreaker()
+        assert breaker.apply_remote("half_open") == "closed"
+        breaker.apply_remote("open")
+        assert breaker.apply_remote("half_open") == "open"
+
+    def test_unknown_remote_state_rejected(self):
+        with pytest.raises(ValueError, match="remote breaker state"):
+            CircuitBreaker().apply_remote("exploded")
+
+
 class TestResilientOffloadingSystem:
     def test_healthy_run_never_trips(self, table1_tasks):
         system = ResilientOffloadingSystem(

@@ -1,0 +1,133 @@
+"""Fleet membership: failure detector, recovery times, hash ring."""
+
+import pytest
+
+from repro.fleet import FleetMembership, HashRing, ReplicaSpec
+
+
+def specs(n=3):
+    return [
+        ReplicaSpec(f"replica-{i}", "127.0.0.1", 9000 + i)
+        for i in range(n)
+    ]
+
+
+class TestReplicaSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="replica_id"):
+            ReplicaSpec("", "127.0.0.1", 9000)
+        with pytest.raises(ValueError, match="port"):
+            ReplicaSpec("r", "127.0.0.1", 0)
+
+
+class TestFleetMembership:
+    def test_everyone_starts_up(self):
+        membership = FleetMembership(specs())
+        assert membership.ids() == [
+            "replica-0", "replica-1", "replica-2",
+        ]
+        assert membership.healthy() == membership.ids()
+        assert "replica-1" in membership
+
+    def test_fatal_failure_downs_immediately(self):
+        membership = FleetMembership(specs())
+        state = membership.mark_failure("replica-1", 1.0, fatal=True)
+        assert state == "down"
+        assert membership.healthy() == ["replica-0", "replica-2"]
+
+    def test_stragglers_need_consecutive_strikes(self):
+        membership = FleetMembership(specs(), down_threshold=2)
+        assert membership.mark_failure("replica-1", 1.0) == "suspect"
+        # suspect replicas still route (a one-off straggle is not death)
+        assert "replica-1" in membership.healthy()
+        assert membership.mark_failure("replica-1", 2.0) == "down"
+        assert "replica-1" not in membership.healthy()
+
+    def test_success_resets_the_strike_count(self):
+        membership = FleetMembership(specs(), down_threshold=2)
+        membership.mark_failure("replica-1", 1.0)
+        membership.mark_success("replica-1", 2.0)
+        # strikes do not accumulate across recoveries
+        assert membership.mark_failure("replica-1", 3.0) == "suspect"
+
+    def test_recovery_time_is_measured(self):
+        membership = FleetMembership(specs())
+        membership.mark_failure("replica-1", 10.0, fatal=True)
+        recovered = membership.mark_success("replica-1", 12.5)
+        assert recovered == pytest.approx(2.5)
+        assert membership.recovery_times() == {
+            "replica-1": [pytest.approx(2.5)]
+        }
+        # a plain success with no open outage measures nothing
+        assert membership.mark_success("replica-1", 13.0) is None
+
+    def test_beacons_merge_by_sequence(self):
+        membership = FleetMembership(specs())
+        fresh = {"seq": 5, "queue_depth": 16, "queue_capacity": 32}
+        assert membership.update_beacon("replica-0", fresh)
+        stale = {"seq": 4, "queue_depth": 0, "queue_capacity": 32}
+        assert not membership.update_beacon("replica-0", stale)
+        assert membership.status("replica-0").occupancy == pytest.approx(
+            0.5
+        )
+
+    def test_transitions_are_logged(self):
+        membership = FleetMembership(specs())
+        membership.mark_failure("replica-2", 1.0, fatal=True)
+        membership.mark_success("replica-2", 2.0)
+        assert [
+            (rid, old, new)
+            for _t, rid, old, new in membership.transitions
+        ] == [
+            ("replica-2", "up", "down"),
+            ("replica-2", "down", "up"),
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FleetMembership([])
+        with pytest.raises(ValueError, match="duplicate"):
+            FleetMembership(
+                [
+                    ReplicaSpec("r", "127.0.0.1", 9000),
+                    ReplicaSpec("r", "127.0.0.1", 9001),
+                ]
+            )
+
+
+class TestHashRing:
+    def test_routing_is_deterministic_and_total(self):
+        nodes = ["replica-0", "replica-1", "replica-2"]
+        ring = HashRing(nodes)
+        owners = {f"req-{i:04d}": ring.route(f"req-{i:04d}")
+                  for i in range(200)}
+        again = HashRing(nodes)
+        assert owners == {
+            key: again.route(key) for key in owners
+        }
+        # all nodes get some share
+        assert set(owners.values()) == set(nodes)
+
+    def test_dead_node_only_moves_its_own_keys(self):
+        nodes = ["replica-0", "replica-1", "replica-2"]
+        ring = HashRing(nodes)
+        keys = [f"req-{i:04d}" for i in range(300)]
+        before = {key: ring.route(key) for key in keys}
+        alive = ["replica-0", "replica-2"]
+        after = {key: ring.route(key, alive=alive) for key in keys}
+        for key in keys:
+            if before[key] != "replica-1":
+                assert after[key] == before[key]
+            else:
+                assert after[key] in alive
+
+    def test_nothing_alive_routes_nowhere(self):
+        ring = HashRing(["replica-0"])
+        assert ring.route("key", alive=[]) is None
+        assert ring.route("key", alive=["replica-0"]) == "replica-0"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            HashRing([])
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(["a"], vnodes=0)

@@ -7,11 +7,14 @@ import socket
 
 import numpy as np
 
+from repro.observability import Observability
 from repro.service import (
     AdmissionRequest,
     BatchPolicy,
+    ConnectionLost,
     ODMService,
     ServiceClient,
+    TcpServerControl,
     serve_tcp,
 )
 from repro.workloads.generator import random_offloading_task_set
@@ -42,12 +45,15 @@ def make_service():
     )
 
 
-async def serving(port):
+async def serving(port, service=None, **kwargs):
     """Start serve_tcp in the background; return the serve task."""
+    kwargs.setdefault("duration", 30.0)
     task = asyncio.create_task(
         serve_tcp(
-            make_service(), port=port, duration=30.0,
+            service if service is not None else make_service(),
+            port=port,
             ready_message=False,
+            **kwargs,
         )
     )
     # wait for the listener to come up
@@ -128,6 +134,162 @@ def test_wire_errors_do_not_kill_the_connection():
     assert good["request_id"] == "alive"
     assert good["status"] == "admitted"
     assert bye["op"] == "bye"
+
+
+def test_oversized_line_is_rejected_but_the_connection_survives():
+    async def scenario():
+        port = free_port()
+        service = make_service()
+        obs = Observability.enabled(profile=False)
+        service.observability = obs
+        serve_task = await serving(port, service=service, max_line=8192)
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", port, limit=1 << 20
+        )
+
+        async def call(line):
+            writer.write(line + b"\n")
+            await writer.drain()
+            return json.loads(await reader.readline())
+
+        huge = await call(
+            b'{"op": "admit", "pad": "' + b"x" * 65536 + b'"}'
+        )
+        # the connection drained the junk and still serves
+        request = make_request("survivor")
+        good = await call(
+            json.dumps(
+                {"op": "admit", "request": request.to_dict()}
+            ).encode()
+        )
+        await call(b'{"op": "shutdown"}')
+        writer.close()
+        await writer.wait_closed()
+        await asyncio.wait_for(serve_task, timeout=10.0)
+        return huge, good, obs.bus.events("service.wire_error")
+
+    huge, good, events = asyncio.run(scenario())
+    assert huge["op"] == "error"
+    assert "maximum length" in huge["error"]
+    assert good["op"] == "response"
+    assert good["request_id"] == "survivor"
+    assert len(events) == 1
+
+
+def test_non_object_json_record_is_a_wire_error():
+    async def scenario():
+        port = free_port()
+        serve_task = await serving(port)
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+        async def call(line):
+            writer.write(line + b"\n")
+            await writer.drain()
+            return json.loads(await reader.readline())
+
+        array = await call(b"[1, 2, 3]")
+        scalar = await call(b'"admit"')
+        bye = await call(b'{"op": "shutdown"}')
+        writer.close()
+        await writer.wait_closed()
+        await asyncio.wait_for(serve_task, timeout=10.0)
+        return array, scalar, bye
+
+    array, scalar, bye = asyncio.run(scenario())
+    assert array["op"] == "error"
+    assert "JSON object" in array["error"]
+    assert scalar["op"] == "error"
+    assert bye["op"] == "bye"
+
+
+def test_gossip_op_returns_the_replica_beacon():
+    async def scenario():
+        port = free_port()
+        serve_task = await serving(port)
+        async with ServiceClient(port=port) as client:
+            await client.record_outcome("edge", True, 1.0)
+            beacon = await client.gossip()
+            await client.shutdown()
+        await asyncio.wait_for(serve_task, timeout=10.0)
+        return beacon
+
+    beacon = asyncio.run(scenario())
+    assert beacon["replica_id"] == "replica-0"
+    assert beacon["seq"] >= 1
+    assert beacon["breakers"] == {"edge": "closed"}
+    assert "queue_depth" in beacon and "queue_capacity" in beacon
+
+
+def test_abort_fails_in_flight_requests_fast():
+    async def scenario():
+        port = free_port()
+        service = make_service()
+        control = TcpServerControl()
+        serve_task = await serving(
+            port, service=service, control=control
+        )
+        await control.ready.wait()
+        client = await ServiceClient(port=port).connect()
+        original = service.shard_solver.solve_batch
+
+        def slow(entries):
+            import time
+
+            time.sleep(0.5)
+            return original(entries)
+
+        service.shard_solver.solve_batch = slow
+        submit = asyncio.create_task(client.submit(make_request("doomed")))
+        await asyncio.sleep(0.05)
+        control.abort()  # RST every live connection, as a crash would
+        try:
+            # bounded by the reset, not by any request timeout
+            await asyncio.wait_for(submit, timeout=5.0)
+        except ConnectionLost:
+            lost = True
+        else:
+            lost = False
+        await client.close()
+        await asyncio.wait_for(serve_task, timeout=10.0)
+        return lost
+
+    assert asyncio.run(scenario())
+
+
+def test_per_request_timeout_raises_without_killing_the_client():
+    async def scenario():
+        port = free_port()
+        service = make_service()
+        serve_task = await serving(port, service=service)
+        original = service.shard_solver.solve_batch
+        stall = {"seconds": 0.5}
+
+        def slow(entries):
+            import time
+
+            time.sleep(stall["seconds"])
+            return original(entries)
+
+        service.shard_solver.solve_batch = slow
+        async with ServiceClient(port=port) as client:
+            timed_out = False
+            try:
+                await client.submit(make_request("slow"), timeout=0.05)
+            except asyncio.TimeoutError:
+                timed_out = True
+            # the connection itself is still healthy for later calls
+            stall["seconds"] = 0.0
+            response = await client.submit(
+                make_request("quick", seed=2), timeout=5.0
+            )
+            await client.shutdown()
+        await asyncio.wait_for(serve_task, timeout=10.0)
+        return timed_out, response
+
+    timed_out, response = asyncio.run(scenario())
+    assert timed_out
+    assert response.request_id == "quick"
+    assert response.admitted
 
 
 def test_duration_cap_stops_a_quiet_server():

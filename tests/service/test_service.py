@@ -138,17 +138,18 @@ def test_backpressure_sheds_when_queue_is_full():
 def test_forced_degradation_levels():
     async def scenario():
         async with small_service() as service:
-            request = make_request()
-            exact = await service.submit(request)
+            # distinct request ids: a reused id would be answered by the
+            # idempotent dedup cache instead of the forced rung
+            exact = await service.submit(make_request("level-exact"))
 
             service.force_level(DegradationLevel.HEURISTIC)
-            heuristic = await service.submit(request)
+            heuristic = await service.submit(make_request("level-heu"))
 
             service.force_level(DegradationLevel.LOCAL_ONLY)
-            local = await service.submit(request)
+            local = await service.submit(make_request("level-local"))
 
             service.force_level(None)
-            back = await service.submit(request)
+            back = await service.submit(make_request("level-back"))
         assert exact.degradation == "exact" and exact.solver == "dp"
         assert heuristic.degradation == "heuristic"
         assert heuristic.solver == "heu_oe"
@@ -175,8 +176,10 @@ def test_open_breaker_removes_server_from_routing():
             breaker_kwargs={"min_samples": 3, "cooldown_windows": 1},
         )
         async with service:
-            request = make_request(servers={"edge": 1.0})
-            before = await service.submit(request)
+            # fresh ids per phase: a reused id would hit the dedup cache
+            before = await service.submit(
+                make_request("brk-before", servers={"edge": 1.0})
+            )
 
             for _ in range(5):
                 service.record_outcome("edge", False, 1.0)
@@ -184,7 +187,9 @@ def test_open_breaker_removes_server_from_routing():
             assert states["edge"] == "open"
             assert service.breaker_state("edge") == "open"
 
-            during = await service.submit(request)
+            during = await service.submit(
+                make_request("brk-during", servers={"edge": 1.0})
+            )
 
             # cooldown: open -> half_open, then a good probe recloses
             service.close_health_window()
@@ -194,7 +199,9 @@ def test_open_breaker_removes_server_from_routing():
             states = service.close_health_window()
             assert states["edge"] == "closed"
 
-            after = await service.submit(request)
+            after = await service.submit(
+                make_request("brk-after", servers={"edge": 1.0})
+            )
 
         # with the only server broken, the request fell back to the
         # local-only direct path (still a verified admission)
