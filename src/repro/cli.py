@@ -483,6 +483,84 @@ def _cmd_fleet_campaign(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from .scenarios import (
+        CampaignConfig,
+        default_matrix,
+        run_campaign,
+        smoke_matrix,
+    )
+
+    matrix = (
+        smoke_matrix() if args.smoke else default_matrix(num_tasks=args.tasks)
+    )
+    config = CampaignConfig(
+        seed=args.seed,
+        replications=args.replications,
+        resolution=args.resolution,
+        energy_weight=args.energy_weight,
+    )
+    report = run_campaign(matrix, config, workers=args.workers)
+    if args.verify_parallel and args.verify_parallel > 1:
+        parallel = run_campaign(
+            matrix, config, workers=args.verify_parallel
+        )
+        report.serial_parallel_identical = (
+            parallel.comparable_dict() == report.comparable_dict()
+        )
+        print(
+            f"verify: workers={args.verify_parallel} "
+            f"({parallel.mode}, {parallel.wall_seconds:.1f}s) "
+            f"{'==' if report.serial_parallel_identical else '!='} "
+            f"workers={report.workers} "
+            f"({report.mode}, {report.wall_seconds:.1f}s) — "
+            + (
+                "bit-for-bit identical"
+                if report.serial_parallel_identical
+                else "AGGREGATES DIVERGED"
+            )
+        )
+    print(report.format())
+    for anomaly in report.audit["anomalies"]:
+        print(f"  ! {anomaly}")
+    if args.svg:
+        from .reporting import svg_bar_chart
+
+        per_cap = report.marginals.get("util_cap", {})
+        labels = list(per_cap)
+        series = {
+            "schedulable": [
+                per_cap[lb]["schedulable_fraction"] or 0.0 for lb in labels
+            ],
+            "offload": [
+                per_cap[lb]["mean_offload_fraction"] or 0.0 for lb in labels
+            ],
+            "miss rate": [
+                per_cap[lb]["mean_miss_rate"] or 0.0 for lb in labels
+            ],
+        }
+        with open(args.svg, "w") as handle:
+            handle.write(
+                svg_bar_chart(
+                    labels,
+                    series,
+                    title="Campaign marginals vs utilization cap",
+                    x_label="utilization cap",
+                    y_label="fraction",
+                )
+            )
+        print(f"wrote {args.svg}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    ok = report.ok and report.serial_parallel_identical is not False
+    return 0 if ok else 1
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     tasks = table1_task_set()
     system = OffloadingSystem(
@@ -724,6 +802,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", help="write the report JSON (BENCH_fleet.json) to PATH"
     )
     p.set_defaults(func=_cmd_fleet_campaign)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a scenario campaign matrix (schedulability, benefit, "
+        "energy, burst miss-rate marginals + differential audit)",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="16-cell CI miniature instead of the full >=1000-instance "
+        "matrix",
+    )
+    p.add_argument(
+        "--tasks", type=int, default=12,
+        help="tasks per generated set (full matrix only)",
+    )
+    p.add_argument(
+        "--replications", type=int, default=1,
+        help="instances drawn per matrix cell",
+    )
+    p.add_argument(
+        "--resolution", type=int, default=2_000,
+        help="DP capacity quantization units",
+    )
+    p.add_argument(
+        "--energy-weight", type=float, default=5.0,
+        help="energy term of the blended objective "
+        "(benefit weight stays 1.0)",
+    )
+    p.add_argument(
+        "--verify-parallel", type=int, default=4, metavar="N",
+        help="re-run at N workers and require bit-for-bit identical "
+        "aggregates (0 = skip)",
+    )
+    p.add_argument("--out", help="write the aggregate report JSON to PATH")
+    p.add_argument("--svg", help="also write a marginals chart to PATH")
+    add_workers(p)
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("demo", help="one end-to-end run with a Gantt chart")
     p.add_argument("--scenario", default="idle")

@@ -42,6 +42,13 @@ class BenefitPoint:
     ``setup_time``/``compensation_time`` are optional per-level overrides
     ``C^j_{i,1}``/``C^j_{i,2}``; when ``None`` the task-level defaults
     apply.  The local point (``response_time == 0``) never uses them.
+
+    ``energy`` is an optional expected client-side energy cost (joules)
+    of running the task once at this level: local compute energy for the
+    ``r=0`` point, transmit + listen + expected-compensation energy for
+    offload points.  ``None`` means "not modeled"; the scenario layer
+    (:mod:`repro.scenarios.energy`) fills it in and energy-aware
+    objectives read it back.  It never affects schedulability.
     """
 
     response_time: float
@@ -49,6 +56,7 @@ class BenefitPoint:
     setup_time: Optional[float] = None
     compensation_time: Optional[float] = None
     label: str = ""
+    energy: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.response_time):
@@ -65,6 +73,11 @@ class BenefitPoint:
             raise ValueError(
                 f"negative compensation time {self.compensation_time}"
             )
+        if self.energy is not None:
+            if not math.isfinite(self.energy):
+                raise ValueError(f"energy must be finite, got {self.energy}")
+            if self.energy < 0:
+                raise ValueError(f"negative energy {self.energy}")
 
     @property
     def is_local(self) -> bool:
@@ -237,7 +250,7 @@ class BenefitFunction:
                 fixed.append(
                     BenefitPoint(
                         p.response_time, running, p.setup_time,
-                        p.compensation_time, p.label,
+                        p.compensation_time, p.label, p.energy,
                     )
                 )
         # Response times are untouched and the running max keeps values
@@ -259,6 +272,7 @@ class BenefitFunction:
                 p.setup_time,
                 p.compensation_time,
                 p.label,
+                p.energy,
             )
             for p in self._points
         )

@@ -87,7 +87,7 @@ class OffloadingDecision:
         return self.response_times[task_id]
 
 
-def build_mckp(tasks: TaskSet) -> MCKPInstance:
+def build_mckp(tasks: TaskSet, objective=None) -> MCKPInstance:
     """Construct the §5.2 MCKP instance for ``tasks``.
 
     Every task contributes a class whose first item is the (always
@@ -95,11 +95,22 @@ def build_mckp(tasks: TaskSet) -> MCKPInstance:
     item per structurally feasible benefit point.  Item tags carry the
     response time so decisions can be read back off a
     :class:`~repro.knapsack.Selection`.
+
+    ``objective`` optionally replaces the default weighted-benefit item
+    values with a custom scoring.  It is any object exposing
+    ``local_value(task) -> float`` and
+    ``offload_value(task, point) -> float`` (duck-typed; see
+    :class:`repro.scenarios.energy.EnergyObjective`).  Objectives change
+    item *values* only — weights, and therefore the set of feasible
+    selections and the Theorem 3 guarantee, are identical to the plain
+    reduction.
     """
     classes: List[MCKPClass] = []
     for task in tasks:
         local_density = task.wcet / min(task.period, task.deadline)
-        if isinstance(task, OffloadableTask):
+        if objective is not None:
+            local_value = objective.local_value(task)
+        elif isinstance(task, OffloadableTask):
             local_value = task.benefit.local_benefit * task.weight
         else:
             local_value = 0.0
@@ -130,9 +141,13 @@ def build_mckp(tasks: TaskSet) -> MCKPInstance:
                     )
                 if setup + second > slack + 1e-12:
                     continue
+                if objective is not None:
+                    value = objective.offload_value(task, point)
+                else:
+                    value = point.benefit * task.weight
                 items.append(
                     MCKPItem(
-                        value=point.benefit * task.weight,
+                        value=value,
                         weight=(setup + second) / slack,
                         tag=point.response_time,
                     )
@@ -155,12 +170,18 @@ class OffloadingDecisionManager:
         a private default-sized one).  The adaptive/health runtimes
         re-decide over an unchanged believed task set every decision
         window; with a cache those repeat solves are dictionary lookups.
+    objective:
+        Optional item-value policy forwarded to :func:`build_mckp` —
+        an object with ``local_value(task)`` and
+        ``offload_value(task, point)``.  Values only; the feasible region
+        and the Theorem 3 re-verification are unchanged.
     """
 
     def __init__(
         self,
         solver: str = "dp",
         cache: "Optional[SolverCache | bool]" = None,
+        objective=None,
         **solver_kwargs,
     ) -> None:
         if callable(solver):
@@ -175,6 +196,7 @@ class OffloadingDecisionManager:
             self._solve = SOLVERS[solver]
             self.solver_name = solver
         self._solver_kwargs = solver_kwargs
+        self.objective = objective
         if cache is True:
             cache = SolverCache()
         self.cache: Optional[SolverCache] = cache or None
@@ -191,7 +213,9 @@ class OffloadingDecisionManager:
                 "cannot decide over an empty task set; add tasks first"
             )
         tasks.validate()
-        return self.decide_from_instance(tasks, build_mckp(tasks))
+        return self.decide_from_instance(
+            tasks, build_mckp(tasks, objective=self.objective)
+        )
 
     def decide_from_instance(
         self, tasks: TaskSet, instance: MCKPInstance

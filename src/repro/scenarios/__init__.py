@@ -1,0 +1,80 @@
+"""Scenario campaigns: parameterized workloads, energy, overload.
+
+The workload backbone of the reproduction's evaluation at scale.  A
+campaign is a declarative matrix of named axes
+(:mod:`~repro.scenarios.axes`) over a base
+:class:`~repro.scenarios.generator.ScenarioSpec`; expansion
+(:mod:`~repro.scenarios.matrix`), per-instance generation
+(:mod:`~repro.scenarios.generator`), energy pricing and energy-aware
+objectives (:mod:`~repro.scenarios.energy`), burst-admission overload
+(:mod:`~repro.scenarios.bursts`) and the parallel, self-auditing driver
+(:mod:`~repro.scenarios.campaign`) are each one module.
+
+Entry points: ``python -m repro campaign`` from the CLI, or::
+
+    from repro.scenarios import CampaignConfig, run_campaign, smoke_matrix
+    report = run_campaign(smoke_matrix(), CampaignConfig(seed=7))
+    assert report.ok
+"""
+
+from .axes import (
+    AxisPoint,
+    ScenarioAxis,
+    benefit_shape_axis,
+    burst_axis,
+    deadline_axis,
+    energy_axis,
+    overhead_axis,
+    period_axis,
+    util_cap_axis,
+    util_dist_axis,
+)
+from .bursts import (
+    BurstOutcome,
+    admissible,
+    min_demand_rate,
+    scenario_pool,
+    simulate_burst_admission,
+)
+from .campaign import CampaignConfig, CampaignReport, run_campaign
+from .energy import (
+    ENERGY_PROFILES,
+    EnergyModel,
+    EnergyObjective,
+    attach_energy,
+    decision_energy_rate,
+)
+from .generator import ScenarioSpec, generate_scenario, partition_utilization
+from .matrix import CampaignMatrix, default_matrix, smoke_matrix
+
+__all__ = [
+    "AxisPoint",
+    "BurstOutcome",
+    "CampaignConfig",
+    "CampaignMatrix",
+    "CampaignReport",
+    "ENERGY_PROFILES",
+    "EnergyModel",
+    "EnergyObjective",
+    "ScenarioAxis",
+    "ScenarioSpec",
+    "admissible",
+    "attach_energy",
+    "benefit_shape_axis",
+    "burst_axis",
+    "deadline_axis",
+    "decision_energy_rate",
+    "default_matrix",
+    "energy_axis",
+    "generate_scenario",
+    "min_demand_rate",
+    "overhead_axis",
+    "partition_utilization",
+    "period_axis",
+    "run_campaign",
+    "scenario_pool",
+    "simulate_burst_admission",
+    "smoke_matrix",
+    "util_cap_axis",
+    "util_dist_axis",
+]

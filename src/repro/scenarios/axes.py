@@ -1,0 +1,254 @@
+"""Named, composable scenario axes (schedcat-style campaign dimensions).
+
+schedcat's ``gen_ts.py`` organizes task-set generation around named
+distribution choices — ``util_dist``, ``period_dist``, ``util_cap`` —
+and a campaign is the cross product of the chosen values.  This module
+gives those dimensions first-class names:
+
+* an :class:`AxisPoint` is one setting of an axis: a label plus the
+  :class:`~repro.scenarios.generator.ScenarioSpec` field overrides it
+  implies;
+* a :class:`ScenarioAxis` is a named, ordered collection of points;
+* :class:`~repro.scenarios.matrix.CampaignMatrix` expands a list of
+  axes into the full cross product of specs.
+
+Axes carry *declarative* field updates only — no RNG, no generation
+logic — so a campaign definition is a plain, printable, hashable value
+and the expansion is trivially deterministic.  All randomness stays in
+:func:`~repro.scenarios.generator.generate_scenario`, which receives a
+seeded generator per instance.
+
+The factory functions below build the stock axes used by
+:func:`~repro.scenarios.matrix.default_matrix`; custom axes are just
+``ScenarioAxis(name, points)`` with whatever overrides a study needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+__all__ = [
+    "AxisPoint",
+    "ScenarioAxis",
+    "util_dist_axis",
+    "util_cap_axis",
+    "period_axis",
+    "deadline_axis",
+    "overhead_axis",
+    "benefit_shape_axis",
+    "energy_axis",
+    "burst_axis",
+]
+
+
+@dataclass(frozen=True)
+class AxisPoint:
+    """One value of an axis: a label plus the spec fields it sets.
+
+    ``updates`` is stored as a sorted tuple of ``(field, value)`` pairs
+    so points are hashable and comparable; :meth:`as_dict` restores the
+    mapping for ``dataclasses.replace``.
+    """
+
+    label: str
+    updates: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("axis point label must be non-empty")
+        object.__setattr__(
+            self, "updates", tuple(sorted(tuple(self.updates)))
+        )
+
+    @classmethod
+    def of(cls, label: str, **updates: object) -> "AxisPoint":
+        """Build a point from keyword field overrides."""
+        return cls(label, tuple(updates.items()))
+
+    def as_dict(self) -> Mapping[str, object]:
+        return dict(self.updates)
+
+
+@dataclass(frozen=True)
+class ScenarioAxis:
+    """A named campaign dimension: an ordered set of labeled points."""
+
+    name: str
+    points: Tuple[AxisPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("axis name must be non-empty")
+        pts = tuple(self.points)
+        if not pts:
+            raise ValueError(f"axis {self.name!r} needs at least one point")
+        labels = [p.label for p in pts]
+        if len(set(labels)) != len(labels):
+            raise ValueError(
+                f"axis {self.name!r} has duplicate point labels: {labels}"
+            )
+        fields = {f for p in pts for f, _ in p.updates}
+        for p in pts:
+            missing = fields - {f for f, _ in p.updates}
+            if missing:
+                raise ValueError(
+                    f"axis {self.name!r}: point {p.label!r} does not set "
+                    f"{sorted(missing)} although sibling points do; every "
+                    "point of an axis must cover the same fields"
+                )
+        object.__setattr__(self, "points", pts)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(p.label for p in self.points)
+
+    def subset(self, labels: Sequence[str]) -> "ScenarioAxis":
+        """Restrict the axis to ``labels`` (order given by ``labels``)."""
+        by_label = {p.label: p for p in self.points}
+        missing = [lb for lb in labels if lb not in by_label]
+        if missing:
+            raise KeyError(
+                f"axis {self.name!r} has no points {missing}; "
+                f"available: {list(by_label)}"
+            )
+        return ScenarioAxis(
+            self.name, tuple(by_label[lb] for lb in labels)
+        )
+
+
+# ----------------------------------------------------------------------
+# stock axes
+# ----------------------------------------------------------------------
+def util_dist_axis(
+    dists: Sequence[str] = ("uunifast", "uniform", "bimodal", "exponential"),
+) -> ScenarioAxis:
+    """How total utilization is partitioned across tasks."""
+    return ScenarioAxis(
+        "util_dist",
+        tuple(AxisPoint.of(d, util_dist=d) for d in dists),
+    )
+
+
+def util_cap_axis(
+    caps: Sequence[float] = (0.5, 0.7, 0.9, 1.05),
+) -> ScenarioAxis:
+    """Target total local utilization ``Σ C_i/T_i``.
+
+    Values above 1.0 generate sets whose *all-local* baseline is
+    infeasible — schedulable only if offloading sheds enough density
+    (the §3-extension rescue scenario the guaranteed overhead point
+    enables).
+    """
+    return ScenarioAxis(
+        "util_cap",
+        tuple(
+            AxisPoint.of(f"u{cap:g}", util_cap=float(cap)) for cap in caps
+        ),
+    )
+
+
+def period_axis() -> ScenarioAxis:
+    """Period distribution: log-uniform spread vs harmonic set."""
+    return ScenarioAxis(
+        "period_dist",
+        (
+            AxisPoint.of(
+                "log_uniform",
+                period_dist="log_uniform",
+                period_range=(0.05, 1.0),
+            ),
+            AxisPoint.of(
+                "harmonic",
+                period_dist="harmonic",
+                period_range=(0.05, 1.0),
+            ),
+        ),
+    )
+
+
+def deadline_axis() -> ScenarioAxis:
+    """Relative deadline model: implicit vs constrained ``D_i ≤ T_i``."""
+    return ScenarioAxis(
+        "deadline",
+        (
+            AxisPoint.of("implicit", deadline_ratio=(1.0, 1.0)),
+            AxisPoint.of("constrained", deadline_ratio=(0.7, 1.0)),
+        ),
+    )
+
+
+def overhead_axis() -> ScenarioAxis:
+    """Offloading overhead regime.
+
+    ``paper`` mirrors the §6.2 ratios (``C_{i,1} = 0.3·C_i``, full
+    compensation); ``light`` models a cheap radio and a cheaper
+    fallback; ``guaranteed`` is the §3 extension — a pessimistic server
+    bound exists, so the top benefit level budgets only ``C_{i,3}``.
+    """
+    return ScenarioAxis(
+        "overhead",
+        (
+            AxisPoint.of(
+                "paper",
+                setup_ratio=0.3,
+                compensation_ratio=1.0,
+                post_ratio=0.1,
+                guaranteed=False,
+            ),
+            AxisPoint.of(
+                "light",
+                setup_ratio=0.1,
+                compensation_ratio=0.6,
+                post_ratio=0.05,
+                guaranteed=False,
+            ),
+            AxisPoint.of(
+                "guaranteed",
+                setup_ratio=0.3,
+                compensation_ratio=1.0,
+                post_ratio=0.1,
+                guaranteed=True,
+            ),
+        ),
+    )
+
+
+def benefit_shape_axis(
+    shapes: Sequence[str] = ("concave", "linear"),
+) -> ScenarioAxis:
+    """Shape of ``G_i`` vs response time: diminishing returns or linear."""
+    return ScenarioAxis(
+        "benefit_shape",
+        tuple(AxisPoint.of(s, benefit_shape=s) for s in shapes),
+    )
+
+
+def energy_axis(
+    profiles: Sequence[str] = ("balanced", "radio_heavy"),
+) -> ScenarioAxis:
+    """Client energy profile used to annotate benefit points.
+
+    Profile names resolve through
+    :data:`repro.scenarios.energy.ENERGY_PROFILES`.
+    """
+    return ScenarioAxis(
+        "energy_profile",
+        tuple(AxisPoint.of(p, energy_profile=p) for p in profiles),
+    )
+
+
+def burst_axis() -> ScenarioAxis:
+    """Arrival overload: steady sporadic vs Poisson admission bursts."""
+    return ScenarioAxis(
+        "arrivals",
+        (
+            AxisPoint.of("steady", burst_rate=0.0, burst_windows=0),
+            AxisPoint.of("bursty", burst_rate=3.0, burst_windows=6),
+        ),
+    )

@@ -1,0 +1,141 @@
+"""Overload and burst-admission scenarios.
+
+Steady sporadic arrival is the paper's model; real deployments also see
+*admission bursts* — a window where several extra tasks ask to join the
+system at once.  This module adds that regime to campaigns in two
+forms:
+
+* :func:`simulate_burst_admission` — the batch-side simulation used by
+  the campaign driver.  Over ``spec.burst_windows`` windows, a Poisson
+  number of transient task arrivals (clones of the base workload's
+  tasks) each request admission; an arrival is admitted iff *some*
+  offloading configuration of base + already-admitted + candidate
+  passes Theorem 3.  That existence check is exact and cheap: a
+  feasible MCKP selection exists iff the sum over classes of each
+  class's minimum item weight fits the capacity — no DP required.
+  The reported *miss rate* is the fraction of arrivals turned away.
+
+* :func:`scenario_pool` — a pool of generated task sets in the format
+  :func:`repro.service.loadgen.generate_bursts` accepts via its
+  ``pool`` hook, so the same scenario matrix drives the online
+  admission service's loadgen instead of its built-in homogeneous
+  pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from ..core.odm import build_mckp
+from ..core.task import OffloadableTask, TaskSet
+from ..sim.rng import RngLike, as_generator
+from .generator import ScenarioSpec, generate_scenario
+
+__all__ = [
+    "BurstOutcome",
+    "admissible",
+    "min_demand_rate",
+    "simulate_burst_admission",
+    "scenario_pool",
+]
+
+
+def min_demand_rate(tasks: TaskSet) -> float:
+    """The smallest Theorem-3 demand rate any configuration can reach.
+
+    Classes are independent in the MCKP, so the minimum total weight is
+    the sum of per-class minima — the best case where every task picks
+    its cheapest density (local or any structurally feasible offload
+    level).
+    """
+    instance = build_mckp(tasks)
+    return sum(
+        min(item.weight for item in cls.items) for cls in instance.classes
+    )
+
+
+def admissible(tasks: TaskSet) -> bool:
+    """Whether *any* offloading configuration passes Theorem 3."""
+    return min_demand_rate(tasks) <= 1.0 + 1e-9
+
+
+@dataclass(frozen=True)
+class BurstOutcome:
+    """What one burst simulation did."""
+
+    windows: int
+    arrivals: int
+    admitted: int
+
+    @property
+    def missed(self) -> int:
+        return self.arrivals - self.admitted
+
+    @property
+    def miss_rate(self) -> float:
+        return self.missed / self.arrivals if self.arrivals else 0.0
+
+
+def simulate_burst_admission(
+    tasks: TaskSet, spec: ScenarioSpec, rng: RngLike
+) -> Optional[BurstOutcome]:
+    """Run the spec's burst profile against ``tasks``.
+
+    Returns ``None`` for steady specs (``burst_windows == 0`` or
+    ``burst_rate == 0``).  Each window draws ``Poisson(burst_rate)``
+    transient arrivals; every arrival clones a random offloadable base
+    task (fresh id, period stretched 1–2× so clones are not exact
+    duplicates) and is admitted iff the joint set stays admissible.
+    Admitted clones occupy capacity until the window ends.
+    """
+    if spec.burst_windows <= 0 or spec.burst_rate <= 0:
+        return None
+    rng = as_generator(rng)
+    donors = [t for t in tasks if isinstance(t, OffloadableTask)]
+    if not donors:
+        return None
+    arrivals = 0
+    admitted = 0
+    for window in range(spec.burst_windows):
+        resident: List[OffloadableTask] = []
+        k = int(rng.poisson(spec.burst_rate))
+        for j in range(k):
+            arrivals += 1
+            donor = donors[int(rng.integers(len(donors)))]
+            stretch = float(rng.uniform(1.0, 2.0))
+            clone = replace(
+                donor,
+                task_id=f"burst{window}-{j}",
+                period=donor.period * stretch,
+                deadline=donor.deadline * stretch,
+            )
+            trial = TaskSet([*tasks, *resident, clone])
+            if admissible(trial):
+                admitted += 1
+                resident.append(clone)
+    return BurstOutcome(
+        windows=spec.burst_windows, arrivals=arrivals, admitted=admitted
+    )
+
+
+def scenario_pool(
+    specs: Sequence[ScenarioSpec], rng: RngLike
+) -> List[TaskSet]:
+    """Generate one task set per spec, for the loadgen ``pool`` hook.
+
+    Only specs whose cap leaves the all-local baseline feasible are
+    usable by the online service (it validates ``U ≤ 1`` on every
+    request), so overload cells are skipped.
+    """
+    rng = as_generator(rng)
+    pool = []
+    for spec in specs:
+        if spec.util_cap <= 1.0:
+            pool.append(generate_scenario(spec, rng))
+    if not pool:
+        raise ValueError(
+            "no specs with util_cap <= 1.0; the online service needs a "
+            "feasible all-local baseline"
+        )
+    return pool

@@ -1,0 +1,274 @@
+"""Client energy as a decision dimension (per-level annotation + objective).
+
+:mod:`repro.runtime.energy` prices *traces* after the fact; this module
+prices *decisions* before they are made, so campaigns can ask the ODM
+to optimize benefit, energy, or a weighted blend.  The model follows
+the ``energyoffload.py`` exemplar: for each benefit level ``r_{i,j}``
+the client either
+
+* computes locally — CPU active for ``C_i``:
+  ``E = active · C_i``; or
+* offloads — CPU+radio active for the setup/transmit phase ``C_{i,1}``,
+  radio listening for up to ``r``, then the *expected* second phase:
+  with success probability ``p`` the cheap post-processing ``C_{i,3}``,
+  with ``1−p`` the full local compensation ``C_{i,2}``:
+  ``E = (active+tx)·C_{i,1} + listen·r
+  + active·(p·C_{i,3} + (1−p)·C_{i,2})``.
+
+``p`` is the normalized benefit of the level (the §3.2 "probability of
+a timely result" semantics, rescaled when the benefit is a quality
+index), or exactly 1 when the §3 extension guarantees the result.
+
+Two consumers:
+
+* :func:`attach_energy` — annotates every
+  :class:`~repro.core.benefit.BenefitPoint` of a task set with its
+  energy (the scenario generator calls this, keyed by profile name);
+* :class:`EnergyObjective` — an item-value policy for
+  :func:`repro.core.odm.build_mckp`.  It blends
+  ``benefit_weight·G − energy_weight·E/T`` (energy as average power,
+  matching :func:`decision_energy_rate`) and **changes item values
+  only**: weights, the feasible region, and the Theorem 3 guarantee are
+  exactly those of the plain reduction (the admission-equivalence
+  invariant pinned by the property and differential suites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional
+
+from ..core.benefit import BenefitFunction, BenefitPoint
+from ..core.odm import OffloadingDecision
+from ..core.task import OffloadableTask, Task, TaskSet
+from ..runtime.energy import PowerModel
+
+__all__ = [
+    "ENERGY_PROFILES",
+    "EnergyModel",
+    "EnergyObjective",
+    "attach_energy",
+    "decision_energy_rate",
+]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-decision energy pricing on top of a :class:`PowerModel`.
+
+    ``listen_power`` is the radio's receive/idle-listen draw while the
+    client waits (up to ``r``) for the server's result — the term that
+    makes *large* response-time levels energy-expensive even though
+    they are benefit-attractive, which is exactly the tension the
+    blended objective explores.
+    """
+
+    power: PowerModel = PowerModel()
+    listen_power: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.listen_power < 0:
+            raise ValueError("listen_power must be non-negative")
+
+    def local_energy(self, task: Task) -> float:
+        """Energy of one local job: CPU active for ``C_i``."""
+        return self.power.active_power * task.wcet
+
+    def success_probability(
+        self, task: OffloadableTask, point: BenefitPoint
+    ) -> float:
+        """Chance the result arrives within ``point.response_time``."""
+        if task.result_guaranteed(point.response_time):
+            return 1.0
+        top = task.benefit.max_benefit
+        if top <= 0:
+            return 0.0
+        return max(0.0, min(1.0, point.benefit / top))
+
+    def offload_energy(
+        self, task: OffloadableTask, point: BenefitPoint
+    ) -> float:
+        """Expected energy of one offloaded job at this level."""
+        if point.is_local:
+            return self.local_energy(task)
+        setup = (
+            point.setup_time
+            if point.setup_time is not None
+            else task.setup_time
+        )
+        compensation = (
+            point.compensation_time
+            if point.compensation_time is not None
+            else task.compensation_time
+        )
+        p = self.success_probability(task, point)
+        second = p * task.post_time + (1.0 - p) * compensation
+        return (
+            (self.power.active_power + self.power.tx_power) * setup
+            + self.listen_power * point.response_time
+            + self.power.active_power * second
+        )
+
+    def point_energy(self, task: Task, point: BenefitPoint) -> float:
+        """Energy of one job of ``task`` executed at ``point``'s level."""
+        if point.is_local or not isinstance(task, OffloadableTask):
+            return self.local_energy(task)
+        return self.offload_energy(task, point)
+
+
+#: Named profiles for the campaign energy axis.  ``balanced`` is the
+#: embedded-board default; ``radio_heavy`` models an expensive uplink
+#: (offloading costs energy, the blend pulls decisions local);
+#: ``cpu_heavy`` models a power-hungry CPU with a cheap radio
+#: (offloading saves energy, benefit and energy agree).
+ENERGY_PROFILES: Mapping[str, EnergyModel] = {
+    "balanced": EnergyModel(),
+    "radio_heavy": EnergyModel(
+        power=PowerModel(active_power=1.5, idle_power=0.3, tx_power=2.5),
+        listen_power=0.6,
+    ),
+    "cpu_heavy": EnergyModel(
+        power=PowerModel(active_power=3.0, idle_power=0.2, tx_power=0.4),
+        listen_power=0.05,
+    ),
+}
+
+
+def resolve_profile(profile: "str | EnergyModel") -> EnergyModel:
+    if isinstance(profile, EnergyModel):
+        return profile
+    try:
+        return ENERGY_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown energy profile {profile!r}; "
+            f"one of {sorted(ENERGY_PROFILES)}"
+        ) from None
+
+
+def attach_energy(
+    tasks: TaskSet, profile: "str | EnergyModel"
+) -> TaskSet:
+    """Return a copy of ``tasks`` with every benefit point priced.
+
+    Points that already carry an explicit ``energy`` keep it (measured
+    values beat the model); everything else gets the profile's price.
+    Non-offloadable tasks pass through unchanged — they have no
+    decision to price.
+    """
+    model = resolve_profile(profile)
+    out = TaskSet()
+    for task in tasks:
+        if not isinstance(task, OffloadableTask):
+            out.add(task)
+            continue
+        points = [
+            p if p.energy is not None else BenefitPoint(
+                p.response_time,
+                p.benefit,
+                p.setup_time,
+                p.compensation_time,
+                p.label,
+                model.point_energy(task, p),
+            )
+            for p in task.benefit.points
+        ]
+        out.add(replace(task, benefit=BenefitFunction(points)))
+    return out
+
+
+@dataclass(frozen=True)
+class EnergyObjective:
+    """MCKP item-value policy: ``benefit_weight·G·w − energy_weight·E/T``.
+
+    Satisfies the duck-typed objective protocol of
+    :func:`repro.core.odm.build_mckp` (``local_value``/``offload_value``).
+    ``model=None`` reads energies off the benefit points (the scenario
+    generator pre-attaches them); a model computes them on the fly for
+    un-annotated task sets.  Negative item values are fine — the DP
+    solvers handle them — so a strongly energy-weighted blend can
+    legitimately prefer "offload nothing".
+
+    Energy enters as the *rate* ``E_i/T_i`` (average watts, one job per
+    period) — the same quantity :func:`decision_energy_rate` reports.
+    Pricing what is reported makes the blend provably sane: plain and
+    blended instances share weights, hence feasible selections, so for
+    any ``energy_weight > 0`` the blended optimum can never have a
+    higher total energy rate than the benefit-only optimum (exchange
+    argument over the two optimalities).  Per-job pricing would break
+    that guarantee — the knapsack couples tasks through capacity, and a
+    short-period task's job energy understates its power draw.
+    """
+
+    model: Optional[EnergyModel] = None
+    benefit_weight: float = 1.0
+    energy_weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.benefit_weight < 0 or self.energy_weight < 0:
+            raise ValueError("objective weights must be non-negative")
+
+    def _energy(self, task: Task, point: BenefitPoint) -> float:
+        if point.energy is not None:
+            return point.energy
+        if self.model is not None:
+            return self.model.point_energy(task, point)
+        return 0.0
+
+    def local_value(self, task: Task) -> float:
+        if isinstance(task, OffloadableTask):
+            local = task.benefit.points[0]
+            benefit = task.benefit.local_benefit * task.weight
+            energy = self._energy(task, local)
+        else:
+            benefit = 0.0
+            energy = (
+                self.model.local_energy(task) if self.model is not None
+                else 0.0
+            )
+        return (
+            self.benefit_weight * benefit
+            - self.energy_weight * energy / task.period
+        )
+
+    def offload_value(
+        self, task: OffloadableTask, point: BenefitPoint
+    ) -> float:
+        benefit = point.benefit * task.weight
+        energy = self._energy(task, point)
+        return (
+            self.benefit_weight * benefit
+            - self.energy_weight * energy / task.period
+        )
+
+
+def decision_energy_rate(
+    tasks: TaskSet,
+    decision: "OffloadingDecision | Mapping[str, float]",
+    model: Optional[EnergyModel] = None,
+) -> float:
+    """Average client power (J/s) implied by a decision: ``Σ E_i(R_i)/T_i``.
+
+    ``decision`` is an :class:`~repro.core.odm.OffloadingDecision` or a
+    plain ``task_id -> R_i`` mapping.  Uses point annotations when
+    present, ``model`` otherwise (0 for unpriced points with no model).
+    """
+    if isinstance(decision, OffloadingDecision):
+        response_times: Mapping[str, float] = decision.response_times
+    else:
+        response_times = decision
+    objective = EnergyObjective(model=model)
+    total = 0.0
+    for task in tasks:
+        r = response_times.get(task.task_id, 0.0)
+        if not isinstance(task, OffloadableTask):
+            if r != 0.0:
+                raise ValueError(
+                    f"{task.task_id} is not offloadable but R_i={r}"
+                )
+            if model is not None:
+                total += model.local_energy(task) / task.period
+            continue
+        point = task.benefit.point_at(r)
+        total += objective._energy(task, point) / task.period
+    return total

@@ -1,0 +1,251 @@
+"""Parameterized scenario generation: one spec → one task set.
+
+A :class:`ScenarioSpec` is the declarative description of a workload
+regime — utilization partition, period model, deadline model, offload
+overheads, benefit shape, energy profile, arrival burstiness.  It is a
+frozen dataclass so axis expansion (``dataclasses.replace``) and
+reporting (``spec.describe()``) are trivial, and so specs can be sent
+to worker processes unchanged.
+
+:func:`generate_scenario` draws one concrete
+:class:`~repro.core.task.TaskSet` from a spec with a caller-supplied
+generator (any :data:`repro.sim.rng.RngLike`), keeping all randomness
+under the SeedSequence discipline.  Structural guarantees (checked by
+the Hypothesis suite in ``tests/scenarios/test_properties.py``):
+
+* ``Σ C_i/T_i ≤ util_cap`` (equality up to per-task clamping);
+* every period lies in ``period_range`` and every deadline satisfies
+  ``deadline_ratio[0]·T ≤ D ≤ T``;
+* benefit functions are valid (non-decreasing, local point first) with
+  response times inside ``response_time_fraction`` of the deadline;
+* every benefit point carries an energy annotation from the spec's
+  energy profile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+import numpy as np
+
+from ..core.benefit import BenefitFunction, BenefitPoint
+from ..core.task import OffloadableTask, TaskSet
+from ..sim.rng import RngLike, as_generator
+from ..workloads.generator import uunifast
+
+__all__ = ["ScenarioSpec", "generate_scenario", "partition_utilization"]
+
+#: Benefit value at normalized level ``frac`` ∈ (0, 1] for each shape.
+BENEFIT_SHAPES = {
+    "concave": lambda frac: math.sqrt(frac),
+    "linear": lambda frac: frac,
+}
+
+UTIL_DISTS = ("uunifast", "uniform", "bimodal", "exponential")
+PERIOD_DISTS = ("log_uniform", "harmonic")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of one workload regime."""
+
+    num_tasks: int = 12
+    #: utilization partition: one of :data:`UTIL_DISTS`
+    util_dist: str = "uunifast"
+    #: target total local utilization (may exceed 1.0: overload regimes)
+    util_cap: float = 0.7
+    #: period model: one of :data:`PERIOD_DISTS`
+    period_dist: str = "log_uniform"
+    period_range: Tuple[float, float] = (0.05, 1.0)
+    #: base period of the harmonic family (periods are ``base · 2^k``)
+    harmonic_base: float = 0.05
+    #: relative deadline ``D = ratio·T`` with ratio uniform in this range
+    deadline_ratio: Tuple[float, float] = (1.0, 1.0)
+    #: ``C_{i,1} = setup_ratio · C_i``
+    setup_ratio: float = 0.3
+    #: ``C_{i,2} = compensation_ratio · C_i``
+    compensation_ratio: float = 1.0
+    #: ``C_{i,3} = post_ratio · C_i``
+    post_ratio: float = 0.1
+    #: §3 extension: a pessimistic server bound exists at the top level
+    guaranteed: bool = False
+    num_benefit_points: int = 4
+    #: benefit response times uniform in ``[lo·D, hi·D]``
+    response_time_fraction: Tuple[float, float] = (0.1, 0.6)
+    benefit_shape: str = "concave"
+    benefit_scale: float = 10.0
+    #: energy annotation profile (see ``repro.scenarios.energy``)
+    energy_profile: str = "balanced"
+    #: Poisson burst intensity (extra admission arrivals per window);
+    #: 0 = steady sporadic arrivals, no burst simulation
+    burst_rate: float = 0.0
+    burst_windows: int = 0
+    #: provenance: ``(axis_name, point_label)`` pairs recorded by the
+    #: matrix expansion; not used by generation itself
+    axis_labels: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_tasks <= 0:
+            raise ValueError("num_tasks must be positive")
+        if self.util_dist not in UTIL_DISTS:
+            raise ValueError(
+                f"unknown util_dist {self.util_dist!r}; one of {UTIL_DISTS}"
+            )
+        if self.util_cap <= 0:
+            raise ValueError("util_cap must be positive")
+        if self.period_dist not in PERIOD_DISTS:
+            raise ValueError(
+                f"unknown period_dist {self.period_dist!r}; "
+                f"one of {PERIOD_DISTS}"
+            )
+        lo, hi = self.period_range
+        if not 0 < lo < hi:
+            raise ValueError("period_range must satisfy 0 < lo < hi")
+        if self.harmonic_base <= 0:
+            raise ValueError("harmonic_base must be positive")
+        dlo, dhi = self.deadline_ratio
+        if not 0 < dlo <= dhi <= 1.0:
+            raise ValueError("deadline_ratio must satisfy 0 < lo <= hi <= 1")
+        if self.setup_ratio <= 0:
+            raise ValueError("setup_ratio must be positive")
+        if self.compensation_ratio <= 0:
+            raise ValueError("compensation_ratio must be positive")
+        if self.post_ratio < 0:
+            raise ValueError("post_ratio must be >= 0")
+        if self.num_benefit_points < 1:
+            raise ValueError("num_benefit_points must be >= 1")
+        flo, fhi = self.response_time_fraction
+        if not 0 < flo < fhi < 1:
+            raise ValueError(
+                "response_time_fraction must satisfy 0 < lo < hi < 1"
+            )
+        if self.benefit_shape not in BENEFIT_SHAPES:
+            raise ValueError(
+                f"unknown benefit_shape {self.benefit_shape!r}; "
+                f"one of {sorted(BENEFIT_SHAPES)}"
+            )
+        if self.benefit_scale <= 0:
+            raise ValueError("benefit_scale must be positive")
+        if self.burst_rate < 0:
+            raise ValueError("burst_rate must be >= 0")
+        if self.burst_windows < 0:
+            raise ValueError("burst_windows must be >= 0")
+
+    def with_labels(
+        self, labels: Tuple[Tuple[str, str], ...]
+    ) -> "ScenarioSpec":
+        return replace(self, axis_labels=tuple(labels))
+
+    def describe(self) -> str:
+        """Compact ``axis=value`` provenance string for reports."""
+        if self.axis_labels:
+            return ",".join(f"{a}={v}" for a, v in self.axis_labels)
+        return (
+            f"util_dist={self.util_dist},u{self.util_cap:g},"
+            f"{self.period_dist},{self.benefit_shape},{self.energy_profile}"
+        )
+
+
+def partition_utilization(
+    rng: RngLike, spec: ScenarioSpec
+) -> "list[float]":
+    """Partition ``spec.util_cap`` over ``spec.num_tasks`` tasks.
+
+    All four distributions return exactly ``num_tasks`` positive values
+    summing to ``util_cap`` (non-UUniFast draws are rescaled to the
+    cap, schedcat's fixed-task-count variant).
+    """
+    rng = as_generator(rng)
+    n, cap = spec.num_tasks, spec.util_cap
+    if spec.util_dist == "uunifast":
+        return uunifast(rng, n, cap)
+    if spec.util_dist == "uniform":
+        raw = rng.uniform(0.1, 1.0, size=n)
+    elif spec.util_dist == "bimodal":
+        heavy = rng.random(n) < 0.3
+        raw = np.where(
+            heavy,
+            rng.uniform(0.5, 0.9, size=n),
+            rng.uniform(0.05, 0.3, size=n),
+        )
+    else:  # exponential
+        raw = rng.exponential(1.0, size=n) + 1e-3
+    return [float(u) * cap / float(raw.sum()) for u in raw]
+
+
+def _draw_periods(
+    rng: np.random.Generator, spec: ScenarioSpec
+) -> "list[float]":
+    lo, hi = spec.period_range
+    if spec.period_dist == "log_uniform":
+        return [
+            float(math.exp(x))
+            for x in rng.uniform(
+                math.log(lo), math.log(hi), size=spec.num_tasks
+            )
+        ]
+    # harmonic: base · 2^k, truncated to the configured range
+    base = max(spec.harmonic_base, lo)
+    max_k = max(0, int(math.floor(math.log2(hi / base))))
+    ks = rng.integers(0, max_k + 1, size=spec.num_tasks)
+    return [float(base * (2.0 ** int(k))) for k in ks]
+
+
+def generate_scenario(spec: ScenarioSpec, rng: RngLike) -> TaskSet:
+    """Draw one concrete task set from ``spec``.
+
+    Energy annotations are attached by the spec's energy profile
+    (:func:`repro.scenarios.energy.attach_energy`), so every benefit
+    point of the result carries ``energy`` and energy-aware objectives
+    can score it without recomputation.
+    """
+    # imported here: energy.py imports ScenarioSpec for typing
+    from .energy import attach_energy
+
+    rng = as_generator(rng)
+    utilizations = partition_utilization(rng, spec)
+    periods = _draw_periods(rng, spec)
+    dlo, dhi = spec.deadline_ratio
+    flo, fhi = spec.response_time_fraction
+    shape = BENEFIT_SHAPES[spec.benefit_shape]
+
+    tasks = TaskSet()
+    for i, (u, period) in enumerate(zip(utilizations, periods)):
+        ratio = float(rng.uniform(dlo, dhi)) if dlo < dhi else dlo
+        deadline = ratio * period
+        wcet = max(u * period, 1e-6)
+        if wcet > 0.95 * deadline:  # extreme draw; keep the task viable
+            wcet = 0.95 * deadline
+        setup = spec.setup_ratio * wcet
+        compensation = spec.compensation_ratio * wcet
+        post = min(spec.post_ratio, spec.compensation_ratio) * wcet
+
+        rs = np.unique(
+            rng.uniform(
+                flo * deadline, fhi * deadline,
+                size=spec.num_benefit_points,
+            )
+        )
+        points = [BenefitPoint(0.0, 0.0, label="local")]
+        for j, r in enumerate(rs, start=1):
+            frac = j / len(rs)
+            points.append(
+                BenefitPoint(float(r), spec.benefit_scale * shape(frac))
+            )
+        bound = float(rs[-1]) if spec.guaranteed else None
+        tasks.add(
+            OffloadableTask(
+                task_id=f"sc{i}",
+                wcet=wcet,
+                period=period,
+                deadline=deadline,
+                setup_time=setup,
+                compensation_time=compensation,
+                post_time=post,
+                benefit=BenefitFunction(points),
+                server_response_bound=bound,
+            )
+        )
+    return attach_energy(tasks, spec.energy_profile)

@@ -124,24 +124,35 @@ class Burst:
     degraded: bool
 
 
-def generate_bursts(config: LoadGenConfig) -> List[Burst]:
+def generate_bursts(config: LoadGenConfig, pool=None) -> List[Burst]:
     """The full, deterministic arrival trace for ``config``.
 
     Task sets rotate through a small pool and estimates come from a
     discrete palette, so identical instances recur — the traffic shape
     the cache and dedup layers exist for.
+
+    ``pool`` optionally supplies the task-set pool directly (a sequence
+    of :class:`~repro.core.task.TaskSet`), letting scenario campaigns
+    (:func:`repro.scenarios.bursts.scenario_pool`) feed the loadgen
+    diverse generated workloads instead of the built-in homogeneous
+    pool.  The arrival process is seeded identically either way.
     """
     streams = RandomStreams(seed=config.seed)
     wl_rng = streams.get("workloads")
     arrivals = streams.get("arrivals")
-    pool = [
-        random_offloading_task_set(
-            wl_rng,
-            num_tasks=config.num_tasks,
-            total_utilization=config.total_utilization,
-        )
-        for _ in range(config.unique_sets)
-    ]
+    if pool is None:
+        pool = [
+            random_offloading_task_set(
+                wl_rng,
+                num_tasks=config.num_tasks,
+                total_utilization=config.total_utilization,
+            )
+            for _ in range(config.unique_sets)
+        ]
+    else:
+        pool = list(pool)
+        if not pool:
+            raise ValueError("explicit task-set pool must be non-empty")
     chaos = config.chaos_schedule()
     bursts: List[Burst] = []
     time = 0.0

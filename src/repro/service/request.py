@@ -70,6 +70,7 @@ def scale_response_times(
             p.setup_time,
             p.compensation_time,
             p.label,
+            p.energy,
         )
         for p in fn.points
     )
@@ -101,6 +102,7 @@ def task_to_dict(task: Task) -> Dict[str, object]:
                     "setup_time": p.setup_time,
                     "compensation_time": p.compensation_time,
                     "label": p.label,
+                    "energy": p.energy,
                 }
                 for p in task.benefit.points
             ],
@@ -134,6 +136,9 @@ def task_from_dict(record: Mapping[str, object]) -> Task:
                 else float(p["compensation_time"])
             ),
             label=str(p.get("label", "")),
+            energy=(
+                None if p.get("energy") is None else float(p["energy"])
+            ),
         )
         for p in record["benefit"]  # type: ignore[union-attr]
     ]

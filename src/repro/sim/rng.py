@@ -18,11 +18,36 @@ is derived from ``(root_seed, stream_name)``.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List
+from typing import Dict, List, Union
 
 import numpy as np
 
-__all__ = ["RandomStreams", "derive_seed", "spawn_streams"]
+__all__ = ["RandomStreams", "as_generator", "derive_seed", "spawn_streams"]
+
+RngLike = Union[np.random.Generator, np.random.SeedSequence, int]
+
+
+def as_generator(rng: RngLike) -> np.random.Generator:
+    """Normalize an RNG-like argument to a ``numpy.random.Generator``.
+
+    Accepts a ``Generator`` (returned as-is), a ``SeedSequence``, or a
+    plain integer seed — the three spellings the SeedSequence discipline
+    allows.  Every public generator entry point funnels its ``rng``
+    argument through here so callers can pass whichever they hold
+    without ad-hoc conversion.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.Generator(np.random.PCG64(rng))
+    if isinstance(rng, (int, np.integer)):
+        return np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence(int(rng)))
+        )
+    raise TypeError(
+        "rng must be a numpy Generator, SeedSequence, or int seed; "
+        f"got {type(rng).__name__}"
+    )
 
 
 def derive_seed(root_seed: int, name: str) -> int:

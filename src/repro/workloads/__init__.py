@@ -1,5 +1,10 @@
 """Workload generation: the paper's §6.2 random model, UUniFast, and
-parameterized generators for the ablation studies."""
+parameterized generators for the ablation studies.
+
+The scenario-campaign generator (:mod:`repro.scenarios`) supersedes
+these for large sweeps; its axes and spec are re-exported here so
+workload consumers have one import surface.
+"""
 
 from .generator import (
     paper_simulation_task_set,
@@ -7,6 +12,23 @@ from .generator import (
     uunifast,
 )
 from .io import dumps, loads, task_set_from_dict, task_set_to_dict
+
+#: Names forwarded from :mod:`repro.scenarios`.  Resolved lazily (PEP
+#: 562): ``repro.scenarios.generator`` imports this package for
+#: :func:`uunifast`, so an eager re-import here would be circular.
+_SCENARIO_EXPORTS = (
+    "ScenarioAxis",
+    "ScenarioSpec",
+    "benefit_shape_axis",
+    "burst_axis",
+    "deadline_axis",
+    "energy_axis",
+    "generate_scenario",
+    "overhead_axis",
+    "period_axis",
+    "util_cap_axis",
+    "util_dist_axis",
+)
 
 __all__ = [
     "paper_simulation_task_set",
@@ -16,4 +38,19 @@ __all__ = [
     "task_set_from_dict",
     "dumps",
     "loads",
+    *_SCENARIO_EXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    if name in _SCENARIO_EXPORTS:
+        from .. import scenarios
+
+        return getattr(scenarios, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(__all__))

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..core.benefit import BenefitFunction, BenefitPoint
 from ..core.task import OffloadableTask, TaskSet
+from ..sim.rng import RngLike, as_generator
 
 __all__ = [
     "paper_simulation_task_set",
@@ -30,7 +31,7 @@ __all__ = [
 
 
 def paper_simulation_task_set(
-    rng: np.random.Generator,
+    rng: RngLike,
     num_tasks: int = 30,
     num_benefit_points: int = 10,
 ) -> TaskSet:
@@ -43,6 +44,7 @@ def paper_simulation_task_set(
     """
     if num_tasks <= 0:
         raise ValueError("num_tasks must be positive")
+    rng = as_generator(rng)
     tasks = TaskSet()
     for i in range(num_tasks):
         # "random values from 0 to 20ms" — exclude 0 (a zero-wcet task is
@@ -73,7 +75,7 @@ def paper_simulation_task_set(
 
 
 def uunifast(
-    rng: np.random.Generator, num_tasks: int, total_utilization: float
+    rng: RngLike, num_tasks: int, total_utilization: float
 ) -> List[float]:
     """Bini–Buttazzo UUniFast: unbiased utilization partition.
 
@@ -84,6 +86,7 @@ def uunifast(
         raise ValueError("num_tasks must be positive")
     if total_utilization <= 0:
         raise ValueError("total_utilization must be positive")
+    rng = as_generator(rng)
     utilizations = []
     remaining = total_utilization
     for i in range(1, num_tasks):
@@ -95,7 +98,7 @@ def uunifast(
 
 
 def random_offloading_task_set(
-    rng: np.random.Generator,
+    rng: RngLike,
     num_tasks: int = 8,
     total_utilization: float = 0.7,
     period_range: Sequence[float] = (0.1, 1.0),
@@ -121,6 +124,7 @@ def random_offloading_task_set(
     """
     if not 0 < setup_ratio:
         raise ValueError("setup_ratio must be positive")
+    rng = as_generator(rng)
     utilizations = uunifast(rng, num_tasks, total_utilization)
     lo_f, hi_f = response_time_fraction
     if not 0 < lo_f < hi_f < 1:

@@ -53,6 +53,8 @@ def _point_to_dict(point: BenefitPoint) -> Dict[str, Any]:
         out["compensation_time"] = point.compensation_time
     if point.label:
         out["label"] = point.label
+    if point.energy is not None:
+        out["energy"] = point.energy
     return out
 
 
@@ -114,6 +116,7 @@ def task_set_from_dict(data: Dict[str, Any]) -> TaskSet:
                     setup_time=p.get("setup_time"),
                     compensation_time=p.get("compensation_time"),
                     label=p.get("label", ""),
+                    energy=p.get("energy"),
                 )
                 for p in record.get("benefit", [])
             ]

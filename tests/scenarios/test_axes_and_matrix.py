@@ -1,0 +1,122 @@
+"""Axis and matrix structure: validation, subsetting, expansion."""
+
+import pytest
+
+from repro.scenarios import (
+    AxisPoint,
+    CampaignMatrix,
+    ScenarioAxis,
+    ScenarioSpec,
+    default_matrix,
+    overhead_axis,
+    smoke_matrix,
+    util_cap_axis,
+    util_dist_axis,
+)
+
+
+class TestAxisPoint:
+    def test_of_builds_sorted_hashable_updates(self):
+        p = AxisPoint.of("x", util_dist="uniform", util_cap=0.9)
+        assert p.updates == (("util_cap", 0.9), ("util_dist", "uniform"))
+        assert p.as_dict() == {"util_dist": "uniform", "util_cap": 0.9}
+        assert hash(p) == hash(AxisPoint.of("x", util_cap=0.9,
+                                            util_dist="uniform"))
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError, match="label"):
+            AxisPoint.of("")
+
+
+class TestScenarioAxis:
+    def test_needs_at_least_one_point(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            ScenarioAxis("empty", ())
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ScenarioAxis(
+                "a",
+                (AxisPoint.of("p", util_cap=0.5),
+                 AxisPoint.of("p", util_cap=0.7)),
+            )
+
+    def test_points_must_cover_same_fields(self):
+        with pytest.raises(ValueError, match="must cover the same fields"):
+            ScenarioAxis(
+                "a",
+                (AxisPoint.of("p", util_cap=0.5, util_dist="uniform"),
+                 AxisPoint.of("q", util_cap=0.7)),
+            )
+
+    def test_labels_preserve_order(self):
+        axis = util_cap_axis((0.5, 0.9, 0.7))
+        assert axis.labels() == ("u0.5", "u0.9", "u0.7")
+        assert len(axis) == 3
+
+    def test_subset_reorders_and_restricts(self):
+        axis = overhead_axis().subset(["guaranteed", "paper"])
+        assert axis.labels() == ("guaranteed", "paper")
+        assert axis.name == "overhead"
+
+    def test_subset_unknown_label(self):
+        with pytest.raises(KeyError, match="no points"):
+            overhead_axis().subset(["nope"])
+
+
+class TestCampaignMatrix:
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate axis names"):
+            CampaignMatrix(
+                base=ScenarioSpec(),
+                axes=(util_cap_axis((0.5,)), util_cap_axis((0.7,))),
+            )
+
+    def test_overlapping_fields_rejected(self):
+        clash = ScenarioAxis(
+            "cap2", (AxisPoint.of("again", util_cap=0.8),)
+        )
+        with pytest.raises(ValueError, match="both set"):
+            CampaignMatrix(
+                base=ScenarioSpec(),
+                axes=(util_cap_axis((0.5,)), clash),
+            )
+
+    def test_expansion_is_full_cross_product(self):
+        matrix = CampaignMatrix(
+            base=ScenarioSpec(num_tasks=4),
+            axes=(util_dist_axis(("uunifast", "bimodal")),
+                  util_cap_axis((0.5, 0.7, 0.9))),
+        )
+        assert matrix.num_cells == 6
+        cells = matrix.cells()
+        assert len(cells) == 6
+        combos = {
+            (spec.util_dist, spec.util_cap) for spec in cells
+        }
+        assert combos == {
+            (d, c)
+            for d in ("uunifast", "bimodal")
+            for c in (0.5, 0.7, 0.9)
+        }
+
+    def test_cells_record_provenance_labels(self):
+        matrix = smoke_matrix()
+        for spec in matrix.cells():
+            assert [a for a, _ in spec.axis_labels] == list(
+                matrix.axis_names()
+            )
+            assert "=" in spec.describe()
+
+    def test_default_matrix_reaches_campaign_scale(self):
+        matrix = default_matrix()
+        assert matrix.num_cells == 1536
+        assert matrix.num_cells >= 1000
+
+    def test_smoke_matrix_is_small_and_bursty(self):
+        matrix = smoke_matrix()
+        assert matrix.num_cells == 16
+        assert matrix.base.burst_rate > 0
+        assert matrix.base.burst_windows > 0
+        caps = {spec.util_cap for spec in matrix.cells()}
+        assert 1.05 in caps  # the overload regime is covered

@@ -1,0 +1,219 @@
+"""Energy model, annotation, objective, and the energy-rate guarantee."""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.odm import OffloadingDecisionManager, build_mckp
+from repro.core.task import Task, TaskSet
+from repro.knapsack import solve_dp
+from repro.runtime.energy import PowerModel
+from repro.scenarios import (
+    ENERGY_PROFILES,
+    EnergyModel,
+    EnergyObjective,
+    ScenarioSpec,
+    attach_energy,
+    decision_energy_rate,
+    generate_scenario,
+)
+from repro.scenarios.energy import resolve_profile
+
+
+class TestEnergyModel:
+    def test_local_energy_is_active_power_times_wcet(self, offload_task):
+        model = EnergyModel(power=PowerModel(active_power=2.0))
+        assert model.local_energy(offload_task) == pytest.approx(
+            2.0 * offload_task.wcet
+        )
+
+    def test_offload_energy_formula(self, offload_task):
+        model = EnergyModel(
+            power=PowerModel(active_power=1.0, tx_power=0.5),
+            listen_power=0.2,
+        )
+        point = offload_task.benefit.points[-1]  # r=0.30, G=5 of 5 -> p=1
+        p = model.success_probability(offload_task, point)
+        assert p == pytest.approx(1.0)
+        expected = (
+            (1.0 + 0.5) * offload_task.setup_time
+            + 0.2 * point.response_time
+            + 1.0 * (p * offload_task.post_time
+                     + (1 - p) * offload_task.compensation_time)
+        )
+        assert model.offload_energy(offload_task, point) == pytest.approx(
+            expected
+        )
+
+    def test_success_probability_normalizes_benefit(self, offload_task):
+        model = EnergyModel()
+        mid = offload_task.benefit.points[1]  # G=2 of max 5
+        assert model.success_probability(offload_task, mid) == (
+            pytest.approx(2.0 / 5.0)
+        )
+
+    def test_guaranteed_point_has_probability_one(self, offload_task):
+        bounded = replace(offload_task, server_response_bound=0.05)
+        model = EnergyModel()
+        for point in bounded.benefit.points[1:]:
+            assert model.success_probability(bounded, point) == 1.0
+
+    def test_point_energy_local_point_prices_local(self, offload_task):
+        model = EnergyModel()
+        local = offload_task.benefit.points[0]
+        assert model.point_energy(offload_task, local) == (
+            pytest.approx(model.local_energy(offload_task))
+        )
+
+
+class TestProfilesAndAttach:
+    def test_known_profiles_resolve(self):
+        for name in ("balanced", "radio_heavy", "cpu_heavy"):
+            assert name in ENERGY_PROFILES
+            assert resolve_profile(name) is ENERGY_PROFILES[name]
+        model = EnergyModel()
+        assert resolve_profile(model) is model
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown energy profile"):
+            resolve_profile("solar")
+
+    def test_attach_energy_prices_every_point(self, small_task_set):
+        priced = attach_energy(small_task_set, "balanced")
+        off = priced["off1"]
+        assert all(p.energy is not None for p in off.benefit.points)
+        # plain tasks pass through untouched
+        assert priced["loc1"] is small_task_set["loc1"]
+
+    def test_attach_energy_keeps_measured_values(self, offload_task):
+        measured = replace(
+            offload_task,
+            benefit=BenefitFunction(
+                [
+                    BenefitPoint(0.0, 1.0, energy=9.0),
+                    BenefitPoint(0.1, 2.0),
+                ]
+            ),
+        )
+        priced = attach_energy(TaskSet([measured]), "balanced")
+        points = priced["off1"].benefit.points
+        assert points[0].energy == 9.0  # measured beats the model
+        assert points[1].energy is not None
+
+
+class TestEnergyObjective:
+    def test_weights_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            EnergyObjective(energy_weight=-1.0)
+
+    def test_zero_energy_weight_matches_plain_reduction(
+        self, small_task_set
+    ):
+        priced = attach_energy(small_task_set, "balanced")
+        plain = build_mckp(priced)
+        blended = build_mckp(
+            priced, objective=EnergyObjective(energy_weight=0.0)
+        )
+        for p_cls, b_cls in zip(plain.classes, blended.classes):
+            for p_item, b_item in zip(p_cls.items, b_cls.items):
+                assert b_item.value == pytest.approx(p_item.value)
+                assert b_item.weight == p_item.weight
+
+    def test_values_price_energy_as_rate(self, offload_task):
+        priced = attach_energy(TaskSet([offload_task]), "balanced")
+        task = priced["off1"]
+        objective = EnergyObjective(benefit_weight=1.0, energy_weight=2.0)
+        point = task.benefit.points[-1]
+        expected = point.benefit * task.weight - 2.0 * (
+            point.energy / task.period
+        )
+        assert objective.offload_value(task, point) == pytest.approx(
+            expected
+        )
+        local = task.benefit.points[0]
+        expected_local = task.benefit.local_benefit * task.weight - 2.0 * (
+            local.energy / task.period
+        )
+        assert objective.local_value(task) == pytest.approx(expected_local)
+
+    def test_objective_never_changes_weights(self, small_task_set):
+        priced = attach_energy(small_task_set, "balanced")
+        plain = build_mckp(priced)
+        blended = build_mckp(
+            priced, objective=EnergyObjective(energy_weight=50.0)
+        )
+        for p_cls, b_cls in zip(plain.classes, blended.classes):
+            assert [i.weight for i in p_cls.items] == (
+                [i.weight for i in b_cls.items]
+            )
+
+
+class TestDecisionEnergyRate:
+    def test_matches_manual_sum(self, offload_task, local_task):
+        model = EnergyModel()
+        tasks = attach_energy(
+            TaskSet([offload_task, local_task]), model
+        )
+        off = tasks["off1"]
+        r = off.benefit.points[-1].response_time
+        rate = decision_energy_rate(
+            tasks, {"off1": r, "loc1": 0.0}, model=model
+        )
+        expected = (
+            off.benefit.points[-1].energy / off.period
+            + model.local_energy(local_task) / local_task.period
+        )
+        assert rate == pytest.approx(expected)
+
+    def test_rejects_offloading_a_plain_task(self, small_task_set):
+        with pytest.raises(ValueError, match="not offloadable"):
+            decision_energy_rate(small_task_set, {"loc1": 0.5})
+
+    def test_accepts_decision_objects(self, small_task_set):
+        priced = attach_energy(small_task_set, "balanced")
+        odm = OffloadingDecisionManager()
+        decision = odm.decide(priced)
+        rate = decision_energy_rate(priced, decision)
+        assert rate == pytest.approx(
+            decision_energy_rate(priced, decision.response_times)
+        )
+
+
+class TestEnergyRateGuarantee:
+    """The exchange-argument invariant the objective's docstring claims:
+
+    plain and blended instances share weights, hence feasible
+    selections; pricing energy as the reported rate then makes the
+    blended optimum's total energy rate <= the benefit-only optimum's.
+    """
+
+    @pytest.mark.parametrize("profile", ["balanced", "radio_heavy"])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_blend_never_increases_energy_rate(self, profile, seed):
+        spec = ScenarioSpec(
+            num_tasks=6, num_benefit_points=3, energy_profile=profile
+        )
+        tasks = generate_scenario(spec, seed)
+        plain = solve_dp(build_mckp(tasks), resolution=2_000)
+        objective = EnergyObjective(
+            benefit_weight=1.0, energy_weight=5.0
+        )
+        blended_instance = build_mckp(tasks, objective=objective)
+        blend = solve_dp(blended_instance, resolution=2_000)
+        assert (plain is None) == (blend is None)
+        if plain is None:
+            return
+        plain_rate = decision_energy_rate(
+            tasks,
+            {c.class_id: float(plain.item_for(c.class_id).tag)
+             for c in blended_instance.classes},
+        )
+        blend_rate = decision_energy_rate(
+            tasks,
+            {c.class_id: float(blend.item_for(c.class_id).tag)
+             for c in blended_instance.classes},
+        )
+        assert blend_rate <= plain_rate + 1e-9
+        assert math.isfinite(blend_rate)

@@ -1,0 +1,131 @@
+"""Scenario generation: distributions, ranges, RNG-input uniformity."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.task import OffloadableTask
+from repro.scenarios import ScenarioSpec, generate_scenario
+from repro.scenarios.generator import UTIL_DISTS, partition_utilization
+from repro.workloads.io import task_set_to_dict
+
+
+class TestPartitionUtilization:
+    @pytest.mark.parametrize("dist", UTIL_DISTS)
+    def test_partitions_sum_to_cap(self, dist):
+        spec = ScenarioSpec(num_tasks=10, util_dist=dist, util_cap=0.8)
+        us = partition_utilization(7, spec)
+        assert len(us) == 10
+        assert all(u > 0 for u in us)
+        assert math.isclose(sum(us), 0.8, rel_tol=1e-9)
+
+    def test_overload_cap_supported(self):
+        spec = ScenarioSpec(num_tasks=6, util_dist="bimodal", util_cap=1.3)
+        assert math.isclose(
+            sum(partition_utilization(0, spec)), 1.3, rel_tol=1e-9
+        )
+
+    def test_unknown_dist_rejected_by_spec(self):
+        with pytest.raises(ValueError, match="util_dist"):
+            ScenarioSpec(util_dist="zipf")
+
+
+class TestGenerateScenario:
+    def test_structure_and_ranges(self):
+        spec = ScenarioSpec(
+            num_tasks=8,
+            util_cap=0.7,
+            deadline_ratio=(0.7, 1.0),
+            period_range=(0.05, 1.0),
+        )
+        tasks = generate_scenario(spec, 42)
+        assert len(tasks) == 8
+        total_util = 0.0
+        for task in tasks:
+            assert isinstance(task, OffloadableTask)
+            assert 0.05 <= task.period <= 1.0
+            assert 0.7 * task.period - 1e-12 <= task.deadline
+            assert task.deadline <= task.period + 1e-12
+            assert task.wcet <= 0.95 * task.deadline + 1e-12
+            total_util += task.wcet / task.period
+        # clamping sheds utilization; the 1e-6 wcet floor can add at
+        # most n·1e-6/min_period back
+        assert total_util <= 0.7 + 1e-3
+
+    def test_benefit_points_inside_deadline_fraction(self):
+        spec = ScenarioSpec(
+            num_tasks=5, response_time_fraction=(0.1, 0.6)
+        )
+        for task in generate_scenario(spec, 3):
+            offload = [p for p in task.benefit.points if not p.is_local]
+            assert offload
+            for p in offload:
+                assert 0.1 * task.deadline <= p.response_time
+                assert p.response_time <= 0.6 * task.deadline
+            benefits = [p.benefit for p in task.benefit.points]
+            assert benefits == sorted(benefits)
+
+    def test_every_point_carries_energy(self):
+        for task in generate_scenario(ScenarioSpec(num_tasks=4), 0):
+            for p in task.benefit.points:
+                assert p.energy is not None
+                assert p.energy >= 0
+
+    def test_guaranteed_spec_sets_server_bound_at_top_level(self):
+        spec = ScenarioSpec(num_tasks=5, guaranteed=True)
+        for task in generate_scenario(spec, 11):
+            top = task.benefit.points[-1].response_time
+            assert task.server_response_bound == pytest.approx(top)
+        plain = generate_scenario(
+            ScenarioSpec(num_tasks=5, guaranteed=False), 11
+        )
+        assert all(t.server_response_bound is None for t in plain)
+
+    def test_harmonic_periods_are_powers_of_two_of_base(self):
+        spec = ScenarioSpec(
+            num_tasks=12,
+            period_dist="harmonic",
+            harmonic_base=0.05,
+            period_range=(0.05, 1.0),
+        )
+        for task in generate_scenario(spec, 5):
+            k = math.log2(task.period / 0.05)
+            assert abs(k - round(k)) < 1e-9
+            assert 0.05 <= task.period <= 1.0
+
+    def test_rng_inputs_are_interchangeable(self):
+        """int, SeedSequence and Generator seeds produce identical sets."""
+        spec = ScenarioSpec(num_tasks=6)
+        by_int = generate_scenario(spec, 123)
+        by_ss = generate_scenario(spec, np.random.SeedSequence(123))
+        by_gen = generate_scenario(
+            spec,
+            np.random.Generator(np.random.PCG64(np.random.SeedSequence(123))),
+        )
+        assert (
+            task_set_to_dict(by_int)
+            == task_set_to_dict(by_ss)
+            == task_set_to_dict(by_gen)
+        )
+
+    def test_rejects_garbage_rng(self):
+        with pytest.raises(TypeError):
+            generate_scenario(ScenarioSpec(), "not-an-rng")
+
+
+class TestWorkloadsReExport:
+    def test_scenario_names_reachable_from_workloads(self):
+        import repro.workloads as workloads
+
+        assert workloads.ScenarioSpec is ScenarioSpec
+        assert workloads.generate_scenario is generate_scenario
+        axis = workloads.util_cap_axis((0.5,))
+        assert axis.labels() == ("u0.5",)
+        assert "ScenarioSpec" in dir(workloads)
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.workloads as workloads
+
+        with pytest.raises(AttributeError):
+            workloads.does_not_exist

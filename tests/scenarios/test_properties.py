@@ -1,0 +1,119 @@
+"""Hypothesis properties of the scenario generator and energy objective.
+
+Three families:
+
+* **structural** — every generated scenario respects its spec: the
+  utilization partition honors the cap, periods stay in range,
+  deadlines obey the ratio model, benefit functions are monotone with
+  response times inside the configured deadline fraction;
+* **admission equivalence** — an energy-blended objective changes MCKP
+  item *values* only, so the blended instance must have exactly the
+  plain instance's weights, and the blend must never admit a set the
+  plain ODM + Theorem 3 would reject (nor vice versa);
+* **guarantee** — any selection either objective produces satisfies the
+  Theorem 3 demand-rate bound.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.odm import build_mckp
+from repro.knapsack import solve_dp
+from repro.scenarios import (
+    EnergyObjective,
+    ScenarioSpec,
+    generate_scenario,
+)
+from repro.scenarios.generator import (
+    PERIOD_DISTS,
+    UTIL_DISTS,
+    partition_utilization,
+)
+
+specs = st.builds(
+    ScenarioSpec,
+    num_tasks=st.integers(min_value=2, max_value=8),
+    util_dist=st.sampled_from(UTIL_DISTS),
+    util_cap=st.floats(min_value=0.2, max_value=1.2),
+    period_dist=st.sampled_from(PERIOD_DISTS),
+    deadline_ratio=st.sampled_from([(1.0, 1.0), (0.7, 1.0), (0.5, 0.9)]),
+    guaranteed=st.booleans(),
+    num_benefit_points=st.integers(min_value=1, max_value=4),
+    benefit_shape=st.sampled_from(["concave", "linear"]),
+    energy_profile=st.sampled_from(["balanced", "radio_heavy"]),
+)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(spec=specs, seed=seeds)
+def test_partition_respects_cap(spec, seed):
+    us = partition_utilization(seed, spec)
+    assert len(us) == spec.num_tasks
+    assert all(u > 0 for u in us)
+    assert math.isclose(sum(us), spec.util_cap, rel_tol=1e-9)
+
+
+@given(spec=specs, seed=seeds)
+@settings(max_examples=60)
+def test_generated_scenarios_respect_spec(spec, seed):
+    tasks = generate_scenario(spec, seed)
+    assert len(tasks) == spec.num_tasks
+    lo, hi = spec.period_range
+    dlo, _ = spec.deadline_ratio
+    flo, fhi = spec.response_time_fraction
+    for task in tasks:
+        assert lo - 1e-12 <= task.period <= hi + 1e-12
+        assert dlo * task.period - 1e-9 <= task.deadline
+        assert task.deadline <= task.period + 1e-12
+        assert 0 < task.wcet <= 0.95 * task.deadline + 1e-12
+        benefits = [p.benefit for p in task.benefit.points]
+        assert benefits == sorted(benefits)  # monotone in response time
+        for p in task.benefit.points:
+            assert p.energy is not None and p.energy >= 0.0
+            if not p.is_local:
+                assert flo * task.deadline - 1e-12 <= p.response_time
+                assert p.response_time <= fhi * task.deadline + 1e-12
+        if spec.guaranteed:
+            assert task.server_response_bound is not None
+
+
+@given(
+    spec=specs,
+    seed=seeds,
+    energy_weight=st.floats(min_value=0.0, max_value=50.0),
+)
+@settings(max_examples=60)
+def test_energy_objective_preserves_admissibility(
+    spec, seed, energy_weight
+):
+    """The blend may trade benefit for energy, never deadlines: the
+    blended instance shares the plain instance's weights, both solve to
+    the same feasibility, and any optimum obeys Theorem 3."""
+    tasks = generate_scenario(spec, seed)
+    plain = build_mckp(tasks)
+    blended = build_mckp(
+        tasks,
+        objective=EnergyObjective(
+            benefit_weight=1.0, energy_weight=energy_weight
+        ),
+    )
+    assert blended.capacity == plain.capacity
+    for p_cls, b_cls in zip(plain.classes, blended.classes):
+        assert p_cls.class_id == b_cls.class_id
+        assert [i.weight for i in p_cls.items] == (
+            [i.weight for i in b_cls.items]
+        )
+        assert [i.tag for i in p_cls.items] == (
+            [i.tag for i in b_cls.items]
+        )
+
+    plain_sel = solve_dp(plain, resolution=1_000)
+    blend_sel = solve_dp(blended, resolution=1_000)
+    assert (plain_sel is None) == (blend_sel is None)
+    for selection, instance in (
+        (plain_sel, plain), (blend_sel, blended)
+    ):
+        if selection is not None:
+            assert selection.total_weight <= instance.capacity + 1e-9

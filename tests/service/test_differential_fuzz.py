@@ -196,3 +196,49 @@ def test_batched_sharded_path_is_bit_identical_to_serial(
         assert_bit_identical(selection, baseline, instance)
     for selection, baseline, instance in zip(second_pass, serial, corpus):
         assert_bit_identical(selection, baseline, instance)
+
+
+def test_energy_odm_matches_brute_force_enumerator():
+    """Differential pin for the energy-aware ODM path.
+
+    Blended instances carry negative and non-integer item values, which
+    none of the corpus above exercises; enumerate every selection of a
+    quantized copy (the exact feasible region the DP sees) and demand
+    agreement on feasibility and the optimal value.  A mildly
+    overloaded sub-corpus keeps infeasible outcomes in the mix.
+    """
+    import math
+
+    from repro.core.odm import build_mckp
+    from repro.knapsack import solve_brute_force
+    from repro.scenarios import EnergyObjective, ScenarioSpec
+    from repro.scenarios.campaign import _quantized_copy
+    from repro.scenarios.generator import generate_scenario
+
+    objective = EnergyObjective(benefit_weight=1.0, energy_weight=8.0)
+    specs = (
+        ScenarioSpec(num_tasks=4, num_benefit_points=2, util_cap=0.9,
+                     energy_profile="radio_heavy"),
+        ScenarioSpec(num_tasks=4, num_benefit_points=2, util_cap=1.4),
+    )
+    feasible = infeasible = 0
+    for seed in range(30):
+        for spec in specs:
+            tasks = generate_scenario(spec, seed)
+            instance = build_mckp(tasks, objective=objective)
+            fast = solve_dp(instance, resolution=RESOLUTION)
+            exact = solve_brute_force(
+                _quantized_copy(instance, RESOLUTION)
+            )
+            assert (fast is None) == (exact is None)
+            if fast is None:
+                infeasible += 1
+                continue
+            feasible += 1
+            assert math.isclose(
+                fast.total_value, exact.total_value,
+                rel_tol=1e-9, abs_tol=1e-9,
+            )
+    # the pin only means something if both outcomes actually occurred
+    assert feasible > 0
+    assert infeasible > 0

@@ -1,0 +1,87 @@
+"""Schema regression for every committed ``BENCH_*.json`` artifact.
+
+The BENCH files are the repo's performance/correctness ledger: CI jobs
+and the README point at their fields, so a key silently renamed or
+dropped breaks downstream readers long after the producing PR merged.
+This suite walks the repo root and pins, per artifact, the top-level
+keys a consumer may rely on — and refuses BENCH files it has never
+heard of, so adding an artifact forces adding its schema here.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+#: artifact name -> top-level keys consumers rely on (subset check:
+#: producers may add keys, never drop or rename these).
+REQUIRED_KEYS = {
+    "BENCH_perf.json": {
+        "benchmark", "seed", "workers", "quick",
+        "dp", "dp_speedup_target", "fig3", "fig3_speedup_target",
+        "estimator", "differential", "differential_ok", "targets_met",
+    },
+    "BENCH_service.json": {
+        "requests", "admitted", "rejected", "shed", "bursts",
+        "rungs_seen", "breaker_opened", "breaker_reclosed",
+        "anomaly_count", "anomalies", "ok", "latency", "stats",
+    },
+    "BENCH_fleet.json": {
+        "requests", "admitted", "rejected", "shed", "bursts",
+        "replicas", "router", "gossip", "served_by", "recovery",
+        "chaos_events", "link_chaos", "remote_trips", "shed_rate",
+        "dedup_hits", "duplicate_deliveries", "unrouted",
+        "rungs_seen", "breaker_opened", "breaker_reclosed",
+        "anomaly_count", "anomalies", "ok", "latency", "wall_seconds",
+    },
+    "BENCH_observability.json": {
+        "benchmark", "headline", "profile", "stress", "estimator",
+        "emit_ns_per_event", "emit_plus_fold_ns_per_event",
+        "guard_ns_per_check", "overhead_disabled_aa", "overhead_enabled",
+        "max_enabled_overhead", "max_stress_overhead", "within_budget",
+    },
+    "BENCH_campaign.json": {
+        "schema", "seed", "cells", "replications", "instances",
+        "resolution", "energy_weight", "workers", "mode", "axis_names",
+        "totals", "marginals", "audit", "ok",
+        "serial_parallel_identical", "wall_seconds",
+    },
+}
+
+
+def bench_files():
+    return sorted(ROOT.glob("BENCH_*.json"))
+
+
+def test_every_registered_artifact_is_committed():
+    present = {p.name for p in bench_files()}
+    assert present == set(REQUIRED_KEYS), (
+        "BENCH artifacts and the schema registry drifted apart; "
+        f"on disk: {sorted(present)}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(REQUIRED_KEYS))
+def test_artifact_keeps_its_required_keys(name):
+    path = ROOT / name
+    data = json.loads(path.read_text())
+    missing = REQUIRED_KEYS[name] - set(data)
+    assert not missing, f"{name} lost required keys: {sorted(missing)}"
+
+
+def test_campaign_artifact_invariants():
+    """The campaign ledger must record a clean, verified run."""
+    data = json.loads((ROOT / "BENCH_campaign.json").read_text())
+    assert data["schema"] == 1
+    assert data["instances"] >= 1000
+    assert data["ok"] is True
+    assert data["audit"]["anomaly_count"] == 0
+    assert data["serial_parallel_identical"] is True
+    assert set(data["marginals"]) == set(data["axis_names"])
+    for axis, per in data["marginals"].items():
+        assert per, f"axis {axis} has no marginals"
+        assert sum(m["instances"] for m in per.values()) == (
+            data["instances"]
+        )
