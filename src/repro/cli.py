@@ -241,6 +241,7 @@ def _build_observed_run(args: argparse.Namespace):
         solver=args.solver,
         seed=args.seed,
         observability=obs,
+        cache=True,
     )
     report = system.run(horizon=args.horizon)
     return obs, report
@@ -315,6 +316,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .observability import Observability
     from .service import BatchPolicy, ODMService, serve_tcp
 
+    if args.uvloop:
+        try:
+            import uvloop  # type: ignore
+
+            uvloop.install()
+            print("event loop: uvloop")
+        except ImportError:
+            print(
+                "warning: --uvloop requested but uvloop is not "
+                "installed; using the stdlib event loop"
+            )
+
     service = ODMService(
         resolution=args.resolution,
         workers=args.workers,
@@ -351,6 +364,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         mean_burst_size=args.burst_size,
         unique_sets=args.unique_sets,
         num_tasks=args.tasks,
+        churn_rate=args.churn,
     )
 
     async def drive():
@@ -366,7 +380,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                     stats=service.stats,
                     resolution=args.resolution,
                 )
-        client = ServiceClient(args.host, args.port)
+        client = ServiceClient(args.host, args.port, protocol=args.protocol)
         async with client:
             report = await run_loadgen(
                 client.submit, config,
@@ -374,6 +388,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 close_window=client.close_window,
                 stats=client.stats,
                 resolution=args.resolution,
+                submit_batch=(
+                    client.submit_batch if args.batch_admit else None
+                ),
             )
             if args.shutdown:
                 await client.shutdown()
@@ -720,10 +737,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve",
-        help="online ODM admission service (newline-delimited JSON/TCP)",
+        help=(
+            "online ODM admission service (binary-framed or "
+            "newline-JSON TCP, negotiated per message)"
+        ),
     )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7741)
+    p.add_argument(
+        "--uvloop", action="store_true",
+        help="use uvloop when installed (falls back with a warning)",
+    )
     p.add_argument("--max-batch", type=int, default=16)
     p.add_argument(
         "--max-wait", type=float, default=0.002,
@@ -754,6 +778,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--unique-sets", type=int, default=10)
     p.add_argument("--tasks", type=int, default=5)
     p.add_argument("--resolution", type=int, default=20_000)
+    p.add_argument(
+        "--protocol", choices=("binary", "json"), default="binary",
+        help="wire framing for the TCP client (json = legacy v1)",
+    )
+    p.add_argument(
+        "--batch-admit", action="store_true",
+        help=(
+            "submit each burst as one admit_batch op instead of "
+            "per-request admits (TCP mode only)"
+        ),
+    )
+    p.add_argument(
+        "--churn", type=float, default=0.0,
+        help=(
+            "probability a burst perturbs one task weight, creating "
+            "near-miss instances for the delta solver (0..1)"
+        ),
+    )
     p.add_argument(
         "--out", help="write the report JSON (BENCH_service.json) to PATH"
     )

@@ -199,7 +199,12 @@ class OffloadingDecisionManager:
         self.objective = objective
         if cache is True:
             cache = SolverCache()
-        self.cache: Optional[SolverCache] = cache or None
+        elif cache is False:
+            cache = None
+        # NOTE: not ``cache or None`` — an *empty* SolverCache has
+        # ``len() == 0`` and is falsy, which used to silently disable
+        # caching for every ``cache=True`` caller.
+        self.cache: Optional[SolverCache] = cache
 
     def decide(self, tasks: TaskSet) -> OffloadingDecision:
         """Compute offloading decisions for ``tasks``.

@@ -67,6 +67,10 @@ class RouterConfig:
     """
 
     policy: str = "least_loaded"
+    #: wire protocol the router's replica clients speak: the v2
+    #: length-prefixed binary framing (default) or legacy v1
+    #: newline-JSON ("json") for mixed-fleet rollouts
+    protocol: str = "binary"
     request_timeout: float = 5.0
     max_attempts: int = 3
     backoff_base: float = 0.02
@@ -83,6 +87,11 @@ class RouterConfig:
             raise ValueError(
                 f"unknown routing policy {self.policy!r}; "
                 f"known: {ROUTING_POLICIES}"
+            )
+        if self.protocol not in ("binary", "json"):
+            raise ValueError(
+                f"protocol must be 'binary' or 'json', "
+                f"got {self.protocol!r}"
             )
         if self.request_timeout <= 0:
             raise ValueError("request_timeout must be positive")
@@ -198,6 +207,7 @@ class FleetRouter:
                 spec.host,
                 spec.port,
                 default_timeout=self.config.request_timeout,
+                protocol=self.config.protocol,
             )
             await client.connect()
             self._clients[replica_id] = client

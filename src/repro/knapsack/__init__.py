@@ -10,6 +10,13 @@ the tests and the solver ablation.
 from .branch_bound import solve_branch_bound
 from .brute_force import solve_brute_force
 from .cache import SolverCache, canonical_instance_key
+from .delta import (
+    DeltaResult,
+    DeltaState,
+    common_prefix,
+    instance_class_keys,
+    solve_delta,
+)
 from .dp import solve_dp, solve_dp_reference
 from .heu_oe import solve_heu_oe
 from .mckp import (
@@ -39,6 +46,11 @@ __all__ = [
     "lp_efficient_frontier",
     "solve_dp",
     "solve_dp_reference",
+    "solve_delta",
+    "DeltaState",
+    "DeltaResult",
+    "common_prefix",
+    "instance_class_keys",
     "solve_heu_oe",
     "solve_branch_bound",
     "solve_brute_force",

@@ -20,6 +20,24 @@ stored choices onto the caller's instance**, so the returned
 
 The cache is bounded LRU (default 256 entries) and records hit/miss
 counters for observability.
+
+Near-miss probing
+-----------------
+Exact keying means one churned task invalidates the entry — yet the
+work done solving the old instance is mostly still valid.  The cache
+therefore keeps a second, much smaller LRU of resumable
+:class:`~repro.knapsack.delta.DeltaState` objects.  On an exact miss a
+caller may :meth:`~SolverCache.probe_delta` for the state sharing the
+longest resumable class prefix with its instance and warm-start
+:func:`~repro.knapsack.delta.solve_delta` from it — bit-identical to a
+scratch solve, so the exact-keying correctness story is unchanged.
+Successful probes count as ``near_hits`` (a subset of ``misses``: the
+exact probe already missed by then).
+
+All counters can be mirrored live into a
+:class:`~repro.observability.metrics.MetricsRegistry` via
+:meth:`~SolverCache.bind_metrics`, which is how ``repro metrics`` and
+the service stats endpoint see them.
 """
 
 from __future__ import annotations
@@ -27,6 +45,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from .delta import DeltaState, common_prefix, instance_class_keys
 from .mckp import MCKPInstance, Selection
 
 __all__ = ["SolverCache", "canonical_instance_key"]
@@ -65,32 +84,91 @@ class SolverCache:
     cached too.
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "_entries")
+    __slots__ = (
+        "maxsize",
+        "delta_maxstates",
+        "hits",
+        "misses",
+        "near_hits",
+        "_entries",
+        "_delta_states",
+        "_metrics",
+        "_metrics_prefix",
+    )
 
-    def __init__(self, maxsize: int = 256) -> None:
+    def __init__(
+        self, maxsize: int = 256, delta_maxstates: int = 8
+    ) -> None:
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
+        if delta_maxstates < 0:
+            raise ValueError("delta_maxstates must be non-negative")
         self.maxsize = int(maxsize)
+        self.delta_maxstates = int(delta_maxstates)
         self.hits = 0
         self.misses = 0
+        self.near_hits = 0
         # key -> choices dict or None (infeasible)
         self._entries: "OrderedDict[Tuple, Optional[Dict[str, int]]]" = (
             OrderedDict()
         )
+        # key -> resumable DP state for near-miss warm starts
+        self._delta_states: "OrderedDict[Tuple, DeltaState]" = (
+            OrderedDict()
+        )
+        self._metrics = None
+        self._metrics_prefix = "solver_cache"
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._delta_states.clear()
+        self._refresh_gauges()
 
     @property
     def stats(self) -> Dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "near_hits": self.near_hits,
             "entries": len(self._entries),
+            "delta_states": len(self._delta_states),
         }
+
+    # ------------------------------------------------------------------
+    # metrics mirroring
+    # ------------------------------------------------------------------
+    def bind_metrics(self, registry, prefix: str = "solver_cache") -> None:
+        """Mirror counters into ``registry`` live from now on.
+
+        Counts accumulated before binding are back-filled so the
+        registry's ``<prefix>.hits`` / ``.misses`` / ``.near_hits``
+        counters always equal :attr:`stats`; ``<prefix>.entries`` /
+        ``.delta_states`` gauges track occupancy.
+        """
+        self._metrics = registry
+        self._metrics_prefix = prefix
+        registry.counter(f"{prefix}.hits").inc(self.hits)
+        registry.counter(f"{prefix}.misses").inc(self.misses)
+        registry.counter(f"{prefix}.near_hits").inc(self.near_hits)
+        self._refresh_gauges()
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                f"{self._metrics_prefix}.{name}"
+            ).inc()
+
+    def _refresh_gauges(self) -> None:
+        if self._metrics is None:
+            return
+        prefix = self._metrics_prefix
+        self._metrics.gauge(f"{prefix}.entries").set(len(self._entries))
+        self._metrics.gauge(f"{prefix}.delta_states").set(
+            len(self._delta_states)
+        )
 
     @staticmethod
     def key_for(
@@ -113,9 +191,11 @@ class SolverCache:
         """
         if key in self._entries:
             self.hits += 1
+            self._count("hits")
             self._entries.move_to_end(key)
             return True, self._entries[key]
         self.misses += 1
+        self._count("misses")
         return False, None
 
     def store(
@@ -126,6 +206,49 @@ class SolverCache:
         self._entries.move_to_end(key)
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+        self._refresh_gauges()
+
+    # ------------------------------------------------------------------
+    # near-miss delta states
+    # ------------------------------------------------------------------
+    def store_state(self, key: Tuple, state: Optional[DeltaState]) -> None:
+        """Keep ``state`` for future warm starts (LRU, small bound)."""
+        if state is None or self.delta_maxstates == 0:
+            return
+        self._delta_states[key] = state
+        self._delta_states.move_to_end(key)
+        while len(self._delta_states) > self.delta_maxstates:
+            self._delta_states.popitem(last=False)
+        self._refresh_gauges()
+
+    def probe_delta(
+        self, instance: MCKPInstance, resolution: int
+    ) -> Optional[DeltaState]:
+        """Best warm-start state for ``instance``, or ``None``.
+
+        Scans the (small, bounded) delta-state table for the state
+        sharing the longest resumable class prefix — at least one layer
+        — with ``instance`` at this ``resolution``.  A successful probe
+        counts as a near-hit and refreshes the state's LRU recency.
+        """
+        if not self._delta_states:
+            return None
+        keys = instance_class_keys(instance)
+        best_key = None
+        best_state = None
+        best_prefix = 0
+        for key, state in self._delta_states.items():
+            prefix = common_prefix(
+                state, keys, instance.capacity, resolution
+            )
+            if prefix > best_prefix:
+                best_key, best_state, best_prefix = key, state, prefix
+        if best_state is None:
+            return None
+        self.near_hits += 1
+        self._count("near_hits")
+        self._delta_states.move_to_end(best_key)
+        return best_state
 
     def solve(
         self,

@@ -115,27 +115,42 @@ def _zero_capacity_selection(instance: MCKPInstance) -> Optional[Selection]:
     return Selection(instance, choices)
 
 
+def _prepare_class(
+    items, unit: float, resolution: int
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """One class's dominance-pruned ``(orig_idx, weight_units, values)``.
+
+    Items whose quantized weight exceeds the whole capacity can never be
+    chosen and are dropped; a class left empty is infeasible (``None``).
+    Depends only on the item tuple, ``unit`` and ``resolution`` — not on
+    the class position or id — which is what lets the delta solver reuse
+    prepared arrays across instances keyed by item content alone.
+    """
+    kept = prune_dominated(items)
+    orig = np.array([idx for idx, _ in kept], dtype=np.int64)
+    wu = _quantize_weights(
+        np.array([item.weight for _, item in kept]), unit
+    )
+    values = np.array([item.value for _, item in kept])
+    fits = wu <= resolution
+    if not np.any(fits):
+        return None
+    return (orig[fits], wu[fits], values[fits])
+
+
 def _prepare_classes(
     instance: MCKPInstance, unit: float, resolution: int
 ) -> Optional[List[Tuple[np.ndarray, np.ndarray, np.ndarray]]]:
     """Per class: dominance-pruned ``(orig_idx, weight_units, values)``.
 
-    Items whose quantized weight exceeds the whole capacity can never be
-    chosen and are dropped; a class left empty makes the instance
-    infeasible (``None``).
+    A class left empty makes the instance infeasible (``None``).
     """
     prepared = []
     for cls in instance.classes:
-        kept = prune_dominated(cls.items)
-        orig = np.array([idx for idx, _ in kept], dtype=np.int64)
-        wu = _quantize_weights(
-            np.array([item.weight for _, item in kept]), unit
-        )
-        values = np.array([item.value for _, item in kept])
-        fits = wu <= resolution
-        if not np.any(fits):
+        prep = _prepare_class(cls.items, unit, resolution)
+        if prep is None:
             return None
-        prepared.append((orig[fits], wu[fits], values[fits]))
+        prepared.append(prep)
     return prepared
 
 
@@ -253,16 +268,50 @@ def solve_dp(
     prepared = _prepare_classes(instance, unit, resolution)
     if prepared is None:
         return None
+    return _run_dp(
+        instance,
+        prepared,
+        resolution,
+        np.zeros(1, dtype=np.int64),
+        np.zeros(1),
+        [],
+        None,
+        0,
+    )
+
+
+def _run_dp(
+    instance: MCKPInstance,
+    prepared: List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    resolution: int,
+    front_w: np.ndarray,
+    front_v: np.ndarray,
+    history: List[Tuple[np.ndarray, np.ndarray]],
+    frontiers: Optional[List[Tuple[np.ndarray, np.ndarray]]],
+    start: int,
+) -> Optional[Selection]:
+    """The DP engine behind :func:`solve_dp`, resumable at any layer.
+
+    ``front_w``/``front_v`` is the sparse Pareto frontier after folding
+    classes ``0..start-1``; ``history`` must already hold those layers'
+    ``(item, parent)`` records.  A cold solve passes the singleton zero
+    frontier with ``start=0``.  The warm-start delta solver
+    (:mod:`repro.knapsack.delta`) passes a cached prefix instead — both
+    paths then execute *this exact code*, which is what makes
+    delta-solve bit-for-bit identical to a from-scratch solve.
+
+    ``history`` (and ``frontiers`` when not ``None``) are mutated in
+    place: one ``(item, parent)`` — resp. ``(front_w, front_v)`` —
+    entry is appended per sparse layer folded, so after the call they
+    describe every sparse layer and can be cached for future resumes.
+    Dense-fallback layers are not recorded (not resumable).
+    """
     n = len(prepared)
     candidate_limit = _SPARSE_CANDIDATE_FACTOR * (resolution + 1)
 
     # --- sparse frontier phase -----------------------------------------
-    front_w = np.zeros(1, dtype=np.int64)
-    front_v = np.zeros(1)
-    # history[k] = (item index, parent point index) per frontier point
-    history: List[Tuple[np.ndarray, np.ndarray]] = []
     dense_from = n
-    for k in range(n):
+    for k in range(start, n):
         _, wu, values = prepared[k]
         if wu.shape[0] * front_w.shape[0] > candidate_limit:
             dense_from = k
@@ -272,6 +321,8 @@ def solve_dp(
             return None
         front_w, front_v, item, parent = step
         history.append((item, parent))
+        if frontiers is not None:
+            frontiers.append((front_w, front_v))
 
     if dense_from == n:
         # Frontier values increase with weight: the last point is the

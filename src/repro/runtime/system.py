@@ -105,6 +105,8 @@ class OffloadingSystem:
         self.odm = OffloadingDecisionManager(
             solver=solver, cache=cache, **solver_kwargs
         )
+        if self.observability.is_enabled and self.odm.cache is not None:
+            self.odm.cache.bind_metrics(self.observability.metrics)
         self._decision: Optional[OffloadingDecision] = None
 
     # ------------------------------------------------------------------

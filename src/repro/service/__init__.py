@@ -13,8 +13,10 @@ package turns it into an *online admission service*:
   process-sharded batch solving (bit-identical to serial);
 * :mod:`repro.service.degradation` — the exact → heuristic →
   local-only ladder (cheaper under load, never less safe);
+* :mod:`repro.service.protocol` — the length-prefixed binary wire
+  framing (v2), coexisting with legacy newline-JSON per message;
 * :mod:`repro.service.server` — the :class:`ODMService` orchestrator
-  and the TCP JSON-lines front-end behind ``repro serve``;
+  and the dual-protocol TCP front-end behind ``repro serve``;
 * :mod:`repro.service.loadgen` — reproducible bursty traffic with an
   online differential audit, behind ``repro loadgen``.
 
@@ -31,6 +33,16 @@ from .loadgen import (
     LoadGenReport,
     generate_bursts,
     run_loadgen,
+)
+from .protocol import (
+    FLAG_MSGPACK,
+    HAVE_MSGPACK,
+    HEADER,
+    MAGIC,
+    WIRE_VERSION,
+    FrameError,
+    decode_frame,
+    encode_frame,
 )
 from .request import (
     REQUEST_STATUSES,
@@ -70,6 +82,14 @@ __all__ = [
     "ConnectionLost",
     "TcpServerControl",
     "serve_tcp",
+    "FrameError",
+    "FLAG_MSGPACK",
+    "HAVE_MSGPACK",
+    "HEADER",
+    "MAGIC",
+    "WIRE_VERSION",
+    "decode_frame",
+    "encode_frame",
     "LoadGenConfig",
     "LoadGenReport",
     "ServiceClient",

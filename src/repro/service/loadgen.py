@@ -32,9 +32,18 @@ from __future__ import annotations
 
 import asyncio
 import json
-from dataclasses import dataclass, field
-from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import (
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from ..core.task import TaskSet
 from ..faults.injectors import FaultSchedule
 from ..sim.rng import RandomStreams
 from ..workloads.generator import random_offloading_task_set
@@ -84,10 +93,18 @@ class LoadGenConfig:
     probes_per_burst: int = 3
     audit: bool = True
     max_anomalies: int = 32
+    #: per-request probability of *churning* the drawn task set: one
+    #: task's benefit weight is re-scaled, producing a near-miss
+    #: variant of a pooled instance — the mostly-stable-population
+    #: serving pattern the delta solver exists for.  Weight scales MCKP
+    #: item values only, so churn never alters admissibility.
+    churn_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.bursts < 1:
             raise ValueError("bursts must be >= 1")
+        if not 0.0 <= self.churn_rate <= 1.0:
+            raise ValueError("churn_rate must be in [0, 1]")
         if self.mean_burst_size < 1:
             raise ValueError("mean_burst_size must be >= 1")
         if self.unique_sets < 1:
@@ -122,6 +139,22 @@ class Burst:
     time: float
     requests: Tuple[AdmissionRequest, ...]
     degraded: bool
+
+
+def _churn_task_set(tasks: TaskSet, rng) -> TaskSet:
+    """One near-miss mutation: re-scale one task's benefit weight.
+
+    The weight multiplies MCKP item *values* only (never weights), so
+    the churned set is always valid, shares every other class with its
+    ancestor, and differs in exactly one — the canonical delta-solve
+    near miss.  Deterministic given the caller's stream state.
+    """
+    items = list(tasks)
+    index = int(rng.integers(len(items)))
+    task = items[index]
+    factor = 0.8 + 0.4 * float(rng.random())
+    items[index] = replace(task, weight=task.weight * factor)
+    return TaskSet(items)
 
 
 def generate_bursts(config: LoadGenConfig, pool=None) -> List[Burst]:
@@ -165,6 +198,11 @@ def generate_bursts(config: LoadGenConfig, pool=None) -> List[Burst]:
         requests = []
         for _ in range(size):
             tasks = pool[int(arrivals.integers(len(pool)))]
+            if (
+                config.churn_rate > 0.0
+                and float(arrivals.random()) < config.churn_rate
+            ):
+                tasks = _churn_task_set(tasks, arrivals)
             profile = ESTIMATE_PALETTE[
                 int(arrivals.integers(len(ESTIMATE_PALETTE)))
             ]
@@ -254,6 +292,9 @@ class LoadGenReport:
 # driving
 # ----------------------------------------------------------------------
 SubmitFn = Callable[[AdmissionRequest], Awaitable[AdmissionResponse]]
+SubmitBatchFn = Callable[
+    [Sequence[AdmissionRequest]], Awaitable[List[AdmissionResponse]]
+]
 #: Health-surface callbacks may be sync (bound service methods) or
 #: async (ServiceClient protocol ops); results are awaited when needed.
 OutcomeFn = Callable[[str, bool, float], object]
@@ -274,20 +315,28 @@ async def run_loadgen(
     stats: Optional[Callable[[], Dict[str, object]]] = None,
     resolution: int = 20_000,
     serial_baseline: bool = True,
+    submit_batch: Optional[SubmitBatchFn] = None,
 ) -> LoadGenReport:
     """Drive the full arrival trace through ``submit`` and audit it.
 
     ``record_outcome``/``close_window``/``stats`` are the service's
     health surface — bound methods for in-process runs, protocol ops
     for :class:`ServiceClient` runs; any may be ``None`` (skipped).
+    When ``submit_batch`` is given, each burst goes out as one
+    vectorized call (the wire's ``admit_batch`` op) instead of one
+    pipelined ``submit`` per request — same responses, fewer round
+    trips.
     """
     bursts = generate_bursts(config)
     report = LoadGenReport(bursts=len(bursts))
 
     for index, burst in enumerate(bursts):
-        responses = await asyncio.gather(
-            *(submit(request) for request in burst.requests)
-        )
+        if submit_batch is not None:
+            responses = list(await submit_batch(burst.requests))
+        else:
+            responses = await asyncio.gather(
+                *(submit(request) for request in burst.requests)
+            )
         for request, response in zip(burst.requests, responses):
             report.requests += 1
             if response.status == "admitted":

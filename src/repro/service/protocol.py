@@ -1,0 +1,159 @@
+"""Length-prefixed binary wire framing for the ODM service (wire v2).
+
+Frame layout (struct-packed, big-endian)::
+
+    0      1      2        3        4               8
+    +------+------+--------+--------+---------------+------------ - -
+    | 'O'  | 'D'  | version| flags  | payload length| payload ...
+    +------+------+--------+--------+---------------+------------ - -
+      magic (2B)     u8       u8         u32           length bytes
+
+* ``magic`` is the ASCII pair ``OD``.  A JSON text can never begin
+  with ``O`` (values start with ``{ [ " digit t f n`` or whitespace),
+  so a server reading a connection byte-by-byte can tell a v2 frame
+  from a legacy v1 newline-JSON line from the *first byte alone* —
+  which is how one port serves both protocols with per-message
+  granularity (mixed-version pipelining on a single connection works).
+* ``version`` is :data:`WIRE_VERSION`; the version byte of every frame
+  is validated, so a future v3 client fails loudly instead of being
+  mis-parsed.  Legacy newline-JSON is retroactively "v1" — it has no
+  header at all.
+* ``flags`` bit 0 (:data:`FLAG_MSGPACK`) selects the payload codec:
+  msgpack when set, compact JSON (no whitespace, UTF-8) when clear.
+  msgpack is an *optional* dependency: when the module is missing,
+  :data:`HAVE_MSGPACK` is False, encoding with ``codec="msgpack"``
+  raises, and a received msgpack frame produces a structured error —
+  never a crash.
+* ``length`` is the payload byte count.  Receivers enforce their own
+  maximum and can skip an oversized frame *exactly* (the length is
+  known), keeping the connection usable — unlike v1, where an
+  oversized line forces a scan for the next newline.
+
+The payload of every frame is one JSON-able record — the same
+``{"op": ...}`` dicts v1 sends — so the two protocols differ only in
+framing, which is what the golden tests in
+``tests/service/test_protocol.py`` pin byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Optional, Tuple
+
+try:  # optional accelerator; the wire format works without it
+    import msgpack  # type: ignore
+
+    HAVE_MSGPACK = True
+except ImportError:  # pragma: no cover - exercised where msgpack exists
+    msgpack = None  # type: ignore
+    HAVE_MSGPACK = False
+
+__all__ = [
+    "FrameError",
+    "HAVE_MSGPACK",
+    "HEADER",
+    "FLAG_MSGPACK",
+    "MAGIC",
+    "WIRE_VERSION",
+    "decode_frame",
+    "decode_header",
+    "decode_payload",
+    "encode_frame",
+    "encode_payload",
+]
+
+MAGIC = b"OD"
+WIRE_VERSION = 2
+FLAG_MSGPACK = 0x01
+
+#: magic(2s) + version(B) + flags(B) + payload length(I), big-endian.
+HEADER = struct.Struct(">2sBBI")
+
+
+class FrameError(ValueError):
+    """A frame violated the wire format (bad magic/version/codec)."""
+
+
+def encode_payload(
+    record: Dict[str, object], codec: str = "json"
+) -> Tuple[int, bytes]:
+    """Serialize ``record`` → ``(flags, payload_bytes)``."""
+    if codec == "msgpack":
+        if not HAVE_MSGPACK:
+            raise FrameError(
+                "msgpack codec requested but msgpack is not installed"
+            )
+        return FLAG_MSGPACK, msgpack.packb(record, use_bin_type=True)
+    if codec != "json":
+        raise FrameError(f"unknown codec {codec!r}")
+    return 0, json.dumps(record, separators=(",", ":")).encode("utf-8")
+
+
+def decode_payload(flags: int, payload: bytes) -> Dict[str, object]:
+    """Deserialize one frame payload according to its ``flags``."""
+    if flags & FLAG_MSGPACK:
+        if not HAVE_MSGPACK:
+            raise FrameError(
+                "peer sent a msgpack payload but msgpack is not installed"
+            )
+        try:
+            record = msgpack.unpackb(payload, raw=False)
+        except Exception as exc:  # attacker-controlled bytes
+            raise FrameError(f"bad msgpack payload: {exc}") from exc
+    else:
+        try:
+            record = json.loads(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            # UnicodeDecodeError: json.loads decodes bytes itself, so
+            # non-UTF-8 payloads fail before JSON parsing even starts
+            raise FrameError(f"bad JSON payload: {exc}") from exc
+    if not isinstance(record, dict):
+        raise FrameError("frame payload must encode an object")
+    return record
+
+
+def encode_frame(
+    record: Dict[str, object], codec: str = "json"
+) -> bytes:
+    """One complete v2 frame for ``record``."""
+    flags, payload = encode_payload(record, codec)
+    return (
+        HEADER.pack(MAGIC, WIRE_VERSION, flags, len(payload)) + payload
+    )
+
+
+def decode_header(header: bytes) -> Tuple[int, int, int]:
+    """Parse and validate a packed header → ``(version, flags, length)``."""
+    if len(header) != HEADER.size:
+        raise FrameError(
+            f"short header: {len(header)} bytes, need {HEADER.size}"
+        )
+    magic, version, flags, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise FrameError(
+            f"unsupported wire version {version} "
+            f"(this build speaks {WIRE_VERSION})"
+        )
+    return version, flags, length
+
+
+def decode_frame(
+    buffer: bytes,
+) -> Tuple[Optional[Dict[str, object]], int]:
+    """Decode one frame from the head of ``buffer``.
+
+    Returns ``(record, bytes_consumed)``; ``(None, 0)`` when the buffer
+    holds only an incomplete frame.  Malformed frames raise
+    :class:`FrameError`.  This is the synchronous mirror of the
+    server's streaming reader, used by the golden/adversarial tests.
+    """
+    if len(buffer) < HEADER.size:
+        return None, 0
+    _, flags, length = decode_header(buffer[: HEADER.size])
+    end = HEADER.size + length
+    if len(buffer) < end:
+        return None, 0
+    return decode_payload(flags, buffer[HEADER.size:end]), end

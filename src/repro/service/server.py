@@ -19,10 +19,12 @@ into an online admission service:
 The solver layer runs in a worker thread (``asyncio.to_thread``), so
 the event loop keeps accepting and shedding while a batch solves.
 
-:func:`serve_tcp` exposes the service over newline-delimited JSON on a
-TCP socket — the transport behind ``repro serve`` / ``repro loadgen``.
-Operations: ``admit``, ``outcome``, ``window``, ``stats``,
-``shutdown``.
+:func:`serve_tcp` exposes the service on a TCP socket — the transport
+behind ``repro serve`` / ``repro loadgen`` — speaking both the legacy
+newline-delimited JSON (v1) and the length-prefixed binary framing of
+:mod:`repro.service.protocol` (v2), negotiated per message.
+Operations: ``admit``, ``admit_batch``, ``outcome``, ``window``,
+``gossip``, ``stats``, ``shutdown``.
 """
 
 from __future__ import annotations
@@ -32,7 +34,7 @@ import json
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.schedulability import OffloadAssignment, theorem3_test
 from ..core.task import OffloadableTask
@@ -42,6 +44,16 @@ from ..parallel import SweepRunner
 from ..runtime.health import CircuitBreaker, HealthMonitor
 from .batching import BatchPolicy, MicroBatcher
 from .degradation import DegradationLevel, DegradationPolicy
+from .protocol import (
+    FLAG_MSGPACK,
+    HAVE_MSGPACK,
+    HEADER,
+    MAGIC,
+    FrameError,
+    decode_header,
+    decode_payload,
+    encode_frame,
+)
 from .request import (
     AdmissionRequest,
     AdmissionResponse,
@@ -166,7 +178,11 @@ class ODMService:
             degradation_policy or DegradationPolicy()
         )
         if cache is True:
-            cache = SolverCache()
+            # a deeper-than-default warm-start index: churned online
+            # traffic produces many distinct near-miss instances, and
+            # each retained state turns a future pool round-trip into
+            # an in-process frontier resume
+            cache = SolverCache(delta_maxstates=64)
         elif cache is False:
             cache = None
         self.cache: Optional[SolverCache] = cache
@@ -202,6 +218,10 @@ class ODMService:
         self._m_latency = reg.histogram("service.solve_latency")
         self._m_dedup = reg.counter("service.dedup_hits")
         self._m_gossip = reg.counter("service.gossip_absorbed")
+        if self.cache is not None:
+            # surface hit/miss/near-hit counters in the same registry
+            # the rest of the service reports through
+            self.cache.bind_metrics(reg)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -768,6 +788,11 @@ class ODMService:
         }
         if self.cache is not None:
             snapshot["cache"] = self.cache.stats
+        snapshot["delta"] = {
+            "solves": self.shard_solver.delta_solves,
+            "layers_reused": self.shard_solver.delta_layers_reused,
+            "inline_batches": self.shard_solver.inline_batches,
+        }
         return snapshot
 
 
@@ -832,40 +857,76 @@ async def serve_tcp(
     max_line: int = 1 << 20,
     control: Optional[TcpServerControl] = None,
 ) -> None:
-    """Serve ``service`` over newline-delimited JSON until shutdown.
+    """Serve ``service`` over TCP until shutdown — v1 *and* v2 wire.
 
-    Each request line is ``{"op": ...}``; ops: ``admit`` (an
-    :class:`AdmissionRequest` under ``"request"``), ``outcome``
-    (``server``/``ok``/``time``), ``window`` (close one health window),
-    ``gossip`` (absorb an optional peer ``beacon``, reply with ours),
-    ``stats``, ``shutdown``.  Responses echo an ``op`` so pipelined
-    clients can demultiplex.  ``duration`` is a safety cap: the server
-    exits cleanly after that many seconds even without a shutdown op
-    (CI never hangs on a crashed client).
+    One port, two framings, negotiated per message by the first byte:
+    a :data:`~repro.service.protocol.MAGIC` byte opens a v2
+    length-prefixed binary frame (struct header + compact-JSON or
+    msgpack payload, see :mod:`repro.service.protocol`); anything else
+    is a legacy v1 newline-delimited JSON line (no JSON text starts
+    with ``O``, so the dispatch is unambiguous).  Replies always use
+    the framing of the request they answer, so legacy clients keep
+    working unchanged and mixed-version pipelining on one connection
+    is well-defined.
 
-    Input hardening: malformed JSON, non-object records, unknown ops,
-    invalid op arguments and oversized lines (> ``max_line`` bytes) each
-    produce a structured ``{"op": "error"}`` reply and a
-    ``service.wire_error`` trace event on that connection — never a
-    killed connection task.
+    Records are ``{"op": ...}``; ops: ``admit`` (an
+    :class:`AdmissionRequest` under ``"request"``), ``admit_batch`` (a
+    list under ``"requests"``, answered by one vectorized
+    ``batch_response``), ``outcome`` (``server``/``ok``/``time``),
+    ``window`` (close one health window), ``gossip`` (absorb an
+    optional peer ``beacon``, reply with ours), ``stats``,
+    ``shutdown``.  Responses echo an ``op`` so pipelined clients can
+    demultiplex.  ``duration`` is a safety cap: the server exits
+    cleanly after that many seconds even without a shutdown op (CI
+    never hangs on a crashed client).
+
+    Input hardening: malformed JSON, non-object records, unknown ops
+    and invalid op arguments each produce a structured
+    ``{"op": "error"}`` reply and a ``service.wire_error`` trace event
+    — never a killed connection task.  An oversized v1 line
+    (> ``max_line`` bytes) is scanned past; an oversized v2 frame is
+    skipped *exactly* (its length is declared) — both keep the
+    connection usable.  Only an unparseable v2 header (bad magic or
+    version) closes the connection: binary garbage cannot be resynced.
     """
     done = asyncio.Event()
     if control is not None:
         control._done = done
+    reg = service.observability.metrics
+    m_lines = reg.counter("service.wire_lines")
+    m_frames = reg.counter("service.wire_frames")
 
     async def handle(reader, writer) -> None:
         lock = asyncio.Lock()
         if control is not None:
             control._writers.add(writer)
 
-        async def reply(payload: Dict[str, object]) -> None:
-            async with lock:
-                writer.write(
-                    json.dumps(payload).encode("utf-8") + b"\n"
+        async def reply(
+            payload: Dict[str, object], mode: Optional[int]
+        ) -> None:
+            """Send one record framed like the request it answers.
+
+            ``mode`` is ``None`` for v1 (JSON line) or the v2 frame's
+            flag byte; the msgpack bit is honoured only when msgpack is
+            actually importable here (a JSON reply to a msgpack frame
+            is still a valid v2 frame — flags say so).
+            """
+            if mode is None:
+                data = json.dumps(payload).encode("utf-8") + b"\n"
+            else:
+                codec = (
+                    "msgpack"
+                    if (mode & FLAG_MSGPACK) and HAVE_MSGPACK
+                    else "json"
                 )
+                data = encode_frame(payload, codec=codec)
+            async with lock:
+                writer.write(data)
                 await writer.drain()
 
-        async def wire_error(message: str) -> None:
+        async def wire_error(
+            message: str, mode: Optional[int]
+        ) -> None:
             bus = service.observability.bus
             if bus.enabled:
                 bus.emit(
@@ -873,53 +934,144 @@ async def serve_tcp(
                     service._outcome_clock,
                     error=message[:200],
                 )
-            await reply({"op": "error", "error": message})
+            await reply({"op": "error", "error": message}, mode)
 
-        async def admit(record: Dict[str, object]) -> None:
+        async def admit(
+            record: Dict[str, object], mode: Optional[int]
+        ) -> None:
             try:
                 request = AdmissionRequest.from_dict(record["request"])
             except (KeyError, TypeError, ValueError) as exc:
-                await wire_error(f"bad admit request: {exc}")
+                await wire_error(f"bad admit request: {exc}", mode)
                 return
             response = await service.submit(request)
-            await reply({"op": "response", **response.to_dict()})
+            await reply({"op": "response", **response.to_dict()}, mode)
+
+        async def admit_batch(
+            record: Dict[str, object], mode: Optional[int]
+        ) -> None:
+            raw = record.get("requests")
+            if not isinstance(raw, (list, tuple)) or not raw:
+                await wire_error(
+                    "admit_batch needs a non-empty 'requests' list", mode
+                )
+                return
+            try:
+                requests = [
+                    AdmissionRequest.from_dict(item) for item in raw
+                ]
+            except (KeyError, TypeError, ValueError) as exc:
+                await wire_error(f"bad admit_batch request: {exc}", mode)
+                return
+            responses = await asyncio.gather(
+                *(service.submit(request) for request in requests)
+            )
+            await reply(
+                {
+                    "op": "batch_response",
+                    "responses": [r.to_dict() for r in responses],
+                },
+                mode,
+            )
+
+        async def skip_exactly(length: int) -> bool:
+            """Discard ``length`` declared payload bytes; False on EOF."""
+            remaining = length
+            while remaining > 0:
+                chunk = await reader.read(min(remaining, 1 << 16))
+                if not chunk:
+                    return False
+                remaining -= len(chunk)
+            return True
 
         tasks: List[asyncio.Task] = []
         try:
             while not done.is_set():
                 try:
-                    # readuntil (not readline): on overrun, readline
-                    # silently eats the junk when its newline is already
-                    # buffered, leaving the drain to swallow the *next*
-                    # valid request — readuntil leaves the buffer alone
-                    line = await reader.readuntil(b"\n")
-                except asyncio.IncompleteReadError as exc:
-                    line = exc.partial  # EOF; final unterminated record
-                except asyncio.LimitOverrunError:
-                    if not await _drain_oversized_line(reader):
+                    first = await reader.readexactly(1)
+                except asyncio.IncompleteReadError:
+                    break  # clean EOF between messages
+                if first == MAGIC[:1]:
+                    # ---- v2 length-prefixed binary frame ----
+                    try:
+                        header = first + await reader.readexactly(
+                            HEADER.size - 1
+                        )
+                    except asyncio.IncompleteReadError:
+                        break  # truncated header at EOF
+                    try:
+                        _, flags, length = decode_header(header)
+                    except FrameError as exc:
+                        # bad magic/version: framing is lost for good
+                        await wire_error(str(exc), 0)
                         break
-                    await wire_error(
-                        f"line exceeds maximum length ({max_line} bytes)"
-                    )
-                    continue
-                if not line:
-                    break
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    await wire_error(str(exc))
-                    continue
-                if not isinstance(record, dict):
-                    await wire_error(
-                        "request must be a JSON object with an 'op' field"
-                    )
-                    continue
+                    if length > max_line:
+                        if not await skip_exactly(length):
+                            break
+                        await wire_error(
+                            f"frame exceeds maximum length "
+                            f"({max_line} bytes)",
+                            flags,
+                        )
+                        continue
+                    try:
+                        payload = await reader.readexactly(length)
+                    except asyncio.IncompleteReadError:
+                        break  # truncated payload at EOF
+                    try:
+                        record = decode_payload(flags, payload)
+                    except FrameError as exc:
+                        await wire_error(str(exc), flags)
+                        continue
+                    mode: Optional[int] = flags
+                    m_frames.inc()
+                else:
+                    # ---- legacy v1 newline-JSON line ----
+                    try:
+                        # readuntil (not readline): on overrun, readline
+                        # silently eats the junk when its newline is
+                        # already buffered, leaving the drain to swallow
+                        # the *next* valid request — readuntil leaves
+                        # the buffer alone
+                        line = first + await reader.readuntil(b"\n")
+                    except asyncio.IncompleteReadError as exc:
+                        # EOF; final unterminated record
+                        line = first + exc.partial
+                    except asyncio.LimitOverrunError:
+                        if not await _drain_oversized_line(reader):
+                            break
+                        await wire_error(
+                            f"line exceeds maximum length "
+                            f"({max_line} bytes)",
+                            None,
+                        )
+                        continue
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        await wire_error(str(exc), None)
+                        continue
+                    if not isinstance(record, dict):
+                        await wire_error(
+                            "request must be a JSON object with an "
+                            "'op' field",
+                            None,
+                        )
+                        continue
+                    mode = None
+                    m_lines.inc()
                 op = record.get("op")
                 if op == "admit":
-                    tasks.append(asyncio.create_task(admit(record)))
+                    tasks.append(
+                        asyncio.create_task(admit(record, mode))
+                    )
+                elif op == "admit_batch":
+                    tasks.append(
+                        asyncio.create_task(admit_batch(record, mode))
+                    )
                 elif op == "outcome":
                     try:
                         service.record_outcome(
@@ -928,15 +1080,16 @@ async def serve_tcp(
                             record.get("time"),
                         )
                     except (KeyError, TypeError, ValueError) as exc:
-                        await wire_error(f"bad outcome: {exc}")
+                        await wire_error(f"bad outcome: {exc}", mode)
                         continue
-                    await reply({"op": "ack"})
+                    await reply({"op": "ack"}, mode)
                 elif op == "window":
                     await reply(
                         {
                             "op": "window",
                             "breakers": service.close_health_window(),
-                        }
+                        },
+                        mode,
                     )
                 elif op == "gossip":
                     beacon = record.get("beacon")
@@ -948,18 +1101,19 @@ async def serve_tcp(
                             TypeError,
                             ValueError,
                         ) as exc:
-                            await wire_error(f"bad beacon: {exc}")
+                            await wire_error(f"bad beacon: {exc}", mode)
                             continue
                     await reply(
-                        {"op": "gossip", "beacon": service.beacon()}
+                        {"op": "gossip", "beacon": service.beacon()},
+                        mode,
                     )
                 elif op == "stats":
-                    await reply({"op": "stats", **service.stats()})
+                    await reply({"op": "stats", **service.stats()}, mode)
                 elif op == "shutdown":
-                    await reply({"op": "bye"})
+                    await reply({"op": "bye"}, mode)
                     done.set()
                 else:
-                    await wire_error(f"unknown op {op!r}")
+                    await wire_error(f"unknown op {op!r}", mode)
         except (ConnectionError, OSError):
             pass  # peer vanished mid-read/write; nothing to answer
         finally:
@@ -1002,10 +1156,21 @@ async def serve_tcp(
 # pipelined JSON-lines client
 # ----------------------------------------------------------------------
 class ServiceClient:
-    """Async JSON-lines client for :func:`serve_tcp`.
+    """Async client for :func:`serve_tcp` — v2 binary by default.
+
+    ``protocol="binary"`` (default) speaks the length-prefixed v2
+    framing of :mod:`repro.service.protocol` (``codec="msgpack"``
+    selects the msgpack payload codec when that library is installed;
+    the default compact JSON needs nothing).  ``protocol="json"``
+    reproduces the legacy v1 newline-JSON client byte-for-byte — the
+    regression pin in the protocol tests drives this mode against a
+    current server.  Replies are sniffed per message, so either client
+    mode works against any server and mixed pipelining demultiplexes
+    cleanly.
 
     Pipelines ``admit`` ops (responses are demultiplexed by
-    ``request_id``) and exposes the health surface as plain calls, so
+    ``request_id``), batches whole bursts via :meth:`submit_batch`,
+    and exposes the health surface as plain calls, so
     :func:`repro.service.loadgen.run_loadgen` can drive a remote
     service exactly like an in-process one.
 
@@ -1023,10 +1188,27 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 7741,
         default_timeout: Optional[float] = None,
+        protocol: str = "binary",
+        codec: str = "json",
     ) -> None:
+        if protocol not in ("binary", "json"):
+            raise ValueError(
+                f"protocol must be 'binary' or 'json', got {protocol!r}"
+            )
+        if codec not in ("json", "msgpack"):
+            raise ValueError(
+                f"codec must be 'json' or 'msgpack', got {codec!r}"
+            )
+        if codec == "msgpack" and not HAVE_MSGPACK:
+            raise ValueError(
+                "codec='msgpack' requires the msgpack package, "
+                "which is not installed"
+            )
         self.host = host
         self.port = port
         self.default_timeout = default_timeout
+        self.protocol = protocol
+        self.codec = codec
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._lock = asyncio.Lock()
@@ -1091,18 +1273,46 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # receive loop
     # ------------------------------------------------------------------
-    async def _dispatch(self) -> None:
+    async def _read_record(self) -> Optional[Dict[str, object]]:
+        """One reply record, whichever framing the server used.
+
+        ``None`` means clean EOF; a garbled v1 line is skipped (stream
+        still framed by newlines); a garbled v2 frame raises
+        :class:`~repro.service.protocol.FrameError` (framing is lost).
+        """
         assert self._reader is not None
+        while True:
+            try:
+                first = await self._reader.readexactly(1)
+            except asyncio.IncompleteReadError:
+                return None
+            if first == MAGIC[:1]:
+                header = first + await self._reader.readexactly(
+                    HEADER.size - 1
+                )
+                _, flags, length = decode_header(header)
+                payload = await self._reader.readexactly(length)
+                return decode_payload(flags, payload)
+            try:
+                line = first + await self._reader.readuntil(b"\n")
+            except asyncio.IncompleteReadError as exc:
+                line = first + exc.partial
+                if not line.strip():
+                    return None
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # garbled reply line; keep the stream alive
+            if isinstance(record, dict):
+                return record
+
+    async def _dispatch(self) -> None:
         cause: Optional[BaseException] = None
         try:
             while True:
-                line = await self._reader.readline()
-                if not line:
+                record = await self._read_record()
+                if record is None:
                     break
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # garbled reply line; keep the stream alive
                 if record.get("op") == "response":
                     future = self._pending.pop(
                         str(record["request_id"]), None
@@ -1141,11 +1351,13 @@ class ServiceClient:
             raise self._lost
         if self._writer is None:
             raise ConnectionLost("client is not connected")
+        if self.protocol == "binary":
+            data = encode_frame(payload, codec=self.codec)
+        else:
+            data = json.dumps(payload).encode("utf-8") + b"\n"
         try:
             async with self._lock:
-                self._writer.write(
-                    json.dumps(payload).encode("utf-8") + b"\n"
-                )
+                self._writer.write(data)
                 await self._writer.drain()
         except (ConnectionError, OSError) as exc:
             if isinstance(exc, ConnectionLost):
@@ -1205,6 +1417,42 @@ class ServiceClient:
                 if future.done():
                     self._pending.pop(request.request_id, None)
         return AdmissionResponse.from_dict(record)
+
+    async def submit_batch(
+        self,
+        requests: Sequence[AdmissionRequest],
+        timeout: Optional[float] = None,
+    ) -> List[AdmissionResponse]:
+        """Admit a whole burst in one round trip (``admit_batch`` op).
+
+        The server answers with a single vectorized ``batch_response``
+        carrying one response per request *in request order* — one
+        write, one read, one reply frame, however large the burst.
+        """
+        if not requests:
+            return []
+        record = await self._call(
+            {
+                "op": "admit_batch",
+                "requests": [r.to_dict() for r in requests],
+            },
+            timeout=timeout,
+        )
+        if record.get("op") != "batch_response":
+            raise ConnectionLost(
+                f"expected batch_response, got {record.get('op')!r}: "
+                f"{record.get('error', '')}"
+            )
+        responses = [
+            AdmissionResponse.from_dict(item)
+            for item in record.get("responses") or []
+        ]
+        if len(responses) != len(requests):
+            raise ConnectionLost(
+                f"batch_response carried {len(responses)} responses "
+                f"for {len(requests)} requests"
+            )
+        return responses
 
     async def record_outcome(
         self,

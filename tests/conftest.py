@@ -1,6 +1,9 @@
 """Shared fixtures for the test suite.
 
-Also hosts two suite-wide guards:
+Also hosts the shared MCKP churn strategies (instances as mutable class
+lists plus shrinking-friendly add/remove/modify op sequences) used by
+the delta-solver metamorphic suite and the service differential fuzz,
+and two suite-wide guards:
 
 * **Hypothesis profiles** — ``ci`` (derandomized, no deadline) for the
   tier-1 matrix, ``dev`` (default) for local runs.  CI selects with
@@ -15,14 +18,16 @@ Also hosts two suite-wide guards:
 
 import ast
 from pathlib import Path
-from typing import List
+from typing import List, Sequence, Tuple
 
 import numpy as np
 import pytest
 from hypothesis import settings
+from hypothesis import strategies as st
 
 from repro.core.benefit import BenefitFunction, BenefitPoint
 from repro.core.task import OffloadableTask, Task, TaskSet
+from repro.knapsack import MCKPClass, MCKPInstance, MCKPItem
 from repro.sim.engine import Simulator
 from repro.vision.tasks import table1_task_set
 
@@ -89,6 +94,83 @@ def scan_rng_discipline(root: Path) -> List[str]:
                     f"{rel}:{node.lineno}: default_rng() without a seed"
                 )
     return violations
+
+
+# ----------------------------------------------------------------------
+# shared MCKP churn strategies
+#
+# Used by the delta-solver metamorphic suite
+# (tests/knapsack/test_delta.py) and the service differential fuzz.  The
+# op encoding is deliberately shrinking-friendly: indices are small
+# unconstrained integers applied modulo the current length, so Hypothesis
+# can shrink any op in isolation without invalidating the sequence.
+# ----------------------------------------------------------------------
+
+#: Integer-valued floats so optimal values compare exactly with ``==``.
+mckp_item_values = st.integers(min_value=0, max_value=30).map(float)
+#: Up to 1.5x the default capacity so some items — occasionally whole
+#: classes — are unfittable, covering the infeasible delta paths.
+mckp_item_weights = st.floats(
+    min_value=0.0, max_value=30.0, allow_nan=False, allow_infinity=False
+)
+
+CHURN_CAPACITY = 20.0
+
+
+@st.composite
+def mckp_class_items(draw) -> Tuple[MCKPItem, ...]:
+    """The ``(value, weight)`` item tuple of one MCKP class."""
+    size = draw(st.integers(min_value=1, max_value=4))
+    return tuple(
+        MCKPItem(
+            value=draw(mckp_item_values), weight=draw(mckp_item_weights)
+        )
+        for _ in range(size)
+    )
+
+
+@st.composite
+def churn_ops(draw):
+    """One add/remove/modify churn operation on a class list.
+
+    ``("add", position, items)`` inserts a class, ``("remove", index)``
+    deletes one, ``("modify", index, items)`` replaces one's items.
+    Positions/indices wrap modulo the list length at application time,
+    so every drawn op is valid against every intermediate state.
+    """
+    kind = draw(st.sampled_from(("add", "remove", "modify")))
+    if kind == "remove":
+        return ("remove", draw(st.integers(min_value=0, max_value=7)))
+    index = draw(st.integers(min_value=0, max_value=7))
+    return (kind, index, draw(mckp_class_items()))
+
+
+def apply_churn_op(class_items: List[Tuple[MCKPItem, ...]], op):
+    """Apply one churn op in place; no-op removes/modifies on empty."""
+    kind = op[0]
+    if kind == "add":
+        class_items.insert(op[1] % (len(class_items) + 1), op[2])
+    elif kind == "remove":
+        if class_items:
+            class_items.pop(op[1] % len(class_items))
+    else:  # modify
+        if class_items:
+            class_items[op[1] % len(class_items)] = op[2]
+    return class_items
+
+
+def build_churned_instance(
+    class_items: Sequence[Tuple[MCKPItem, ...]],
+    capacity: float = CHURN_CAPACITY,
+) -> MCKPInstance:
+    """An MCKP instance over ``class_items`` with positional class ids."""
+    return MCKPInstance(
+        classes=tuple(
+            MCKPClass(f"c{index}", tuple(items))
+            for index, items in enumerate(class_items)
+        ),
+        capacity=capacity,
+    )
 
 
 @pytest.fixture

@@ -8,6 +8,7 @@ from repro.knapsack import (
     MCKPItem,
     SolverCache,
     canonical_instance_key,
+    solve_delta,
     solve_dp,
 )
 
@@ -73,7 +74,13 @@ class TestSolverCache:
         first = cache.solve("dp", solver, _instance(), resolution=100)
         second = cache.solve("dp", solver, _instance(), resolution=100)
         assert len(calls) == 1
-        assert cache.stats == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats == {
+            "hits": 1,
+            "misses": 1,
+            "near_hits": 0,
+            "entries": 1,
+            "delta_states": 0,
+        }
         assert second.choices == first.choices
         assert second.total_value == first.total_value
 
@@ -138,3 +145,109 @@ class TestSolverCache:
     def test_invalid_maxsize_rejected(self):
         with pytest.raises(ValueError):
             SolverCache(maxsize=0)
+
+    def test_invalid_delta_maxstates_rejected(self):
+        with pytest.raises(ValueError):
+            SolverCache(delta_maxstates=-1)
+
+
+class TestDeltaStates:
+    def _state_for(self, cache, instance, resolution=100):
+        result = solve_delta(instance, resolution=resolution)
+        key = cache.key_for("dp", instance, resolution=resolution)
+        cache.store_state(key, result.state)
+        return key, result
+
+    def test_probe_returns_best_prefix_state(self):
+        cache = SolverCache()
+        short = _instance()
+        longer = MCKPInstance(
+            classes=short.classes
+            + (MCKPClass("c2", (MCKPItem(value=3.0, weight=1.0),)),),
+            capacity=short.capacity,
+        )
+        self._state_for(cache, short)
+        _, long_result = self._state_for(cache, longer)
+        # shares a 3-class prefix with ``longer`` but only 2 with
+        # ``short`` — the probe must pick the strictly longer prefix
+        churned = MCKPInstance(
+            classes=longer.classes
+            + (MCKPClass("c3", (MCKPItem(value=8.0, weight=2.0),)),),
+            capacity=longer.capacity,
+        )
+        probed = cache.probe_delta(churned, resolution=100)
+        assert probed is long_result.state
+        assert cache.near_hits == 1
+
+    def test_probe_miss_on_unrelated_instance(self):
+        cache = SolverCache()
+        self._state_for(cache, _instance())
+        stranger = MCKPInstance(
+            classes=(MCKPClass("z", (MCKPItem(value=1.0, weight=9.0),)),),
+            capacity=3.0,
+        )
+        assert cache.probe_delta(stranger, resolution=100) is None
+        assert cache.near_hits == 0
+
+    def test_state_table_is_lru_bounded(self):
+        cache = SolverCache(delta_maxstates=2)
+        for capacity in (5.0, 6.0, 7.0):
+            self._state_for(cache, _instance(capacity=capacity))
+        assert cache.stats["delta_states"] == 2
+
+    def test_zero_maxstates_disables_storage(self):
+        cache = SolverCache(delta_maxstates=0)
+        self._state_for(cache, _instance())
+        assert cache.stats["delta_states"] == 0
+        assert cache.probe_delta(_instance(), resolution=100) is None
+
+
+class TestMetricsMirroring:
+    def test_registry_always_agrees_with_stats(self):
+        """The satellite contract: ``repro metrics`` sees exactly the
+        numbers :attr:`SolverCache.stats` reports — including counts
+        accumulated *before* binding (back-filled), exact hits and
+        misses, near-hit probes, and the occupancy gauges."""
+        from repro.observability.metrics import MetricsRegistry
+
+        cache = SolverCache()
+        cache.solve("dp", solve_dp, _instance())  # pre-bind miss
+
+        registry = MetricsRegistry()
+        cache.bind_metrics(registry)
+
+        def assert_mirrored():
+            stats = cache.stats
+            for counter in ("hits", "misses", "near_hits"):
+                assert registry.value(
+                    f"solver_cache.{counter}"
+                ) == stats[counter]
+            assert registry.value("solver_cache.entries") == stats[
+                "entries"
+            ]
+            assert registry.value("solver_cache.delta_states") == stats[
+                "delta_states"
+            ]
+
+        assert_mirrored()  # back-filled pre-bind history
+        cache.solve("dp", solve_dp, _instance())  # hit
+        cache.solve("dp", solve_dp, _instance(capacity=7.0))  # miss
+        result = solve_delta(_instance(), resolution=100)
+        cache.store_state(
+            cache.key_for("dp", _instance(), resolution=100),
+            result.state,
+        )
+        cache.probe_delta(_instance(), resolution=100)  # near hit
+        assert_mirrored()
+        assert cache.stats["near_hits"] == 1
+        cache.clear()
+        assert_mirrored()
+
+    def test_custom_prefix(self):
+        from repro.observability.metrics import MetricsRegistry
+
+        cache = SolverCache()
+        registry = MetricsRegistry()
+        cache.bind_metrics(registry, prefix="odm_cache")
+        cache.solve("dp", solve_dp, _instance())
+        assert registry.value("odm_cache.misses") == 1

@@ -1,0 +1,281 @@
+"""Metamorphic churn suite for the warm-start delta MCKP solver.
+
+The defining contract: for ANY instance and ANY cached state,
+``solve_delta(instance, state=state).selection`` is bit-for-bit
+identical to ``solve_dp(instance)`` — same choices dict, same totals.
+The Hypothesis suite walks random churn sequences (class add/remove/
+modify, k = 0 up to full replacement, including the empty-instance and
+zero-capacity degenerate cases) carrying the rolling ``DeltaState``
+across steps, and checks the identity at every step.  Deterministic
+tests pin the prefix-reuse mechanics (how *much* is warm-started) and
+the state's picklability, which the sharded service path relies on.
+"""
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knapsack import (
+    MCKPClass,
+    MCKPInstance,
+    MCKPItem,
+    common_prefix,
+    instance_class_keys,
+    solve_delta,
+    solve_dp,
+)
+from tests.conftest import (
+    apply_churn_op,
+    build_churned_instance,
+    churn_ops,
+    mckp_class_items,
+)
+
+RESOLUTION = 300
+
+
+def assert_bit_identical(selection, baseline):
+    if baseline is None:
+        assert selection is None
+        return
+    assert selection is not None
+    assert selection.choices == baseline.choices
+    assert selection.total_value == baseline.total_value
+    assert selection.total_weight == baseline.total_weight
+
+
+def items(*pairs):
+    return tuple(MCKPItem(value=v, weight=w) for v, w in pairs)
+
+
+def fixed_instance(num_classes=4, capacity=20.0):
+    """A deterministic all-feasible instance with one item per weight."""
+    classes = tuple(
+        MCKPClass(
+            f"c{k}",
+            items((float(k + 1), 1.0 + k), (float(2 * k + 3), 3.0 + k)),
+        )
+        for k in range(num_classes)
+    )
+    return MCKPInstance(classes=classes, capacity=capacity)
+
+
+# ----------------------------------------------------------------------
+# the metamorphic wall
+# ----------------------------------------------------------------------
+@given(
+    initial=st.lists(mckp_class_items(), min_size=0, max_size=4),
+    ops=st.lists(churn_ops(), min_size=0, max_size=6),
+)
+@settings(max_examples=60)
+def test_delta_equals_scratch_along_any_churn_walk(initial, ops):
+    """Rolling delta-solve == from-scratch solve at every churn step."""
+    current = list(initial)
+    state = None
+    for step in range(len(ops) + 1):
+        instance = build_churned_instance(current)
+        scratch = solve_dp(instance, resolution=RESOLUTION)
+        result = solve_delta(
+            instance, resolution=RESOLUTION, state=state
+        )
+        assert_bit_identical(result.selection, scratch)
+        assert 0 <= result.reused_layers <= instance.num_classes
+        if result.state is not None:
+            assert result.state.capacity == instance.capacity
+            assert result.state.class_keys == instance_class_keys(
+                instance
+            )
+            # degenerate shortcuts keep the previous state rolling
+            state = result.state
+        if step < len(ops):
+            current = apply_churn_op(current, ops[step])
+
+
+@given(
+    initial=st.lists(mckp_class_items(), min_size=1, max_size=4),
+    replacement=st.lists(mckp_class_items(), min_size=1, max_size=4),
+)
+@settings(max_examples=30)
+def test_full_replacement_is_still_exact(initial, replacement):
+    """k = everything: a state sharing no classes must not perturb."""
+    first = solve_delta(
+        build_churned_instance(initial), resolution=RESOLUTION
+    )
+    instance = build_churned_instance(replacement)
+    result = solve_delta(
+        instance, resolution=RESOLUTION, state=first.state
+    )
+    assert_bit_identical(
+        result.selection, solve_dp(instance, resolution=RESOLUTION)
+    )
+
+
+# ----------------------------------------------------------------------
+# degenerate cases
+# ----------------------------------------------------------------------
+class TestDegenerate:
+    def test_empty_instance(self):
+        instance = MCKPInstance(classes=(), capacity=20.0)
+        result = solve_delta(instance, resolution=RESOLUTION)
+        assert_bit_identical(
+            result.selection, solve_dp(instance, resolution=RESOLUTION)
+        )
+        assert result.state is None
+        assert result.reused_layers == 0
+
+    def test_zero_capacity(self):
+        instance = MCKPInstance(
+            classes=(MCKPClass("c0", items((1.0, 0.0))),), capacity=0.0
+        )
+        result = solve_delta(instance, resolution=RESOLUTION)
+        assert_bit_identical(
+            result.selection, solve_dp(instance, resolution=RESOLUTION)
+        )
+        assert result.state is None
+
+    def test_stale_state_survives_degenerate_step(self):
+        """empty → non-empty with the pre-churn state still applied."""
+        full = fixed_instance()
+        state = solve_delta(full, resolution=RESOLUTION).state
+        empty = MCKPInstance(classes=(), capacity=20.0)
+        assert_bit_identical(
+            solve_delta(
+                empty, resolution=RESOLUTION, state=state
+            ).selection,
+            solve_dp(empty, resolution=RESOLUTION),
+        )
+        again = solve_delta(full, resolution=RESOLUTION, state=state)
+        assert again.reused_layers == full.num_classes
+        assert_bit_identical(
+            again.selection, solve_dp(full, resolution=RESOLUTION)
+        )
+
+    def test_infeasible_class_keeps_reused_prefix_in_state(self):
+        """An unfittable class → no selection; the DP never runs, so
+        the returned state carries exactly the layers reused from the
+        incoming state — still enough to warm-start the repair step."""
+        feasible = fixed_instance(num_classes=3)
+        pre = solve_delta(feasible, resolution=RESOLUTION)
+        bad = MCKPInstance(
+            classes=feasible.classes
+            + (MCKPClass("c3", items((9.0, 999.0))),),
+            capacity=feasible.capacity,
+        )
+        result = solve_delta(
+            bad, resolution=RESOLUTION, state=pre.state
+        )
+        assert result.selection is None
+        assert result.reused_layers == 3
+        assert result.state is not None
+        assert result.state.num_layers == 3
+        fixed = solve_delta(
+            feasible, resolution=RESOLUTION, state=result.state
+        )
+        assert fixed.reused_layers == 3
+        assert_bit_identical(
+            fixed.selection, solve_dp(feasible, resolution=RESOLUTION)
+        )
+
+
+# ----------------------------------------------------------------------
+# prefix-reuse mechanics
+# ----------------------------------------------------------------------
+class TestPrefixReuse:
+    def test_identical_instance_reuses_every_layer(self):
+        instance = fixed_instance()
+        first = solve_delta(instance, resolution=RESOLUTION)
+        assert first.reused_layers == 0
+        again = solve_delta(
+            instance, resolution=RESOLUTION, state=first.state
+        )
+        assert again.reused_layers == instance.num_classes
+        assert_bit_identical(again.selection, first.selection)
+
+    def test_tail_modification_reuses_all_but_last(self):
+        instance = fixed_instance()
+        state = solve_delta(instance, resolution=RESOLUTION).state
+        churned = MCKPInstance(
+            classes=instance.classes[:-1]
+            + (MCKPClass("c3", items((7.0, 2.0), (11.0, 5.0))),),
+            capacity=instance.capacity,
+        )
+        result = solve_delta(
+            churned, resolution=RESOLUTION, state=state
+        )
+        assert result.reused_layers == instance.num_classes - 1
+        assert_bit_identical(
+            result.selection, solve_dp(churned, resolution=RESOLUTION)
+        )
+
+    def test_renamed_class_ids_still_warm_start(self):
+        """Ids are excluded from the prefix key; renames cost nothing."""
+        instance = fixed_instance()
+        state = solve_delta(instance, resolution=RESOLUTION).state
+        renamed = MCKPInstance(
+            classes=tuple(
+                MCKPClass(f"renamed-{k}", cls.items)
+                for k, cls in enumerate(instance.classes)
+            ),
+            capacity=instance.capacity,
+        )
+        result = solve_delta(
+            renamed, resolution=RESOLUTION, state=state
+        )
+        assert result.reused_layers == renamed.num_classes
+        assert result.selection is not None
+        assert set(result.selection.choices) == {
+            cls.class_id for cls in renamed.classes
+        }
+
+    def test_capacity_change_invalidates_state(self):
+        instance = fixed_instance()
+        state = solve_delta(instance, resolution=RESOLUTION).state
+        resized = MCKPInstance(
+            classes=instance.classes, capacity=instance.capacity * 2
+        )
+        assert (
+            common_prefix(
+                state,
+                instance_class_keys(resized),
+                resized.capacity,
+                RESOLUTION,
+            )
+            == 0
+        )
+        result = solve_delta(
+            resized, resolution=RESOLUTION, state=state
+        )
+        assert result.reused_layers == 0
+        assert_bit_identical(
+            result.selection, solve_dp(resized, resolution=RESOLUTION)
+        )
+
+    def test_resolution_change_invalidates_state(self):
+        instance = fixed_instance()
+        state = solve_delta(instance, resolution=RESOLUTION).state
+        result = solve_delta(
+            instance, resolution=2 * RESOLUTION, state=state
+        )
+        assert result.reused_layers == 0
+        assert_bit_identical(
+            result.selection,
+            solve_dp(instance, resolution=2 * RESOLUTION),
+        )
+
+
+def test_state_round_trips_through_pickle():
+    """The sharded service ships states across process boundaries."""
+    instance = fixed_instance()
+    state = solve_delta(instance, resolution=RESOLUTION).state
+    revived = pickle.loads(pickle.dumps(state))
+    churned = MCKPInstance(
+        classes=instance.classes[:-1]
+        + (MCKPClass("c3", items((5.0, 4.0))),),
+        capacity=instance.capacity,
+    )
+    result = solve_delta(churned, resolution=RESOLUTION, state=revived)
+    assert result.reused_layers == instance.num_classes - 1
+    assert_bit_identical(
+        result.selection, solve_dp(churned, resolution=RESOLUTION)
+    )

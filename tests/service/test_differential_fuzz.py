@@ -1,6 +1,6 @@
 """Differential fuzzing of the service solve paths (satellite suite).
 
-Two contracts are pinned over a 200+ instance corpus:
+Two contracts are pinned over a 300+ instance corpus:
 
 1. **Optimum equivalence vs the oracle.**  The vectorized ``solve_dp``
    and the serial reference ``solve_dp_reference`` are two exact DPs
@@ -13,11 +13,14 @@ Two contracts are pinned over a 200+ instance corpus:
    unique, which the adversarial sub-corpus deliberately violates.
 
 2. **Bit-identity of every service fast path vs the serial solve.**
-   The :class:`SolverCache` hit path, in-batch deduplication and the
-   sharded process-pool path are pure plumbing around ``solve_dp``;
-   their answers must be *bit-identical* (same choices dict, same
-   totals) to calling ``solve_dp`` serially on the same instance — on
-   ties included, which is exactly where plumbing bugs would surface.
+   The :class:`SolverCache` hit path, in-batch deduplication, the
+   sharded process-pool path, and the warm-start delta path (scratch,
+   exact cached hit, and near-miss partial hit — see
+   ``test_every_solver_path_is_bit_identical``) are pure plumbing
+   around ``solve_dp``; their answers must be *bit-identical* (same
+   choices dict, same totals) to calling ``solve_dp`` serially on the
+   same instance — on ties included, which is exactly where plumbing
+   bugs would surface.
 
 The corpus includes adversarial near-ties: weights offset from integer
 quantization-grid points by ±0.49/R and ±0.51/R so quantized weights
@@ -42,8 +45,8 @@ from repro.parallel import SweepRunner
 from repro.service import ShardSolver
 
 RESOLUTION = 1_000
-PLAIN_COUNT = 140
-ADVERSARIAL_COUNT = 80
+PLAIN_COUNT = 200
+ADVERSARIAL_COUNT = 100
 
 
 def plain_instance(rng: random.Random) -> MCKPInstance:
@@ -131,9 +134,9 @@ def assert_bit_identical(selection, baseline, instance):
 
 
 def test_corpus_contract(corpus, reference):
-    """The corpus stays large and interesting: 200+ instances, a real
+    """The corpus stays large and interesting: 300+ instances, a real
     adversarial share, and both feasible and infeasible outcomes."""
-    assert len(corpus) >= 200
+    assert len(corpus) >= 300
     assert ADVERSARIAL_COUNT >= 50
     feasible = sum(1 for ref in reference if ref is not None)
     assert 0 < feasible < len(corpus)
@@ -184,7 +187,9 @@ def test_batched_sharded_path_is_bit_identical_to_serial(
         for instance in corpus
     ]
     with SweepRunner(workers=workers) as runner:
-        solver = ShardSolver(runner, cache=cache)
+        # inline_units=0 forces every miss through the pool so this
+        # test keeps pinning the sharded merge path specifically
+        solver = ShardSolver(runner, cache=cache, inline_units=0)
         # batch sizes mimic service micro-batches; the second pass runs
         # entirely on cache hits and must not drift
         first_pass = []
@@ -196,6 +201,117 @@ def test_batched_sharded_path_is_bit_identical_to_serial(
         assert_bit_identical(selection, baseline, instance)
     for selection, baseline, instance in zip(second_pass, serial, corpus):
         assert_bit_identical(selection, baseline, instance)
+
+
+def churned_sibling(instance, rng: random.Random) -> MCKPInstance:
+    """A near-miss neighbour: same classes except the last one."""
+    mutated = MCKPClass(
+        instance.classes[-1].class_id,
+        tuple(
+            MCKPItem(
+                value=float(rng.randint(0, 50)),
+                weight=rng.uniform(0.0, 12.0),
+            )
+            for _ in range(rng.randint(2, 5))
+        ),
+    )
+    return MCKPInstance(
+        classes=instance.classes[:-1] + (mutated,),
+        capacity=instance.capacity,
+    )
+
+
+@pytest.mark.parametrize(
+    "path", ["scratch", "cached_hit", "delta_partial_hit"]
+)
+def test_every_solver_path_is_bit_identical(corpus, serial, path):
+    """The whole corpus through each service solve path: the answer is
+    bit-for-bit the serial ``solve_dp`` one, whatever route it took."""
+    from repro.knapsack import solve_delta
+
+    if path == "scratch":
+        # the delta engine with no state IS the scratch route the
+        # service uses to seed its warm-start index
+        for instance, baseline in zip(corpus, serial):
+            result = solve_delta(instance, resolution=RESOLUTION)
+            assert result.reused_layers == 0
+            assert_bit_identical(result.selection, baseline, instance)
+    elif path == "cached_hit":
+        cache = SolverCache(maxsize=1024)
+        for instance, baseline in zip(corpus, serial):
+            cache.solve("dp", solve_dp, instance, resolution=RESOLUTION)
+            hit = cache.solve(
+                "dp", solve_dp, instance, resolution=RESOLUTION
+            )
+            assert_bit_identical(hit, baseline, instance)
+        assert cache.hits == len(corpus)
+    else:  # delta_partial_hit
+        rng = random.Random(777)
+        warm_started = 0
+        for instance, baseline in zip(corpus, serial):
+            sibling = churned_sibling(instance, rng)
+            state = solve_delta(sibling, resolution=RESOLUTION).state
+            result = solve_delta(
+                instance, resolution=RESOLUTION, state=state
+            )
+            warm_started += result.reused_layers > 0
+            assert_bit_identical(result.selection, baseline, instance)
+        # siblings differ only in the last class, so virtually every
+        # solve must actually have warm-started — no silent fallback
+        assert warm_started >= len(corpus) * 9 // 10
+
+
+def test_inline_and_sharded_routes_are_bit_identical(corpus, serial):
+    """Small batches dodge the process pool (``inline_units``); the
+    inline route must answer exactly what the sharded route answers."""
+    subset = list(range(0, 40))
+    entries = [
+        ("dp", corpus[i], {"resolution": RESOLUTION}) for i in subset
+    ]
+    with SweepRunner(workers=2) as runner:
+        pooled = ShardSolver(
+            runner, cache=SolverCache(maxsize=64), inline_units=0
+        )
+        inline = ShardSolver(
+            runner, cache=SolverCache(maxsize=64),
+            inline_units=len(entries),
+        )
+        pooled_out = pooled.solve_batch(entries)
+        inline_out = inline.solve_batch(entries)
+    assert pooled.inline_batches == 0
+    assert inline.inline_batches == 1
+    for i, a, b in zip(subset, pooled_out, inline_out):
+        assert_bit_identical(a, serial[i], corpus[i])
+        assert_bit_identical(b, serial[i], corpus[i])
+
+
+def test_shard_solver_near_miss_path_is_bit_identical(corpus, serial):
+    """The service-level delta route: a batch of churned siblings seeds
+    the cache's state index, then the original corpus arrives and must
+    be answered partly via ``probe_delta`` warm starts — bit-identical,
+    with the near-miss counters actually moving."""
+    rng = random.Random(424242)
+    subset = list(range(0, len(corpus), 5))  # every 5th instance
+    cache = SolverCache(maxsize=1024, delta_maxstates=len(subset) + 1)
+    with SweepRunner(workers=1) as runner:
+        solver = ShardSolver(runner, cache=cache)
+        siblings = [
+            ("dp", churned_sibling(corpus[i], rng),
+             {"resolution": RESOLUTION})
+            for i in subset
+        ]
+        solver.solve_batch(siblings)
+        results = solver.solve_batch(
+            [
+                ("dp", corpus[i], {"resolution": RESOLUTION})
+                for i in subset
+            ]
+        )
+    for index, selection in zip(subset, results):
+        assert_bit_identical(selection, serial[index], corpus[index])
+    assert cache.near_hits > 0
+    assert solver.delta_solves > 0
+    assert solver.delta_layers_reused > 0
 
 
 def test_energy_odm_matches_brute_force_enumerator():
