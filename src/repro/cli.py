@@ -347,6 +347,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_scenario_pool(matrix_name: str, seed: int, num_tasks: int):
+    """Expand a named campaign matrix into a loadgen task-set pool.
+
+    Feeds campaign-shaped instances (utilization regimes, deadline
+    styles, burst shapes) through the load generators instead of their
+    built-in uniform pool.  Overload cells (``util_cap > 1``) are
+    filtered by :func:`~repro.scenarios.bursts.scenario_pool` — the
+    online service rejects an infeasible all-local baseline outright.
+    """
+    from .scenarios import default_matrix, scenario_pool, smoke_matrix
+    from .sim.rng import derive_seed
+
+    matrix = (
+        smoke_matrix(num_tasks=num_tasks)
+        if matrix_name == "smoke"
+        else default_matrix(num_tasks=num_tasks)
+    )
+    return scenario_pool(
+        matrix.cells(),
+        derive_seed(seed, f"scenario-pool-{matrix_name}"),
+    )
+
+
+def _add_scenario_pool_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--scenario-pool", choices=("smoke", "default"), default=None,
+        metavar="MATRIX",
+        help=(
+            "draw task sets from a campaign matrix (smoke|default) "
+            "instead of the built-in uniform pool"
+        ),
+    )
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
     import json
@@ -366,6 +400,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         num_tasks=args.tasks,
         churn_rate=args.churn,
     )
+    pool = (
+        _build_scenario_pool(args.scenario_pool, config.seed, args.tasks)
+        if args.scenario_pool
+        else None
+    )
 
     async def drive():
         if args.in_process:
@@ -379,6 +418,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                     close_window=service.close_health_window,
                     stats=service.stats,
                     resolution=args.resolution,
+                    pool=pool,
                 )
         client = ServiceClient(args.host, args.port, protocol=args.protocol)
         async with client:
@@ -388,6 +428,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 close_window=client.close_window,
                 stats=client.stats,
                 resolution=args.resolution,
+                pool=pool,
                 submit_batch=(
                     client.submit_batch if args.batch_admit else None
                 ),
@@ -453,7 +494,12 @@ def _cmd_fleet_campaign(args: argparse.Namespace) -> int:
         pacing=args.pacing,
         resolution=args.resolution,
     )
-    report = asyncio.run(run_fleet_campaign(config))
+    pool = (
+        _build_scenario_pool(args.scenario_pool, args.seed, args.tasks)
+        if args.scenario_pool
+        else None
+    )
+    report = asyncio.run(run_fleet_campaign(config, pool=pool))
     record = report.to_dict()
     latency = record["latency"]
     recovery = record["recovery"]
@@ -492,6 +538,72 @@ def _cmd_fleet_campaign(args: argparse.Namespace) -> int:
     )
     for anomaly in report.anomalies:
         print(f"  ! {anomaly}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if report.ok else 1
+
+
+def _cmd_fleet_scale(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .fleet import CacheTierConfig, FleetScaleConfig, run_fleet_scale
+
+    config = FleetScaleConfig(
+        seed=args.seed,
+        replica_counts=tuple(args.replicas),
+        rate_multipliers=tuple(args.rates),
+        requests_per_cell=args.requests,
+        unique_sets=args.unique_sets,
+        num_tasks=args.tasks,
+        churn_rate=args.churn,
+        policy=args.policy,
+        resolution=args.resolution,
+        cache_tier=not args.no_cache_tier,
+        tier=CacheTierConfig(sync_budget=args.sync_budget),
+        restart_probes=args.probes,
+    )
+    pool = (
+        _build_scenario_pool(args.scenario_pool, args.seed, args.tasks)
+        if args.scenario_pool
+        else None
+    )
+    report = asyncio.run(run_fleet_scale(config, pool=pool))
+    record = report.to_dict()
+    print(
+        f"fleet-scale: {len(record['cells'])} cells "
+        f"({len(config.replica_counts)} replica counts x "
+        f"{len(config.rate_multipliers)} rates), cache tier "
+        f"{'on' if config.cache_tier else 'off'}"
+    )
+    for cell in record["cells"]:
+        latency = cell["latency"]
+        attribution = cell["cache_attribution"]
+        print(
+            f"  {cell['replicas']}r x{cell['rate_multiplier']:g}: "
+            f"{cell['throughput']:.0f} req/s, p50/p99 "
+            f"{latency['p50'] * 1e3:.2f}/{latency['p99'] * 1e3:.2f} ms, "
+            f"shed {cell['shed']}; hits local={attribution['hits_local']} "
+            f"replicated={attribution['hits_replicated']} "
+            f"delta={attribution['delta_repaired']}"
+        )
+    restart = record["restart_comparison"]
+    warm, cold = restart["warm"], restart["cold"]
+    print(
+        f"restart: warm hit {warm['post_restart_hit_rate']:.2f} vs "
+        f"cold {cold['post_restart_hit_rate']:.2f}; back-to-steady "
+        f"{warm['time_back_to_steady_p99'] * 1e3:.1f} vs "
+        f"{cold['time_back_to_steady_p99'] * 1e3:.1f} ms "
+        f"({'warm better' if restart['warm_better'] else 'NO WARM WIN'})"
+    )
+    print(
+        f"audit: {report.anomaly_count} anomalies, "
+        f"{report.duplicate_deliveries} duplicate deliveries "
+        f"({'OK' if report.ok else 'VIOLATIONS'})"
+    )
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(record, handle, indent=2, sort_keys=True)
@@ -796,6 +908,7 @@ def build_parser() -> argparse.ArgumentParser:
             "near-miss instances for the delta solver (0..1)"
         ),
     )
+    _add_scenario_pool_flag(p)
     p.add_argument(
         "--out", help="write the report JSON (BENCH_service.json) to PATH"
     )
@@ -840,10 +953,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="real seconds slept per burst (probe/gossip airtime)",
     )
     p.add_argument("--resolution", type=int, default=20_000)
+    _add_scenario_pool_flag(p)
     p.add_argument(
         "--out", help="write the report JSON (BENCH_fleet.json) to PATH"
     )
     p.set_defaults(func=_cmd_fleet_campaign)
+
+    p = sub.add_parser(
+        "fleet-scale",
+        help=(
+            "open-loop replica-count x arrival-rate sweep + warm-vs-"
+            "cold restart recovery (writes BENCH_fleet_scale.json)"
+        ),
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--replicas", type=int, nargs="+", default=[1, 2, 3],
+        metavar="N", help="replica counts swept (one fleet per count)",
+    )
+    p.add_argument(
+        "--rates", type=float, nargs="+", default=[1.0, 4.0, 16.0],
+        metavar="X", help="arrival-rate multipliers swept per fleet",
+    )
+    p.add_argument(
+        "--requests", type=int, default=96,
+        help="open-loop requests per sweep cell",
+    )
+    p.add_argument("--unique-sets", type=int, default=10)
+    p.add_argument("--tasks", type=int, default=5)
+    p.add_argument(
+        "--churn", type=float, default=0.2,
+        help="per-request near-miss perturbation probability (0..1)",
+    )
+    p.add_argument(
+        "--policy", default="least_loaded",
+        choices=("least_loaded", "consistent_hash"),
+    )
+    p.add_argument("--resolution", type=int, default=20_000)
+    p.add_argument(
+        "--no-cache-tier", action="store_true",
+        help="disable cross-replica cache replication (ablation)",
+    )
+    p.add_argument(
+        "--sync-budget", type=int, default=32,
+        help="max cache entries shipped per cache_sync pull",
+    )
+    p.add_argument(
+        "--probes", type=int, default=48,
+        help="probe burst length of the restart comparison",
+    )
+    _add_scenario_pool_flag(p)
+    p.add_argument(
+        "--out",
+        help="write the report JSON (BENCH_fleet_scale.json) to PATH",
+    )
+    p.set_defaults(func=_cmd_fleet_scale)
 
     p = sub.add_parser(
         "campaign",

@@ -18,9 +18,25 @@ re-audited by the campaign:
   load-aware routing, exactly-once delivery checking;
 * :mod:`repro.fleet.campaign` — the chaos campaign behind
   ``repro fleet-campaign``: replica kill/restart + link loss mid-load,
-  every response audited, results in ``BENCH_fleet.json``.
+  every response audited, results in ``BENCH_fleet.json``;
+* :mod:`repro.fleet.cachetier` — warm replication of solver-cache
+  entries and delta states between replicas (gossip-piggybacked
+  digests + budgeted binary ``cache_sync`` pulls), so restarted and
+  scaled-out replicas start warm;
+* :mod:`repro.fleet.scale` — the sustained open-loop load harness
+  behind ``repro fleet-scale``: replica-count × arrival-rate sweeps
+  plus the warm-vs-cold restart comparison, results in
+  ``BENCH_fleet_scale.json``.
 """
 
+from .cachetier import (
+    CacheReplicator,
+    CacheTierConfig,
+    absorb_sync_reply,
+    build_sync_reply,
+    cache_digest,
+    warm_from_peer,
+)
 from .campaign import (
     FleetCampaignConfig,
     FleetCampaignReport,
@@ -41,9 +57,19 @@ from .router import (
     RouterConfig,
 )
 
+from .scale import (
+    FleetScaleConfig,
+    FleetScaleReport,
+    run_fleet_scale,
+)
+
 __all__ = [
     "REPLICA_STATES",
     "ROUTING_POLICIES",
+    "CacheReplicator",
+    "CacheTierConfig",
+    "FleetScaleConfig",
+    "FleetScaleReport",
     "FleetCampaignConfig",
     "FleetCampaignReport",
     "FleetMembership",
@@ -56,6 +82,11 @@ __all__ = [
     "ReplicaSpec",
     "ReplicaStatus",
     "RouterConfig",
+    "absorb_sync_reply",
+    "build_sync_reply",
+    "cache_digest",
     "run_fleet_campaign",
+    "run_fleet_scale",
+    "warm_from_peer",
     "worst_breaker_state",
 ]

@@ -40,6 +40,7 @@ from ..service.batching import BatchPolicy
 from ..service.loadgen import LoadGenConfig, generate_bursts
 from ..service.server import ODMService
 from ..sim.rng import RandomStreams, derive_seed
+from .cachetier import CacheReplicator
 from .gossip import GossipAgent
 from .membership import ReplicaSpec
 from .router import FleetRouter, FleetUnavailable, RouterConfig
@@ -89,6 +90,11 @@ class FleetCampaignConfig:
     pacing: float = 0.01
     resolution: int = 20_000
     queue_capacity: int = 64
+    #: warm-replicate hot solver-cache entries between replicas during
+    #: gossip (:mod:`repro.fleet.cachetier`); the campaign's per-response
+    #: audit then doubles as the proof that replication never changes
+    #: an admission
+    cache_tier: bool = True
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -263,15 +269,21 @@ class FleetCampaignReport:
 async def run_fleet_campaign(
     config: FleetCampaignConfig,
     observability: Optional[Observability] = None,
+    pool=None,
 ) -> FleetCampaignReport:
-    """Run the full chaos campaign; returns the audited report."""
+    """Run the full chaos campaign; returns the audited report.
+
+    ``pool`` optionally supplies the task-set pool for the burst trace
+    (see :func:`repro.service.loadgen.generate_bursts`), letting the
+    CLI feed scenario-matrix workloads through the fleet.
+    """
     obs = (
         observability
         if observability is not None
         else Observability.disabled()
     )
     load = config.load
-    bursts = generate_bursts(load)
+    bursts = generate_bursts(load, pool=pool)
     schedule = config.chaos_schedule()
     clock = _VirtualClock()
     streams = RandomStreams(seed=derive_seed(config.seed, "fleet"))
@@ -300,10 +312,14 @@ async def run_fleet_campaign(
     async def start_agent(replica_id: str) -> None:
         proc = procs[replica_id]
         assert proc.service is not None
+        replicator = None
+        if config.cache_tier and proc.service.cache is not None:
+            replicator = CacheReplicator(proc.service.cache)
         agent = GossipAgent(
             proc.service,
             peers=addresses(),
             interval=config.gossip_interval,
+            replicator=replicator,
         )
         agents[replica_id] = await agent.start()
 

@@ -12,6 +12,14 @@ of every replica paying the failure evidence separately.
 :class:`GossipState` is the passive half: a seq-merged view of the
 freshest beacon per replica, used by the router for least-loaded
 routing and for the fleet-wide worst-case breaker view.
+
+With a :class:`~repro.fleet.cachetier.CacheReplicator` attached, the
+same exchange also drives warm cache replication: the peer's gossip
+reply piggybacks a ``cache_digest``, and when it advertises entries
+this replica lacks the agent issues a binary ``cache_sync`` pull on
+the already-open connection before closing it.  Replication failures
+are swallowed like any other peer error — a broken cache sync never
+degrades health gossip.
 """
 
 from __future__ import annotations
@@ -21,7 +29,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from ..service.aio import cancel_and_wait
 from ..service.server import ODMService
+from .cachetier import CacheReplicator
 
 __all__ = [
     "GossipAgent",
@@ -139,12 +149,14 @@ class GossipAgent:
         peers: Mapping[str, Tuple[str, int]],
         interval: float = 0.05,
         timeout: float = 1.0,
+        replicator: Optional[CacheReplicator] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
         if timeout <= 0:
             raise ValueError("timeout must be positive")
         self.service = service
+        self.replicator = replicator
         self.peers = {
             str(peer_id): (str(host), int(port))
             for peer_id, (host, port) in peers.items()
@@ -173,11 +185,7 @@ class GossipAgent:
         if self._task is None:
             return
         task, self._task = self._task, None
-        task.cancel()
-        try:
-            await task
-        except asyncio.CancelledError:
-            pass
+        await cancel_and_wait(task)
 
     async def _loop(self) -> None:
         while True:
@@ -195,10 +203,15 @@ class GossipAgent:
                 )
                 reached += 1
                 self.exchanges += 1
-            except (ConnectionError, OSError, asyncio.TimeoutError):
+            except (
+                ConnectionError,
+                OSError,
+                EOFError,  # IncompleteReadError during a cache pull
+                asyncio.TimeoutError,
+            ):
                 self.unreachable += 1
             except ValueError:
-                self.unreachable += 1  # malformed peer beacon
+                self.unreachable += 1  # malformed peer beacon/frame
         return reached
 
     async def _exchange(self, host: str, port: int) -> None:
@@ -217,6 +230,13 @@ class GossipAgent:
             beacon = HealthBeacon.from_dict(beacon_record)
             self.state.absorb(beacon)
             self.service.absorb_beacon(beacon_record)
+            digest = record.get("cache_digest")
+            if self.replicator is not None and isinstance(
+                digest, Mapping
+            ):
+                # same connection, binary framing: the server's
+                # per-message negotiation interleaves the two freely
+                await self.replicator.maybe_pull(reader, writer, digest)
         finally:
             writer.close()
             try:
@@ -225,10 +245,13 @@ class GossipAgent:
                 pass
 
     def stats(self) -> Dict[str, object]:
-        return {
+        snapshot: Dict[str, object] = {
             "replica_id": self.service.replica_id,
             "rounds": self.rounds,
             "exchanges": self.exchanges,
             "unreachable": self.unreachable,
             "peers": sorted(self.peers),
         }
+        if self.replicator is not None:
+            snapshot["cache_tier"] = self.replicator.stats()
+        return snapshot

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from ..observability import Observability
 from ..faults.process import LinkChaos
+from ..service.aio import cancel_and_wait
 from ..service.request import AdmissionRequest, AdmissionResponse
 from ..service.server import ConnectionLost, ServiceClient
 from ..sim.rng import RandomStreams
@@ -173,11 +174,7 @@ class FleetRouter:
     async def stop(self) -> None:
         if self._probe_task is not None:
             task, self._probe_task = self._probe_task, None
-            task.cancel()
-            try:
-                await task
-            except asyncio.CancelledError:
-                pass
+            await cancel_and_wait(task)
         for client in list(self._clients.values()):
             await client.close()
         self._clients.clear()

@@ -19,6 +19,16 @@ from .delta import (
 )
 from .dp import solve_dp, solve_dp_reference
 from .heu_oe import solve_heu_oe
+from .serialize import (
+    CACHE_WIRE_VERSION,
+    CacheCodecError,
+    decode_entry,
+    decode_state,
+    encode_entry,
+    encode_state,
+    encoded_size,
+    key_fingerprint,
+)
 from .mckp import (
     MCKPClass,
     MCKPInstance,
@@ -56,5 +66,13 @@ __all__ = [
     "solve_brute_force",
     "SolverCache",
     "canonical_instance_key",
+    "CACHE_WIRE_VERSION",
+    "CacheCodecError",
+    "encode_entry",
+    "decode_entry",
+    "encode_state",
+    "decode_state",
+    "encoded_size",
+    "key_fingerprint",
     "SOLVERS",
 ]

@@ -34,6 +34,26 @@ scratch solve, so the exact-keying correctness story is unchanged.
 Successful probes count as ``near_hits`` (a subset of ``misses``: the
 exact probe already missed by then).
 
+Warm replication
+----------------
+In a fleet, a peer replica may have already solved an instance this
+replica is about to see.  The cache therefore tracks per-entry hit
+counts and an *origin* per entry (``"local"`` = solved here,
+``"replicated"`` = absorbed from a peer via
+:mod:`repro.fleet.cachetier`):
+
+* :meth:`~SolverCache.hot_entries` ranks entries by hit count for the
+  bounded per-round replication budget;
+* :meth:`~SolverCache.absorb` / :meth:`~SolverCache.absorb_state`
+  insert peer records — never overwriting a local entry, since the
+  local result is identical by determinism and its recency is truer;
+* hits split into ``hits_local`` / ``hits_replicated`` so the fleet
+  harness can attribute warm-cache wins to the tier.
+
+Replication never changes results: solvers are pure, so a peer's entry
+under the same canonical key holds the byte-identical choices a local
+solve would produce (the fleet campaign audits this on every response).
+
 All counters can be mirrored live into a
 :class:`~repro.observability.metrics.MetricsRegistry` via
 :meth:`~SolverCache.bind_metrics`, which is how ``repro metrics`` and
@@ -43,12 +63,25 @@ the service stats endpoint see them.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .delta import DeltaState, common_prefix, instance_class_keys
 from .mckp import MCKPInstance, Selection
 
 __all__ = ["SolverCache", "canonical_instance_key"]
+
+
+class _CacheEntry:
+    """One stored result plus its replication bookkeeping."""
+
+    __slots__ = ("choices", "origin", "hits")
+
+    def __init__(
+        self, choices: Optional[Dict[str, int]], origin: str
+    ) -> None:
+        self.choices = choices
+        self.origin = origin
+        self.hits = 0
 
 
 def canonical_instance_key(instance: MCKPInstance) -> Tuple:
@@ -90,6 +123,10 @@ class SolverCache:
         "hits",
         "misses",
         "near_hits",
+        "hits_local",
+        "hits_replicated",
+        "replicated_in",
+        "replicated_states_in",
         "_entries",
         "_delta_states",
         "_metrics",
@@ -108,10 +145,12 @@ class SolverCache:
         self.hits = 0
         self.misses = 0
         self.near_hits = 0
-        # key -> choices dict or None (infeasible)
-        self._entries: "OrderedDict[Tuple, Optional[Dict[str, int]]]" = (
-            OrderedDict()
-        )
+        self.hits_local = 0
+        self.hits_replicated = 0
+        self.replicated_in = 0
+        self.replicated_states_in = 0
+        # key -> _CacheEntry (choices dict or None = infeasible)
+        self._entries: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
         # key -> resumable DP state for near-miss warm starts
         self._delta_states: "OrderedDict[Tuple, DeltaState]" = (
             OrderedDict()
@@ -133,6 +172,10 @@ class SolverCache:
             "hits": self.hits,
             "misses": self.misses,
             "near_hits": self.near_hits,
+            "hits_local": self.hits_local,
+            "hits_replicated": self.hits_replicated,
+            "replicated_in": self.replicated_in,
+            "replicated_states_in": self.replicated_states_in,
             "entries": len(self._entries),
             "delta_states": len(self._delta_states),
         }
@@ -153,6 +196,16 @@ class SolverCache:
         registry.counter(f"{prefix}.hits").inc(self.hits)
         registry.counter(f"{prefix}.misses").inc(self.misses)
         registry.counter(f"{prefix}.near_hits").inc(self.near_hits)
+        registry.counter(f"{prefix}.hits_local").inc(self.hits_local)
+        registry.counter(f"{prefix}.hits_replicated").inc(
+            self.hits_replicated
+        )
+        registry.counter(f"{prefix}.replicated_in").inc(
+            self.replicated_in
+        )
+        registry.counter(f"{prefix}.replicated_states_in").inc(
+            self.replicated_states_in
+        )
         self._refresh_gauges()
 
     def _count(self, name: str) -> None:
@@ -189,24 +242,115 @@ class SolverCache:
         Updates the hit/miss counters and LRU recency, so the batched
         service path and :meth:`solve` share one statistics stream.
         """
-        if key in self._entries:
+        entry = self._entries.get(key)
+        if entry is not None:
             self.hits += 1
+            entry.hits += 1
             self._count("hits")
+            if entry.origin == "replicated":
+                self.hits_replicated += 1
+                self._count("hits_replicated")
+            else:
+                self.hits_local += 1
+                self._count("hits_local")
             self._entries.move_to_end(key)
-            return True, self._entries[key]
+            return True, entry.choices
         self.misses += 1
         self._count("misses")
         return False, None
 
+    def contains(self, key: Tuple) -> bool:
+        """Presence probe that updates no counter and no recency
+        (replication digests must not skew hit statistics)."""
+        return key in self._entries
+
+    def keys(self) -> List[Tuple]:
+        """Every resident entry key, oldest first (sync ``have`` lists)."""
+        return list(self._entries)
+
     def store(
-        self, key: Tuple, choices: Optional[Dict[str, int]]
+        self,
+        key: Tuple,
+        choices: Optional[Dict[str, int]],
+        origin: str = "local",
     ) -> None:
         """Insert one solved result (``None`` = infeasible), evicting LRU."""
-        self._entries[key] = None if choices is None else dict(choices)
+        held = self._entries.get(key)
+        if held is not None:
+            # keep the hit count: re-storing is the same problem solved
+            # again, not a new entry
+            held.choices = None if choices is None else dict(choices)
+            held.origin = origin
+        else:
+            self._entries[key] = _CacheEntry(
+                None if choices is None else dict(choices), origin
+            )
         self._entries.move_to_end(key)
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
         self._refresh_gauges()
+
+    # ------------------------------------------------------------------
+    # warm replication (fleet cache tier)
+    # ------------------------------------------------------------------
+    def absorb(
+        self, key: Tuple, choices: Optional[Dict[str, int]]
+    ) -> bool:
+        """Insert one *peer-replicated* entry; ``True`` iff inserted.
+
+        An already-resident key is left untouched — the local copy is
+        byte-identical (solvers are pure) and its recency/hit history
+        is truer than the peer's.
+        """
+        if key in self._entries:
+            return False
+        self.store(key, choices, origin="replicated")
+        self.replicated_in += 1
+        self._count("replicated_in")
+        return True
+
+    def absorb_state(
+        self, key: Tuple, state: Optional[DeltaState]
+    ) -> bool:
+        """Insert one peer-replicated delta state; ``True`` iff kept."""
+        if (
+            state is None
+            or self.delta_maxstates == 0
+            or key in self._delta_states
+        ):
+            return False
+        self.store_state(key, state)
+        self.replicated_states_in += 1
+        self._count("replicated_states_in")
+        return True
+
+    def hot_entries(
+        self, budget: int
+    ) -> List[Tuple[Tuple, Optional[Dict[str, int]]]]:
+        """Up to ``budget`` ``(key, choices)`` pairs, hottest first.
+
+        Ranked by per-entry hit count, most-recently-used breaking
+        ties — the entries a peer is most likely to need next.  The
+        ranking is deterministic for a given cache history.
+        """
+        if budget <= 0:
+            return []
+        ranked = sorted(
+            enumerate(self._entries.items()),
+            key=lambda pair: (-pair[1][1].hits, -pair[0]),
+        )
+        return [
+            (key, entry.choices) for _, (key, entry) in ranked[:budget]
+        ]
+
+    def hot_states(
+        self, budget: int
+    ) -> List[Tuple[Tuple, DeltaState]]:
+        """Up to ``budget`` ``(key, state)`` pairs, most recent first."""
+        if budget <= 0:
+            return []
+        items = list(self._delta_states.items())
+        return items[-budget:][::-1]
 
     # ------------------------------------------------------------------
     # near-miss delta states

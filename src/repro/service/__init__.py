@@ -31,8 +31,12 @@ from .degradation import DegradationLevel, DegradationPolicy
 from .loadgen import (
     LoadGenConfig,
     LoadGenReport,
+    OpenLoopConfig,
+    OpenLoopReport,
     generate_bursts,
+    generate_open_loop,
     run_loadgen,
+    run_open_loop,
 )
 from .protocol import (
     FLAG_MSGPACK,
@@ -92,10 +96,14 @@ __all__ = [
     "encode_frame",
     "LoadGenConfig",
     "LoadGenReport",
+    "OpenLoopConfig",
+    "OpenLoopReport",
     "ServiceClient",
     "generate_bursts",
+    "generate_open_loop",
     "audit_response",
     "measure_serial_baseline",
     "percentile",
     "run_loadgen",
+    "run_open_loop",
 ]

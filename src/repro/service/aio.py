@@ -1,0 +1,29 @@
+"""Small asyncio plumbing shared by the service and fleet layers."""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["cancel_and_wait"]
+
+
+async def cancel_and_wait(
+    task: asyncio.Task, poke_interval: float = 1.0
+) -> None:
+    """Cancel ``task`` and wait until it has actually finished.
+
+    A single ``cancel()`` + ``await task`` is not reliable on Python
+    3.11: ``asyncio.wait_for`` can swallow a cancellation that arrives
+    in the same event-loop step its inner awaitable completes, leaving
+    the task running in "cancelling" state — the naive await then
+    blocks forever.  Every background loop here (gossip rounds, router
+    probes, the micro-batcher) sits in a ``wait_for`` most of the
+    time, so teardown must re-cancel until the task reports done.
+    """
+    while not task.done():
+        task.cancel()
+        await asyncio.wait([task], timeout=poke_interval)
+    if not task.cancelled():
+        # retrieve a terminal exception so the loop never logs it as
+        # "exception was never retrieved"
+        task.exception()

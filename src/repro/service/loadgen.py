@@ -54,11 +54,15 @@ from .server import ServiceClient
 __all__ = [
     "LoadGenConfig",
     "LoadGenReport",
+    "OpenLoopConfig",
+    "OpenLoopReport",
     "ServiceClient",
     "generate_bursts",
+    "generate_open_loop",
     "audit_response",
     "measure_serial_baseline",
     "run_loadgen",
+    "run_open_loop",
 ]
 
 #: Estimate *profiles* drawn per request (cycled over the configured
@@ -316,6 +320,7 @@ async def run_loadgen(
     resolution: int = 20_000,
     serial_baseline: bool = True,
     submit_batch: Optional[SubmitBatchFn] = None,
+    pool=None,
 ) -> LoadGenReport:
     """Drive the full arrival trace through ``submit`` and audit it.
 
@@ -325,9 +330,10 @@ async def run_loadgen(
     When ``submit_batch`` is given, each burst goes out as one
     vectorized call (the wire's ``admit_batch`` op) instead of one
     pipelined ``submit`` per request — same responses, fewer round
-    trips.
+    trips.  ``pool`` feeds an explicit task-set pool to
+    :func:`generate_bursts` (scenario campaigns).
     """
-    bursts = generate_bursts(config)
+    bursts = generate_bursts(config, pool=pool)
     report = LoadGenReport(bursts=len(bursts))
 
     for index, burst in enumerate(bursts):
@@ -383,4 +389,254 @@ async def run_loadgen(
         report.serial_latencies = measure_serial_baseline(
             bursts, resolution=resolution
         )
+    return report
+
+
+# ----------------------------------------------------------------------
+# sustained open-loop load (scaled-Poisson arrivals)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OpenLoopConfig:
+    """Knobs of one open-loop (arrival-rate-driven) load run.
+
+    The arrival process is Poisson at ``rate * rate_multiplier``
+    *virtual* requests per second — the "req/s-equivalent" axis of the
+    fleet-scale sweep.  ``dispatch_scale`` maps the virtual timeline
+    onto the wall clock: a wall dispatch rate of
+    ``rate * rate_multiplier * dispatch_scale`` req/s, so a 10⁴–10⁶
+    req/s-equivalent regime replays at a rate a Python service can
+    physically absorb while preserving the *shape* of the process
+    (same seeded gap sequence, merely dilated).
+
+    Open loop means arrival times are fixed by the seed **before** the
+    run and never wait on completions — a slow service faces a growing
+    backlog exactly like production traffic, and recorded latency is
+    ``completion - scheduled_arrival`` (coordinated-omission-safe: the
+    queueing delay a stalled server imposes on punctual arrivals is
+    *in* the number, not silently dropped from it).
+    """
+
+    seed: int = 0
+    #: virtual arrival rate (req/s-equivalent) before the multiplier
+    rate: float = 10_000.0
+    rate_multiplier: float = 1.0
+    requests: int = 200
+    #: wall req/s dispatched per virtual req/s (timeline dilation)
+    dispatch_scale: float = 0.01
+    unique_sets: int = 10
+    num_tasks: int = 5
+    total_utilization: float = 0.55
+    servers: Tuple[str, ...] = ("edge", "cloud", "flaky")
+    churn_rate: float = 0.0
+    audit: bool = True
+    max_anomalies: int = 32
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.rate_multiplier <= 0:
+            raise ValueError("rate and rate_multiplier must be positive")
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.dispatch_scale <= 0:
+            raise ValueError("dispatch_scale must be positive")
+        if not 0.0 <= self.churn_rate <= 1.0:
+            raise ValueError("churn_rate must be in [0, 1]")
+        if self.unique_sets < 1:
+            raise ValueError("unique_sets must be >= 1")
+
+    @property
+    def virtual_rate(self) -> float:
+        """The offered req/s-equivalent rate."""
+        return self.rate * self.rate_multiplier
+
+    @property
+    def wall_rate(self) -> float:
+        """The wall-clock dispatch rate (req/s actually sent)."""
+        return self.virtual_rate * self.dispatch_scale
+
+
+def generate_open_loop(
+    config: OpenLoopConfig, pool=None
+) -> List[Tuple[float, AdmissionRequest]]:
+    """The deterministic ``(wall_offset_seconds, request)`` trace.
+
+    Replayable: the same seed yields the same arrivals and the same
+    requests regardless of how the service behaves.  Task sets rotate
+    through the same pooled/churned population as
+    :func:`generate_bursts`, so the cache tier sees realistic repeat
+    traffic; ``pool`` overrides the pool exactly as there.
+    """
+    streams = RandomStreams(seed=config.seed)
+    wl_rng = streams.get("workloads")
+    arrivals = streams.get("arrivals")
+    if pool is None:
+        pool = [
+            random_offloading_task_set(
+                wl_rng,
+                num_tasks=config.num_tasks,
+                total_utilization=config.total_utilization,
+            )
+            for _ in range(config.unique_sets)
+        ]
+    else:
+        pool = list(pool)
+        if not pool:
+            raise ValueError("explicit task-set pool must be non-empty")
+    mean_gap = 1.0 / config.virtual_rate
+    dilation = 1.0 / config.dispatch_scale  # virtual→wall timeline factor
+    trace: List[Tuple[float, AdmissionRequest]] = []
+    time = 0.0
+    for index in range(config.requests):
+        time += float(arrivals.exponential(mean_gap))
+        tasks = pool[int(arrivals.integers(len(pool)))]
+        if (
+            config.churn_rate > 0.0
+            and float(arrivals.random()) < config.churn_rate
+        ):
+            tasks = _churn_task_set(tasks, arrivals)
+        profile = ESTIMATE_PALETTE[
+            int(arrivals.integers(len(ESTIMATE_PALETTE)))
+        ]
+        estimates = {
+            server: float(profile[i % len(profile)])
+            for i, server in enumerate(config.servers)
+        }
+        trace.append(
+            (
+                time * dilation,
+                AdmissionRequest(
+                    request_id=f"ol-{config.seed}-{index:06d}",
+                    tasks=tasks,
+                    server_estimates=estimates,
+                ),
+            )
+        )
+    return trace
+
+
+@dataclass
+class OpenLoopReport:
+    """Outcome of one open-loop run (one sweep cell)."""
+
+    offered_rate: float = 0.0
+    wall_rate: float = 0.0
+    requests: int = 0
+    completed: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    errors: int = 0
+    anomalies: List[str] = field(default_factory=list)
+    anomaly_count: int = 0
+    #: coordinated-omission-safe: completion − *scheduled* arrival
+    latencies: List[float] = field(default_factory=list)
+    duration_seconds: float = 0.0
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.anomaly_count == 0
+
+    @property
+    def throughput(self) -> float:
+        """Completed wall req/s over the span of the run."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.completed / self.duration_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "offered_rate_equivalent": self.offered_rate,
+            "wall_dispatch_rate": self.wall_rate,
+            "requests": self.requests,
+            "completed": self.completed,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "errors": self.errors,
+            "anomaly_count": self.anomaly_count,
+            "anomalies": list(self.anomalies),
+            "ok": self.ok,
+            "throughput": self.throughput,
+            "duration_seconds": self.duration_seconds,
+            "latency": {
+                "p50": percentile(self.latencies, 50),
+                "p99": percentile(self.latencies, 99),
+                "max": max(self.latencies, default=0.0),
+            },
+            "stats": self.stats,
+        }
+
+
+async def run_open_loop(
+    submit: SubmitFn,
+    config: OpenLoopConfig,
+    resolution: int = 20_000,
+    stats: Optional[Callable[[], Dict[str, object]]] = None,
+    pool=None,
+    trace: Optional[List[Tuple[float, AdmissionRequest]]] = None,
+) -> OpenLoopReport:
+    """Fire the open-loop trace at ``submit`` and audit every response.
+
+    Every request is scheduled as its own task sleeping until its
+    pre-computed wall offset, so dispatch never waits on completions
+    (open loop).  Submit failures (e.g. the router giving up) count as
+    ``errors`` — the request's slot in the timeline is still paid.
+    """
+    if trace is None:
+        trace = generate_open_loop(config, pool=pool)
+    report = OpenLoopReport(
+        offered_rate=config.virtual_rate,
+        wall_rate=config.wall_rate,
+        requests=len(trace),
+    )
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    outcomes: List[Optional[Tuple[AdmissionRequest, object, float]]] = [
+        None
+    ] * len(trace)
+
+    async def fire(index: int, offset: float, request) -> None:
+        delay = offset - (loop.time() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        try:
+            response = await submit(request)
+        except Exception as exc:  # noqa: BLE001 — per-request failure
+            outcomes[index] = (request, exc, 0.0)
+            return
+        latency = (loop.time() - start) - offset
+        outcomes[index] = (request, response, latency)
+
+    await asyncio.gather(
+        *(
+            fire(index, offset, request)
+            for index, (offset, request) in enumerate(trace)
+        )
+    )
+    report.duration_seconds = loop.time() - start
+
+    for outcome in outcomes:
+        assert outcome is not None
+        request, response, latency = outcome
+        if isinstance(response, BaseException):
+            report.errors += 1
+            continue
+        report.completed += 1
+        if response.status == "admitted":
+            report.admitted += 1
+        elif response.status == "rejected":
+            report.rejected += 1
+        else:
+            report.shed += 1
+            continue  # shed = no decision: no latency, nothing to audit
+        report.latencies.append(latency)
+        if config.audit:
+            anomalies = audit_response(request, response, resolution)
+            report.anomaly_count += len(anomalies)
+            remaining = config.max_anomalies - len(report.anomalies)
+            if remaining > 0:
+                report.anomalies.extend(anomalies[:remaining])
+
+    if stats is not None:
+        report.stats = await _maybe_await(stats())
     return report

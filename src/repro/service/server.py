@@ -42,6 +42,7 @@ from ..knapsack import SolverCache
 from ..observability import Observability
 from ..parallel import SweepRunner
 from ..runtime.health import CircuitBreaker, HealthMonitor
+from .aio import cancel_and_wait
 from .batching import BatchPolicy, MicroBatcher
 from .degradation import DegradationLevel, DegradationPolicy
 from .protocol import (
@@ -262,11 +263,7 @@ class ODMService:
                 await asyncio.sleep(0.001)
         task = self._loop_task
         self._loop_task = None
-        task.cancel()
-        try:
-            await task
-        except asyncio.CancelledError:
-            pass
+        await cancel_and_wait(task)
         # anything still queued (drain=False) is shed, never dropped
         while True:
             try:
@@ -487,6 +484,48 @@ class ODMService:
                     server=str(server_id),
                     source=f"gossip:{origin}",
                 )
+
+    # ------------------------------------------------------------------
+    # cache tier surface (fleet warm replication)
+    # ------------------------------------------------------------------
+    # The protocol logic lives in :mod:`repro.fleet.cachetier`; these
+    # delegates import it lazily so ``repro.service`` never drags the
+    # fleet package (which imports back into service) in at import time.
+    def cache_digest(
+        self, limit: int = 32
+    ) -> Optional[Dict[str, object]]:
+        """Gossip-piggybacked cache advertisement (``None`` = no cache)."""
+        if self.cache is None:
+            return None
+        from ..fleet.cachetier import cache_digest
+
+        return cache_digest(self.cache, limit)
+
+    def cache_sync_reply(
+        self,
+        have=None,
+        budget=None,
+        states=None,
+        max_bytes=None,
+    ) -> Dict[str, object]:
+        """Serve one ``cache_sync`` pull (see fleet.cachetier budgets)."""
+        from ..fleet.cachetier import build_sync_reply
+
+        return build_sync_reply(
+            self.cache,
+            have=have,
+            budget=budget,
+            states=states,
+            max_bytes=max_bytes,
+        )
+
+    def absorb_cache_sync(
+        self, reply: Mapping[str, object]
+    ) -> Dict[str, int]:
+        """Fold a peer's ``cache_sync`` reply into the local cache."""
+        from ..fleet.cachetier import absorb_sync_reply
+
+        return absorb_sync_reply(self.cache, reply)
 
     # ------------------------------------------------------------------
     # batch processing
@@ -874,7 +913,11 @@ async def serve_tcp(
     list under ``"requests"``, answered by one vectorized
     ``batch_response``), ``outcome`` (``server``/``ok``/``time``),
     ``window`` (close one health window), ``gossip`` (absorb an
-    optional peer ``beacon``, reply with ours), ``stats``,
+    optional peer ``beacon``, reply with ours plus a ``cache_digest``
+    advertisement when a cache is attached), ``cache_sync`` (bulk
+    warm-replication pull: serialized hot cache entries + delta states
+    the requester's ``have`` fingerprints lack, budget- and
+    size-capped — see :mod:`repro.fleet.cachetier`), ``stats``,
     ``shutdown``.  Responses echo an ``op`` so pipelined clients can
     demultiplex.  ``duration`` is a safety cap: the server exits
     cleanly after that many seconds even without a shutdown op (CI
@@ -1103,10 +1146,28 @@ async def serve_tcp(
                         ) as exc:
                             await wire_error(f"bad beacon: {exc}", mode)
                             continue
-                    await reply(
-                        {"op": "gossip", "beacon": service.beacon()},
-                        mode,
-                    )
+                    gossip_reply: Dict[str, object] = {
+                        "op": "gossip",
+                        "beacon": service.beacon(),
+                    }
+                    digest = service.cache_digest()
+                    if digest is not None:
+                        gossip_reply["cache_digest"] = digest
+                    await reply(gossip_reply, mode)
+                elif op == "cache_sync":
+                    try:
+                        sync = service.cache_sync_reply(
+                            have=record.get("have"),
+                            budget=record.get("budget"),
+                            states=record.get("states"),
+                            max_bytes=record.get("max_bytes"),
+                        )
+                    except (TypeError, ValueError) as exc:
+                        await wire_error(
+                            f"bad cache_sync: {exc}", mode
+                        )
+                        continue
+                    await reply({"op": "cache_sync", **sync}, mode)
                 elif op == "stats":
                     await reply({"op": "stats", **service.stats()}, mode)
                 elif op == "shutdown":
@@ -1483,6 +1544,41 @@ class ServiceClient:
             payload["beacon"] = beacon
         record = await self._call(payload, timeout=timeout)
         return dict(record.get("beacon") or {})
+
+    async def cache_sync(
+        self,
+        have: Sequence[str] = (),
+        budget: Optional[int] = None,
+        states: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Pull serialized hot cache entries the peer has and we lack.
+
+        The bulk-transfer half of the fleet cache tier
+        (:mod:`repro.fleet.cachetier`): ``have`` lists our key
+        fingerprints, the peer answers with up to ``budget`` hot
+        entries and ``states`` delta states it can spare, each capped
+        at ``max_bytes`` serialized (all clamped to the peer's own
+        budgets).
+        """
+        payload: Dict[str, object] = {
+            "op": "cache_sync",
+            "have": list(have),
+        }
+        if budget is not None:
+            payload["budget"] = int(budget)
+        if states is not None:
+            payload["states"] = int(states)
+        if max_bytes is not None:
+            payload["max_bytes"] = int(max_bytes)
+        record = await self._call(payload, timeout=timeout)
+        if record.get("op") != "cache_sync":
+            raise ConnectionLost(
+                f"expected cache_sync reply, got {record.get('op')!r}: "
+                f"{record.get('error', '')}"
+            )
+        return {k: v for k, v in record.items() if k != "op"}
 
     async def stats(
         self, timeout: Optional[float] = None

@@ -78,6 +78,10 @@ class TestSolverCache:
             "hits": 1,
             "misses": 1,
             "near_hits": 0,
+            "hits_local": 1,
+            "hits_replicated": 0,
+            "replicated_in": 0,
+            "replicated_states_in": 0,
             "entries": 1,
             "delta_states": 0,
         }

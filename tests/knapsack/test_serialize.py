@@ -1,0 +1,190 @@
+"""Round-trip and rejection tests for the cache wire codec.
+
+The fleet cache tier only stays an *optimization* if a decoded record
+is indistinguishable from a locally computed one: keys must round-trip
+with exact float equality (they are structural fingerprints), delta
+states must resume the identical DP instruction stream, and anything
+the codec cannot vouch for — wrong version, wrong kind, mangled
+payload — must raise :class:`CacheCodecError` instead of
+reconstructing garbage.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knapsack import MCKPItem, SolverCache, solve_delta, solve_dp
+from repro.knapsack.serialize import (
+    CACHE_WIRE_VERSION,
+    CacheCodecError,
+    decode_entry,
+    decode_key,
+    decode_state,
+    encode_entry,
+    encode_key,
+    encode_state,
+    encoded_size,
+    key_fingerprint,
+)
+from tests.conftest import build_churned_instance, mckp_class_items
+
+RESOLUTION = 2_000
+
+instances = st.lists(
+    mckp_class_items(), min_size=1, max_size=4
+).map(build_churned_instance)
+
+
+def _key(instance, **kwargs):
+    kwargs.setdefault("resolution", RESOLUTION)
+    return SolverCache.key_for("dp", instance, **kwargs)
+
+
+def _small_instance(weight=0.5):
+    return build_churned_instance(
+        [(MCKPItem(value=1.0, weight=weight),)]
+    )
+
+
+# ----------------------------------------------------------------------
+# round trips
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(instance=instances)
+def test_key_roundtrip_is_exact(instance):
+    key = _key(instance)
+    # through the JSON text, not just the dict: the wire carries text
+    record = json.loads(json.dumps(encode_key(key)))
+    assert decode_key(record) == key
+
+
+@settings(max_examples=40, deadline=None)
+@given(instance=instances)
+def test_entry_roundtrip_preserves_choices(instance):
+    key = _key(instance)
+    result = solve_dp(instance, resolution=RESOLUTION)
+    choices = None if result is None else dict(result.choices)
+    record = json.loads(json.dumps(encode_entry(key, choices)))
+    decoded_key, decoded_choices = decode_entry(record)
+    assert decoded_key == key
+    assert decoded_choices == choices
+
+
+def test_infeasible_entry_roundtrips_as_none():
+    key = _key(_small_instance())
+    _, choices = decode_entry(
+        json.loads(json.dumps(encode_entry(key, None)))
+    )
+    assert choices is None
+
+
+@settings(max_examples=20, deadline=None)
+@given(instance=instances)
+def test_state_roundtrip_resumes_identically(instance):
+    first = solve_delta(instance, resolution=RESOLUTION)
+    if first.state is None:  # degenerate empty/zero-capacity shortcut
+        return
+    key = _key(instance)
+    record = json.loads(json.dumps(encode_state(key, first.state)))
+    decoded_key, state = decode_state(record)
+    assert decoded_key == key
+    # the decoded state must warm-start to the bit-identical result a
+    # locally held state produces, reusing every folded layer
+    resumed = solve_delta(
+        instance, resolution=RESOLUTION, state=state
+    )
+    assert resumed.reused_layers == first.state.num_layers
+    first_choices = (
+        None if first.selection is None else first.selection.choices
+    )
+    resumed_choices = (
+        None if resumed.selection is None else resumed.selection.choices
+    )
+    assert resumed_choices == first_choices
+
+
+@settings(max_examples=40, deadline=None)
+@given(instance=instances)
+def test_fingerprint_matches_across_roundtrip(instance):
+    """Both sides of a sync derive one fingerprint for equal keys."""
+    key = _key(instance)
+    record = json.loads(json.dumps(encode_key(key)))
+    assert key_fingerprint(decode_key(record)) == key_fingerprint(key)
+
+
+# ----------------------------------------------------------------------
+# rejection: version tags, kinds, malformed payloads
+# ----------------------------------------------------------------------
+def _entry_record():
+    return encode_entry(_key(_small_instance(0.0)), {"c0": 0})
+
+
+@pytest.mark.parametrize("version", [0, CACHE_WIRE_VERSION + 1, "1", None])
+def test_wrong_version_is_rejected(version):
+    record = _entry_record()
+    record["v"] = version
+    with pytest.raises(CacheCodecError, match="wire version"):
+        decode_entry(record)
+
+
+def test_wrong_kind_is_rejected():
+    record = _entry_record()
+    with pytest.raises(CacheCodecError, match="expected a 'state'"):
+        decode_state(record)
+
+
+def test_non_mapping_record_is_rejected():
+    with pytest.raises(CacheCodecError, match="mapping"):
+        decode_entry(["not", "a", "dict"])
+
+
+@pytest.mark.parametrize(
+    "mangle",
+    [
+        lambda r: r.pop("key"),
+        lambda r: r["key"].pop("classes"),
+        lambda r: r["key"].update(capacity="oops"),
+        lambda r: r.update(choices=[["c0", "not-an-int"]]),
+        lambda r: r.update(choices=123),
+    ],
+)
+def test_malformed_entry_is_rejected(mangle):
+    record = _entry_record()
+    mangle(record)
+    with pytest.raises((CacheCodecError, TypeError)):
+        decode_entry(record)
+
+
+def test_non_scalar_kwarg_value_fails_encode():
+    with pytest.raises(CacheCodecError, match="JSON scalar"):
+        encode_key(("dp", (("resolution", [1, 2]),), (1.0, ())))
+
+
+def test_mangled_state_array_is_rejected():
+    instance = _small_instance()
+    state = solve_delta(instance, resolution=RESOLUTION).state
+    record = encode_state(_key(instance), state)
+    record["history"][0][0]["data"] = "!!!not-base64!!!"
+    with pytest.raises(CacheCodecError):
+        decode_state(record)
+
+
+def test_state_array_length_mismatch_is_rejected():
+    instance = _small_instance()
+    state = solve_delta(instance, resolution=RESOLUTION).state
+    record = encode_state(_key(instance), state)
+    record["history"][0][0]["shape"] = [10_000]
+    with pytest.raises(CacheCodecError, match="does not match"):
+        decode_state(record)
+
+
+# ----------------------------------------------------------------------
+# size accounting
+# ----------------------------------------------------------------------
+def test_encoded_size_measures_compact_json():
+    record = {"v": 1, "kind": "entry", "key": {"a": 1.5}}
+    assert encoded_size(record) == len(
+        json.dumps(record, separators=(",", ":")).encode("utf-8")
+    )

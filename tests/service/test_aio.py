@@ -1,0 +1,53 @@
+"""Teardown convergence for ``cancel_and_wait``.
+
+The 3.11 ``wait_for`` race can hand a background loop a swallowed
+cancellation, leaving it alive in "cancelling" state; a naive
+``await task`` after one ``cancel()`` then never returns.  The helper
+must converge anyway — and still propagate nothing to the caller.
+"""
+
+import asyncio
+
+from repro.service.aio import cancel_and_wait
+
+
+def test_plain_task_is_cancelled_and_awaited():
+    async def scenario():
+        task = asyncio.create_task(asyncio.sleep(100))
+        await cancel_and_wait(task)
+        return task
+
+    task = asyncio.run(scenario())
+    assert task.cancelled()
+
+
+def test_swallowed_first_cancellation_still_converges():
+    async def stubborn():
+        try:
+            await asyncio.sleep(100)
+        except asyncio.CancelledError:
+            pass  # simulates wait_for eating the cancellation
+        await asyncio.sleep(100)
+
+    async def scenario():
+        task = asyncio.create_task(stubborn())
+        await asyncio.sleep(0)  # let it reach the first sleep
+        await cancel_and_wait(task, poke_interval=0.01)
+        return task
+
+    task = asyncio.run(scenario())
+    assert task.done()
+
+
+def test_failed_task_exception_is_retrieved_not_raised():
+    async def doomed():
+        raise RuntimeError("boom")
+
+    async def scenario():
+        task = asyncio.create_task(doomed())
+        await asyncio.sleep(0)
+        await cancel_and_wait(task)
+        return task
+
+    task = asyncio.run(scenario())
+    assert isinstance(task.exception(), RuntimeError)

@@ -135,3 +135,130 @@ def test_in_process_run_is_audit_clean(batched):
     assert report.requests == report.admitted + report.rejected
     assert report.stats is not None
     assert "delta" in report.stats
+
+
+# ----------------------------------------------------------------------
+# open-loop (arrival-rate-driven) traffic
+# ----------------------------------------------------------------------
+from types import SimpleNamespace
+
+from repro.service import (
+    OpenLoopConfig,
+    generate_open_loop,
+    run_open_loop,
+)
+
+
+def ol_config(**overrides):
+    base = dict(
+        seed=7,
+        rate=10_000.0,
+        requests=24,
+        dispatch_scale=0.01,
+        unique_sets=3,
+        num_tasks=4,
+    )
+    base.update(overrides)
+    return OpenLoopConfig(**base)
+
+
+class TestOpenLoopTrace:
+    def test_config_is_validated(self):
+        with pytest.raises(ValueError):
+            ol_config(rate=0.0)
+        with pytest.raises(ValueError):
+            ol_config(rate_multiplier=-1.0)
+        with pytest.raises(ValueError):
+            ol_config(dispatch_scale=0.0)
+        with pytest.raises(ValueError):
+            ol_config(requests=0)
+        with pytest.raises(ValueError):
+            ol_config(churn_rate=1.5)
+
+    def test_trace_is_replayable(self):
+        first = generate_open_loop(ol_config(churn_rate=0.3))
+        again = generate_open_loop(ol_config(churn_rate=0.3))
+        assert [offset for offset, _ in first] == [
+            offset for offset, _ in again
+        ]
+        for (_, a), (_, b) in zip(first, again):
+            assert a.request_id == b.request_id
+            assert a.server_estimates == b.server_estimates
+            assert [t.task_id for t in a.tasks] == [
+                t.task_id for t in b.tasks
+            ]
+        different = generate_open_loop(ol_config(seed=8))
+        assert [o for o, _ in different] != [o for o, _ in first]
+
+    def test_offsets_are_increasing_and_dilated(self):
+        trace = generate_open_loop(ol_config())
+        offsets = [offset for offset, _ in trace]
+        assert offsets == sorted(offsets)
+        assert all(offset > 0 for offset in offsets)
+
+    def test_rate_multiplier_compresses_the_same_gap_sequence(self):
+        """x4 load is the *same* seeded process played 4x faster."""
+        base = generate_open_loop(ol_config())
+        fast = generate_open_loop(ol_config(rate_multiplier=4.0))
+        for (slow_offset, a), (fast_offset, b) in zip(base, fast):
+            assert fast_offset == pytest.approx(slow_offset / 4.0)
+            assert a.request_id == b.request_id
+
+    def test_explicit_pool_feeds_every_request(self):
+        donor = generate_open_loop(ol_config())[0][1].tasks
+        trace = generate_open_loop(ol_config(), pool=[donor])
+        assert {id(request.tasks) for _, request in trace} == {id(donor)}
+        with pytest.raises(ValueError):
+            generate_open_loop(ol_config(), pool=[])
+
+
+class TestOpenLoopRun:
+    def test_in_process_run_is_audit_clean(self):
+        async def scenario():
+            service = ODMService(
+                workers=1,
+                batch_policy=BatchPolicy(
+                    max_batch=8, max_wait=0.0005, queue_capacity=64
+                ),
+                resolution=20_000,
+            )
+            async with service:
+                return await run_open_loop(
+                    service.submit,
+                    ol_config(churn_rate=0.3),
+                    resolution=20_000,
+                    stats=service.stats,
+                )
+
+        report = asyncio.run(scenario())
+        assert report.ok and report.anomaly_count == 0
+        assert report.completed == report.requests == 24
+        assert report.errors == 0
+        assert len(report.latencies) == report.admitted + report.rejected
+        assert report.throughput > 0
+        assert report.stats["cache"]["hits"] + report.stats["cache"][
+            "misses"
+        ] > 0
+        record = report.to_dict()
+        assert record["latency"]["p99"] >= record["latency"]["p50"] >= 0
+
+    def test_submit_errors_pay_their_slot(self):
+        async def scenario():
+            calls = [0]
+
+            async def flaky_submit(request):
+                calls[0] += 1
+                if calls[0] % 3 == 0:
+                    raise ConnectionError("router gave up")
+                return SimpleNamespace(status="shed")
+
+            return await run_open_loop(
+                flaky_submit, ol_config(requests=9, audit=False)
+            )
+
+        report = asyncio.run(scenario())
+        assert report.requests == 9
+        assert report.errors == 3
+        assert report.shed == 6
+        assert report.completed == 6
+        assert report.latencies == []  # shed = no decision, no latency

@@ -36,6 +36,10 @@ REQUIRED_KEYS = {
         "rungs_seen", "breaker_opened", "breaker_reclosed",
         "anomaly_count", "anomalies", "ok", "latency", "wall_seconds",
     },
+    "BENCH_fleet_scale.json": {
+        "cells", "restart_comparison", "anomaly_count",
+        "duplicate_deliveries", "ok", "wall_seconds",
+    },
     "BENCH_observability.json": {
         "benchmark", "headline", "profile", "stress", "estimator",
         "emit_ns_per_event", "emit_plus_fold_ns_per_event",
@@ -69,6 +73,54 @@ def test_artifact_keeps_its_required_keys(name):
     data = json.loads(path.read_text())
     missing = REQUIRED_KEYS[name] - set(data)
     assert not missing, f"{name} lost required keys: {sorted(missing)}"
+
+
+def test_fleet_scale_artifact_invariants():
+    """The scale sweep must be clean and the warm restart must win."""
+    data = json.loads((ROOT / "BENCH_fleet_scale.json").read_text())
+    assert data["ok"] is True
+    assert data["anomaly_count"] == 0
+    assert data["duplicate_deliveries"] == 0
+    cells = data["cells"]
+    assert len(cells) >= 9
+    assert len({c["replicas"] for c in cells}) >= 3
+    assert len({c["rate_multiplier"] for c in cells}) >= 3
+    restart = data["restart_comparison"]
+    assert restart["warm_better"] is True
+    warm, cold = restart["warm"], restart["cold"]
+    assert warm["post_restart_hit_rate"] > cold["post_restart_hit_rate"]
+    assert (
+        warm["time_back_to_steady_p99"]
+        < cold["time_back_to_steady_p99"]
+    )
+    # the win must come from actual replication, not luck
+    assert warm["sync"]["entries"] > 0
+    assert warm["replicated_in"] > 0
+    assert cold["replicated_in"] == 0
+
+
+def test_unified_replica_cache_stats_schema():
+    """Every replica cache block in every fleet/service artifact
+    carries the one shared 9-key stats schema (see SolverCache.stats),
+    so attribution fields can be compared across artifacts."""
+    cache_keys = {
+        "hits", "misses", "near_hits", "hits_local",
+        "hits_replicated", "replicated_in", "replicated_states_in",
+        "entries", "delta_states",
+    }
+
+    service = json.loads((ROOT / "BENCH_service.json").read_text())
+    assert cache_keys <= set(service["stats"]["cache"])
+
+    fleet = json.loads((ROOT / "BENCH_fleet.json").read_text())
+    assert fleet["replicas"]
+    for replica_id, stats in fleet["replicas"].items():
+        assert cache_keys <= set(stats["cache"]), replica_id
+
+    scale = json.loads((ROOT / "BENCH_fleet_scale.json").read_text())
+    for cell in scale["cells"]:
+        attribution = set(cell["cache_attribution"])
+        assert {"hits_local", "hits_replicated", "misses"} <= attribution
 
 
 def test_campaign_artifact_invariants():
