@@ -690,6 +690,79 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_topology_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments import TopologySweepConfig, run_topology_sweep
+    from .scenarios import topology_matrix, topology_smoke_matrix
+
+    matrix = (
+        topology_smoke_matrix()
+        if args.smoke
+        else topology_matrix(num_tasks=args.tasks)
+    )
+    config = TopologySweepConfig(
+        seed=args.seed,
+        replications=args.replications,
+        resolution=args.resolution,
+        num_samples=args.samples,
+    )
+    report = run_topology_sweep(matrix, config, workers=args.workers)
+    if args.verify_parallel and args.verify_parallel > 1:
+        parallel = run_topology_sweep(
+            matrix, config, workers=args.verify_parallel
+        )
+        report.serial_parallel_identical = (
+            parallel.comparable_dict() == report.comparable_dict()
+        )
+        print(
+            f"verify: workers={args.verify_parallel} "
+            f"({parallel.mode}, {parallel.wall_seconds:.1f}s) "
+            f"{'==' if report.serial_parallel_identical else '!='} "
+            f"workers={report.workers} "
+            f"({report.mode}, {report.wall_seconds:.1f}s) — "
+            + (
+                "bit-for-bit identical"
+                if report.serial_parallel_identical
+                else "AGGREGATES DIVERGED"
+            )
+        )
+    print(report.format())
+    for anomaly in report.audit["anomalies"]:
+        print(f"  ! {anomaly}")
+    if args.svg:
+        from .reporting import svg_bar_chart
+
+        per_count = report.marginals.get("servers", {})
+        labels = list(per_count)
+        series = {
+            "benefit": [
+                per_count[lb]["mean_benefit"] or 0.0 for lb in labels
+            ],
+            "servers used": [
+                per_count[lb]["mean_servers_used"] or 0.0 for lb in labels
+            ],
+        }
+        with open(args.svg, "w") as handle:
+            handle.write(
+                svg_bar_chart(
+                    labels,
+                    series,
+                    title="Topology sweep marginals vs server count",
+                    x_label="server count",
+                    y_label="value",
+                )
+            )
+        print(f"wrote {args.svg}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    ok = report.ok and report.serial_parallel_identical is not False
+    return 0 if ok else 1
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     tasks = table1_task_set()
     system = OffloadingSystem(
@@ -1045,6 +1118,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--svg", help="also write a marginals chart to PATH")
     add_workers(p)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "topology-sweep",
+        help="run the multi-server topology sweep (routed MCKP over "
+        "server count x heterogeneity x link quality + routed "
+        "differential audit)",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="6-cell CI miniature instead of the full 24-cell matrix",
+    )
+    p.add_argument(
+        "--tasks", type=int, default=12,
+        help="tasks per generated set (full matrix only)",
+    )
+    p.add_argument(
+        "--replications", type=int, default=1,
+        help="instances drawn per matrix cell",
+    )
+    p.add_argument(
+        "--resolution", type=int, default=2_000,
+        help="DP capacity quantization units",
+    )
+    p.add_argument(
+        "--samples", type=int, default=64,
+        help="estimator samples per (server, task) pair",
+    )
+    p.add_argument(
+        "--verify-parallel", type=int, default=4, metavar="N",
+        help="re-run at N workers and require bit-for-bit identical "
+        "aggregates (0 = skip)",
+    )
+    p.add_argument("--out", help="write the aggregate report JSON to PATH")
+    p.add_argument("--svg", help="also write a marginals chart to PATH")
+    add_workers(p)
+    p.set_defaults(func=_cmd_topology_sweep)
 
     p = sub.add_parser("demo", help="one end-to-end run with a Gantt chart")
     p.add_argument("--scenario", default="idle")

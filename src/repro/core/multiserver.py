@@ -22,17 +22,18 @@ This module builds that MCKP and wraps the result in a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
-from ..knapsack import MCKPClass, MCKPInstance, MCKPItem, SOLVERS, Selection
+from ..knapsack import MCKPInstance, SOLVERS, Selection
 from ..sched.transport import OffloadRequest, OffloadTransport
 from .benefit import BenefitFunction
+from .odm import build_mckp
 from .schedulability import (
     OffloadAssignment,
     SchedulabilityResult,
     theorem3_test,
 )
-from .task import OffloadableTask, TaskSet
+from .task import TaskSet
 
 __all__ = [
     "MultiServerDecision",
@@ -86,57 +87,12 @@ def build_multiserver_mckp(
     item's value is the maximum of the servers' ``G_i(0)`` (all describe
     the same local execution; they should agree, but measurement noise
     is tolerated by taking the max).
+
+    Since the routed-MCKP work this is a thin alias for
+    :func:`repro.core.odm.build_mckp` in topology mode; it is kept as
+    the historical public entry point.
     """
-    classes: List[MCKPClass] = []
-    for task in tasks:
-        local_density = task.wcet / min(task.period, task.deadline)
-        local_values = [
-            per_task[task.task_id].local_benefit
-            for per_task in server_benefits.values()
-            if task.task_id in per_task
-        ]
-        if isinstance(task, OffloadableTask):
-            local_values.append(task.benefit.local_benefit)
-        local_value = max(local_values, default=0.0) * task.weight
-        items: List[MCKPItem] = [
-            MCKPItem(value=local_value, weight=local_density,
-                     tag=(None, 0.0))
-        ]
-        if isinstance(task, OffloadableTask):
-            for server_id, per_task in server_benefits.items():
-                fn = per_task.get(task.task_id)
-                if fn is None:
-                    continue
-                for point in fn.points:
-                    if point.is_local:
-                        continue
-                    slack = task.deadline - point.response_time
-                    if slack <= 0:
-                        continue
-                    setup = (
-                        point.setup_time
-                        if point.setup_time is not None
-                        else task.setup_time
-                    )
-                    if task.result_guaranteed(point.response_time):
-                        second = task.post_time
-                    else:
-                        second = (
-                            point.compensation_time
-                            if point.compensation_time is not None
-                            else task.compensation_time
-                        )
-                    if setup + second > slack + 1e-12:
-                        continue
-                    items.append(
-                        MCKPItem(
-                            value=point.benefit * task.weight,
-                            weight=(setup + second) / slack,
-                            tag=(server_id, point.response_time),
-                        )
-                    )
-        classes.append(MCKPClass(class_id=task.task_id, items=tuple(items)))
-    return MCKPInstance(classes=tuple(classes), capacity=1.0)
+    return build_mckp(tasks, topology=server_benefits)
 
 
 class MultiServerDecisionManager:

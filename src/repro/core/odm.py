@@ -87,7 +87,61 @@ class OffloadingDecision:
         return self.response_times[task_id]
 
 
-def build_mckp(tasks: TaskSet, objective=None) -> MCKPInstance:
+def _offload_item(
+    task: OffloadableTask,
+    point,
+    objective,
+    tag,
+    response_bound: "Optional[float]",
+) -> Optional[MCKPItem]:
+    """One benefit point → one MCKP item, or ``None`` when structurally
+    infeasible (``r ≥ D_i`` or the phases cannot fit the slack).
+
+    ``response_bound`` is the §3 pessimistic server bound in force for
+    *this* item's server: when ``r`` meets it the result is guaranteed
+    and the second phase budgets ``C_{i,3}`` instead of ``C_{i,2}``.
+    The caller passes the task-level bound in single-server mode and the
+    per-server bound in topology mode — re-verifying the §3 guarantee
+    for whichever server the item would route to.
+    """
+    slack = task.deadline - point.response_time
+    if slack <= 0:
+        return None
+    setup = (
+        point.setup_time
+        if point.setup_time is not None
+        else task.setup_time
+    )
+    guaranteed = (
+        response_bound is not None
+        and point.response_time >= response_bound - 1e-12
+    )
+    if guaranteed:
+        # §3 extension: guaranteed result -> post-processing budget
+        # instead of compensation
+        second = task.post_time
+    else:
+        second = (
+            point.compensation_time
+            if point.compensation_time is not None
+            else task.compensation_time
+        )
+    if setup + second > slack + 1e-12:
+        return None
+    if objective is not None:
+        value = objective.offload_value(task, point)
+    else:
+        value = point.benefit * task.weight
+    return MCKPItem(value=value, weight=(setup + second) / slack, tag=tag)
+
+
+def build_mckp(
+    tasks: TaskSet,
+    objective=None,
+    topology: "Optional[Mapping[str, Mapping[str, object]]]" = None,
+    allowed_servers=None,
+    server_bounds: "Optional[Mapping[str, Mapping[str, float]]]" = None,
+) -> MCKPInstance:
     """Construct the §5.2 MCKP instance for ``tasks``.
 
     Every task contributes a class whose first item is the (always
@@ -104,54 +158,94 @@ def build_mckp(tasks: TaskSet, objective=None) -> MCKPInstance:
     item *values* only — weights, and therefore the set of feasible
     selections and the Theorem 3 guarantee, are identical to the plain
     reduction.
+
+    **Topology mode.**  ``topology`` maps
+    ``server_id -> {task_id -> BenefitFunction}`` — the per-server
+    benefit functions the estimator measured for each task *on that
+    server*.  Choice groups then span server×level: each class holds the
+    local item (tag ``(None, 0.0)``) plus, for every server offering the
+    task, one item per structurally feasible point of that server's
+    function (tag ``(server_id, r)``).  Exactly-one-per-class decides
+    offload-or-not, the route, and the level in a single MCKP.  Item
+    *weights* use the same Theorem 3 formula regardless of server (the
+    client-side demand does not care where the request went), but the §3
+    guaranteed-result test is re-applied per server through
+    ``server_bounds[server_id][task_id]`` (falling back to the task's
+    own ``server_response_bound``), so an item budgets ``C_{i,3}`` only
+    when *its* server guarantees the result.
+
+    ``allowed_servers`` (topology mode only) restricts which servers
+    contribute items — the hook the per-server circuit breakers use to
+    prune choice groups for open-breaker servers.  Pruning removes
+    items, never classes: the local item survives unconditionally, so a
+    fully pruned topology degrades to exactly the local-only reduction.
+
+    With exactly one server whose benefit functions equal the tasks' own
+    (and no distinct bound), the topology-mode instance has the same
+    values and weights, in the same order, as the single-server
+    reduction — the DP then runs the identical instruction stream and
+    the routed solve is bit-for-bit the single-server solve (pinned by
+    ``tests/topology/test_routed_differential.py``).
     """
+    if topology is None and allowed_servers is not None:
+        raise ValueError("allowed_servers requires topology mode")
+    if topology is None and server_bounds is not None:
+        raise ValueError("server_bounds requires topology mode")
     classes: List[MCKPClass] = []
     for task in tasks:
         local_density = task.wcet / min(task.period, task.deadline)
         if objective is not None:
             local_value = objective.local_value(task)
+        elif topology is not None:
+            # All servers describe the same local execution; they should
+            # agree, but measurement noise is tolerated by taking the
+            # max.
+            local_values = [
+                per_task[task.task_id].local_benefit
+                for per_task in topology.values()
+                if task.task_id in per_task
+            ]
+            if isinstance(task, OffloadableTask):
+                local_values.append(task.benefit.local_benefit)
+            local_value = max(local_values, default=0.0) * task.weight
         elif isinstance(task, OffloadableTask):
             local_value = task.benefit.local_benefit * task.weight
         else:
             local_value = 0.0
+        local_tag = 0.0 if topology is None else (None, 0.0)
         items: List[MCKPItem] = [
-            MCKPItem(value=local_value, weight=local_density, tag=0.0)
+            MCKPItem(value=local_value, weight=local_density, tag=local_tag)
         ]
         if isinstance(task, OffloadableTask):
-            for point in task.benefit.points:
-                if point.is_local:
-                    continue
-                slack = task.deadline - point.response_time
-                if slack <= 0:
-                    continue
-                setup = (
-                    point.setup_time
-                    if point.setup_time is not None
-                    else task.setup_time
-                )
-                if task.result_guaranteed(point.response_time):
-                    # §3 extension: guaranteed result -> post-processing
-                    # budget instead of compensation
-                    second = task.post_time
-                else:
-                    second = (
-                        point.compensation_time
-                        if point.compensation_time is not None
-                        else task.compensation_time
+            if topology is None:
+                sources = [(None, task.benefit)]
+            else:
+                sources = [
+                    (server_id, per_task[task.task_id])
+                    for server_id, per_task in topology.items()
+                    if task.task_id in per_task
+                    and (
+                        allowed_servers is None
+                        or server_id in allowed_servers
                     )
-                if setup + second > slack + 1e-12:
-                    continue
-                if objective is not None:
-                    value = objective.offload_value(task, point)
-                else:
-                    value = point.benefit * task.weight
-                items.append(
-                    MCKPItem(
-                        value=value,
-                        weight=(setup + second) / slack,
-                        tag=point.response_time,
+                ]
+            for server_id, fn in sources:
+                bound = task.server_response_bound
+                if server_bounds is not None and server_id is not None:
+                    bound = server_bounds.get(server_id, {}).get(
+                        task.task_id, bound
                     )
-                )
+                for point in fn.points:
+                    if point.is_local:
+                        continue
+                    tag = (
+                        point.response_time
+                        if topology is None
+                        else (server_id, point.response_time)
+                    )
+                    item = _offload_item(task, point, objective, tag, bound)
+                    if item is not None:
+                        items.append(item)
         classes.append(MCKPClass(class_id=task.task_id, items=tuple(items)))
     return MCKPInstance(classes=tuple(classes), capacity=1.0)
 

@@ -47,6 +47,11 @@ from .sensitivity import (
 )
 from .split_policies import SplitPolicyResult, run_split_policy_ablation
 from .table1 import Table1Result, format_table1, regenerate_table1
+from .topology_sweep import (
+    TopologySweepConfig,
+    TopologySweepReport,
+    run_topology_sweep,
+)
 
 __all__ = [
     "regenerate_table1",
@@ -82,4 +87,7 @@ __all__ = [
     "BudgetPoint",
     "percentile_tradeoff",
     "PercentilePoint",
+    "run_topology_sweep",
+    "TopologySweepConfig",
+    "TopologySweepReport",
 ]

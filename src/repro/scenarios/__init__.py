@@ -24,8 +24,11 @@ from .axes import (
     burst_axis,
     deadline_axis,
     energy_axis,
+    heterogeneity_axis,
+    link_quality_axis,
     overhead_axis,
     period_axis,
+    server_count_axis,
     util_cap_axis,
     util_dist_axis,
 )
@@ -45,7 +48,13 @@ from .energy import (
     decision_energy_rate,
 )
 from .generator import ScenarioSpec, generate_scenario, partition_utilization
-from .matrix import CampaignMatrix, default_matrix, smoke_matrix
+from .matrix import (
+    CampaignMatrix,
+    default_matrix,
+    smoke_matrix,
+    topology_matrix,
+    topology_smoke_matrix,
+)
 
 __all__ = [
     "AxisPoint",
@@ -67,14 +76,19 @@ __all__ = [
     "default_matrix",
     "energy_axis",
     "generate_scenario",
+    "heterogeneity_axis",
+    "link_quality_axis",
     "min_demand_rate",
     "overhead_axis",
     "partition_utilization",
     "period_axis",
     "run_campaign",
     "scenario_pool",
+    "server_count_axis",
     "simulate_burst_admission",
     "smoke_matrix",
+    "topology_matrix",
+    "topology_smoke_matrix",
     "util_cap_axis",
     "util_dist_axis",
 ]

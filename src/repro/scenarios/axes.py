@@ -39,6 +39,9 @@ __all__ = [
     "benefit_shape_axis",
     "energy_axis",
     "burst_axis",
+    "server_count_axis",
+    "heterogeneity_axis",
+    "link_quality_axis",
 ]
 
 
@@ -251,4 +254,45 @@ def burst_axis() -> ScenarioAxis:
             AxisPoint.of("steady", burst_rate=0.0, burst_windows=0),
             AxisPoint.of("bursty", burst_rate=3.0, burst_windows=6),
         ),
+    )
+
+
+# ----------------------------------------------------------------------
+# topology axes (see repro.topology)
+# ----------------------------------------------------------------------
+def server_count_axis(
+    counts: Sequence[int] = (1, 2, 4, 8),
+) -> ScenarioAxis:
+    """How many candidate servers the topology offers."""
+    return ScenarioAxis(
+        "servers",
+        tuple(
+            AxisPoint.of(f"n{count}", num_servers=int(count))
+            for count in counts
+        ),
+    )
+
+
+def heterogeneity_axis(
+    spreads: Sequence[float] = (0.0, 1.0),
+) -> ScenarioAxis:
+    """Compute-speed spread across servers: homogeneous vs the fastest
+    server being ``1 + spread`` times the slowest."""
+    return ScenarioAxis(
+        "heterogeneity",
+        tuple(
+            AxisPoint.of(f"spread{spread:g}", server_spread=float(spread))
+            for spread in spreads
+        ),
+    )
+
+
+def link_quality_axis(
+    qualities: Sequence[str] = ("fiber", "wifi", "lossy"),
+) -> ScenarioAxis:
+    """Shared client↔server link preset
+    (:data:`repro.topology.LINK_PRESETS`)."""
+    return ScenarioAxis(
+        "link",
+        tuple(AxisPoint.of(q, link_quality=q) for q in qualities),
     )

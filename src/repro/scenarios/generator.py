@@ -33,6 +33,7 @@ import numpy as np
 from ..core.benefit import BenefitFunction, BenefitPoint
 from ..core.task import OffloadableTask, TaskSet
 from ..sim.rng import RngLike, as_generator
+from ..topology.model import LINK_QUALITIES
 from ..workloads.generator import uunifast
 
 __all__ = ["ScenarioSpec", "generate_scenario", "partition_utilization"]
@@ -82,6 +83,13 @@ class ScenarioSpec:
     #: 0 = steady sporadic arrivals, no burst simulation
     burst_rate: float = 0.0
     burst_windows: int = 0
+    #: topology axes (see ``repro.topology``): candidate server count,
+    #: heterogeneity spread (fastest server is ``1 + spread``× the
+    #: slowest) and the shared link preset.  ``num_servers=1`` with the
+    #: defaults is the single-server regime of the base campaign.
+    num_servers: int = 1
+    server_spread: float = 0.0
+    link_quality: str = "wifi"
     #: provenance: ``(axis_name, point_label)`` pairs recorded by the
     #: matrix expansion; not used by generation itself
     axis_labels: Tuple[Tuple[str, str], ...] = ()
@@ -132,6 +140,15 @@ class ScenarioSpec:
             raise ValueError("burst_rate must be >= 0")
         if self.burst_windows < 0:
             raise ValueError("burst_windows must be >= 0")
+        if self.num_servers < 1:
+            raise ValueError("num_servers must be >= 1")
+        if self.server_spread < 0:
+            raise ValueError("server_spread must be >= 0")
+        if self.link_quality not in LINK_QUALITIES:
+            raise ValueError(
+                f"unknown link_quality {self.link_quality!r}; "
+                f"one of {LINK_QUALITIES}"
+            )
 
     def with_labels(
         self, labels: Tuple[Tuple[str, str], ...]

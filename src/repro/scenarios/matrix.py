@@ -26,14 +26,23 @@ from .axes import (
     burst_axis,
     deadline_axis,
     energy_axis,
+    heterogeneity_axis,
+    link_quality_axis,
     overhead_axis,
     period_axis,
+    server_count_axis,
     util_cap_axis,
     util_dist_axis,
 )
 from .generator import ScenarioSpec
 
-__all__ = ["CampaignMatrix", "default_matrix", "smoke_matrix"]
+__all__ = [
+    "CampaignMatrix",
+    "default_matrix",
+    "smoke_matrix",
+    "topology_matrix",
+    "topology_smoke_matrix",
+]
 
 
 @dataclass(frozen=True)
@@ -124,5 +133,36 @@ def smoke_matrix(num_tasks: int = 6) -> CampaignMatrix:
             util_cap_axis((0.7, 1.05)),
             overhead_axis().subset(["paper", "guaranteed"]),
             energy_axis(("balanced", "radio_heavy")),
+        ),
+    )
+
+
+def topology_matrix(num_tasks: int = 12) -> CampaignMatrix:
+    """The topology sweep: 4·2·3 = 24 cells of routed decisions.
+
+    Server count × heterogeneity spread × link quality — the three
+    federation dimensions PR 6's campaign left open.  The base keeps
+    ``util_cap`` below 1 so the all-local configuration is always
+    feasible: the sweep studies *routing quality*, not rescue, and the
+    routed differential audits assume a feasible local fallback.
+    """
+    return CampaignMatrix(
+        base=ScenarioSpec(num_tasks=num_tasks, num_benefit_points=3),
+        axes=(
+            server_count_axis(),
+            heterogeneity_axis(),
+            link_quality_axis(),
+        ),
+    )
+
+
+def topology_smoke_matrix(num_tasks: int = 6) -> CampaignMatrix:
+    """A 3·1·2 = 6-cell miniature of the topology sweep for CI."""
+    return CampaignMatrix(
+        base=ScenarioSpec(num_tasks=num_tasks, num_benefit_points=3),
+        axes=(
+            server_count_axis((1, 2, 4)),
+            heterogeneity_axis((1.0,)),
+            link_quality_axis(("fiber", "lossy")),
         ),
     )

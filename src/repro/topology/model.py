@@ -1,0 +1,241 @@
+"""Declarative server-topology model for routed offloading.
+
+The paper abstracts "a server" as any timing-unreliable component (§3)
+and evaluates a single GPU box behind a wireless link.  The ROADMAP's
+multi-server frontier replaces that single box with a *topology*: a set
+of heterogeneous candidate servers — edge boxes, cloud GPUs, neighbour
+robots — each with its own compute speed, its own network link, and
+optionally its own §3 response-time guarantee.
+
+A topology is purely declarative: :class:`ServerNode` describes a
+candidate, :class:`Topology` holds an ordered collection of them, and
+:func:`make_topology` builds deterministic families of topologies from
+three scalar axes (server count, heterogeneity spread, link quality) so
+the scenario campaign can sweep over them.  Stochastic behaviour
+(response-time sampling through the links) lives in
+:mod:`repro.topology.estimation`; the decision layer in
+:mod:`repro.topology.routing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..server.network import NetworkChannel
+
+__all__ = [
+    "LinkProfile",
+    "LINK_PRESETS",
+    "LINK_QUALITIES",
+    "ServerNode",
+    "Topology",
+    "make_topology",
+]
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """A named client↔server link quality (one-way channel parameters).
+
+    The parameters mirror :class:`repro.server.network.NetworkChannel`;
+    a profile is the *declarative* half — :meth:`channel` instantiates
+    the stochastic half once a generator is available.
+    """
+
+    name: str
+    bandwidth: float  # bytes/second
+    base_latency: float = 0.002
+    jitter_scale: float = 0.0
+    jitter_sigma: float = 1.0
+    loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.base_latency < 0:
+            raise ValueError("base_latency must be non-negative")
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError("loss_probability must be in [0, 1]")
+
+    def channel(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> NetworkChannel:
+        """Instantiate a stochastic channel with this profile."""
+        return NetworkChannel(
+            bandwidth=self.bandwidth,
+            base_latency=self.base_latency,
+            jitter_scale=self.jitter_scale,
+            jitter_sigma=self.jitter_sigma,
+            loss_probability=self.loss_probability,
+            rng=rng,
+        )
+
+    def mean_delay(self, num_bytes: float) -> float:
+        """Analytic one-way expected delay (no rng needed)."""
+        mean_jitter = (
+            self.jitter_scale * float(np.exp(self.jitter_sigma**2 / 2.0))
+            if self.jitter_scale > 0
+            else 0.0
+        )
+        return self.base_latency + num_bytes / self.bandwidth + mean_jitter
+
+
+#: The three link qualities the topology sweep exercises.  ``wifi``
+#: reproduces the case study's wireless parameters
+#: (:data:`repro.server.scenarios.SCENARIOS`); ``fiber`` is a wired
+#: edge/cloud uplink; ``lossy`` a congested or long-haul wireless hop.
+LINK_PRESETS: Dict[str, LinkProfile] = {
+    "fiber": LinkProfile(
+        name="fiber",
+        bandwidth=1.25e8,  # ~1 Gbit/s
+        base_latency=0.0005,
+        jitter_scale=0.0002,
+        jitter_sigma=0.5,
+        loss_probability=0.0,
+    ),
+    "wifi": LinkProfile(
+        name="wifi",
+        bandwidth=2.5e6,  # ~20 Mbit/s, the §6.1.1 wireless link
+        base_latency=0.002,
+        jitter_scale=0.003,
+        jitter_sigma=0.8,
+        loss_probability=0.005,
+    ),
+    "lossy": LinkProfile(
+        name="lossy",
+        bandwidth=1.0e6,
+        base_latency=0.008,
+        jitter_scale=0.010,
+        jitter_sigma=1.0,
+        loss_probability=0.05,
+    ),
+}
+
+#: Valid ``link_quality`` axis values, in best-to-worst order.
+LINK_QUALITIES: Tuple[str, ...] = ("fiber", "wifi", "lossy")
+
+#: Node kinds cycled through by :func:`make_topology`.
+_KINDS: Tuple[str, ...] = ("edge", "cloud", "peer")
+
+
+@dataclass(frozen=True)
+class ServerNode:
+    """One candidate server: compute speed, link, and optional §3 bound.
+
+    ``speed`` is relative compute throughput (1.0 = the reference GPU of
+    the case study; 2.0 finishes the same kernel twice as fast).
+    ``response_bound`` is the server's advertised §3 pessimistic bound:
+    when set, any estimated response time at or beyond it carries a
+    *guaranteed* result, so the client budgets post-processing
+    ``C_{i,3}`` instead of compensation ``C_{i,2}`` for those points
+    (re-verified per server by the routed MCKP).  ``None`` means the
+    server gives no guarantee — the common case for unreliable
+    components.
+    """
+
+    server_id: str
+    speed: float = 1.0
+    link: LinkProfile = LINK_PRESETS["wifi"]
+    kind: str = "edge"
+    response_bound: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.server_id:
+            raise ValueError("server_id must be non-empty")
+        if self.speed <= 0:
+            raise ValueError("speed must be positive")
+        if self.response_bound is not None and self.response_bound <= 0:
+            raise ValueError("response_bound must be positive when set")
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An ordered collection of uniquely named candidate servers.
+
+    Order matters: the routed MCKP expands choice groups in topology
+    order, so two topologies with the same servers in the same order
+    produce identical instances (and relabeling preserves order — the
+    basis of the fingerprint-invariance property test).
+    """
+
+    servers: Tuple[ServerNode, ...]
+
+    def __post_init__(self) -> None:
+        if not self.servers:
+            raise ValueError("a topology needs at least one server")
+        ids = [s.server_id for s in self.servers]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate server ids in topology: {ids}")
+
+    def __iter__(self) -> Iterator[ServerNode]:
+        return iter(self.servers)
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    @property
+    def server_ids(self) -> Tuple[str, ...]:
+        return tuple(s.server_id for s in self.servers)
+
+    def get(self, server_id: str) -> ServerNode:
+        for server in self.servers:
+            if server.server_id == server_id:
+                return server
+        raise KeyError(server_id)
+
+    def relabeled(self, mapping: Mapping[str, str]) -> "Topology":
+        """Rename servers (order preserved) — ids not in ``mapping``
+        keep their name.  Used by the relabel-invariance tests."""
+        return Topology(
+            servers=tuple(
+                replace(s, server_id=mapping.get(s.server_id, s.server_id))
+                for s in self.servers
+            )
+        )
+
+
+def make_topology(
+    num_servers: int,
+    spread: float = 0.0,
+    link_quality: str = "wifi",
+    guaranteed_bound: Optional[float] = None,
+) -> Topology:
+    """Build a deterministic topology for the sweep axes.
+
+    ``spread`` controls heterogeneity: server ``i`` gets speed
+    ``1.0 + spread * i / (num_servers - 1)`` (all speed 1.0 when
+    ``spread`` is 0 or there is a single server), so the last server is
+    the fastest.  Every server shares the named link preset; kinds cycle
+    edge → cloud → peer.  When ``guaranteed_bound`` is given, the
+    ``cloud`` nodes advertise it as their §3 response bound (clouds are
+    the nodes plausibly able to promise capacity).
+    """
+    if num_servers < 1:
+        raise ValueError("num_servers must be >= 1")
+    if spread < 0:
+        raise ValueError("spread must be non-negative")
+    if link_quality not in LINK_PRESETS:
+        raise ValueError(
+            f"unknown link_quality {link_quality!r}; "
+            f"presets: {sorted(LINK_PRESETS)}"
+        )
+    link = LINK_PRESETS[link_quality]
+    servers = []
+    for i in range(num_servers):
+        frac = i / (num_servers - 1) if num_servers > 1 else 0.0
+        kind = _KINDS[i % len(_KINDS)]
+        servers.append(
+            ServerNode(
+                server_id=f"s{i}",
+                speed=1.0 + spread * frac,
+                link=link,
+                kind=kind,
+                response_bound=(
+                    guaranteed_bound if kind == "cloud" else None
+                ),
+            )
+        )
+    return Topology(servers=tuple(servers))

@@ -1,0 +1,294 @@
+"""Topology-routed offloading decisions with per-server degradation.
+
+:class:`TopologyDecisionManager` is the multi-server ODM with the two
+runtime pieces the single-server stack already has, now *per server*:
+
+* a :class:`~repro.runtime.health.CircuitBreaker` per server, created on
+  demand and fed windowed offload outcomes through
+  :meth:`TopologyDecisionManager.record_window` — an ``open`` breaker
+  prunes that server's choice groups out of the routed MCKP, so the
+  degradation ladder falls back server-by-server (tasks re-route to the
+  surviving servers) and reaches local-only exactly when every breaker
+  is open (only the local items remain, which is the single-server
+  degraded reduction);
+* an optional :class:`~repro.knapsack.SolverCache` — the routed
+  instance is canonically keyed like any other, so unchanged topologies
+  re-decide from cache and a recovered topology (breaker re-closed on
+  an unchanged instance) restores the original decision bit-for-bit.
+
+Soundness: item weights are the Theorem 3 demand rates regardless of
+the chosen server, and the §3 guaranteed-result budget is applied with
+the *chosen server's* bound (``server_bounds``), so the schedulability
+guarantee holds for whichever server each task routes to.  ``decide``
+re-verifies this from scratch — both through the generic
+:func:`~repro.core.schedulability.theorem3_test` and through a strict
+per-server recomputation of every chosen item's demand rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from ..core.benefit import BenefitFunction
+from ..core.multiserver import MultiServerDecision
+from ..core.odm import build_mckp
+from ..core.schedulability import OffloadAssignment, theorem3_test
+from ..core.task import OffloadableTask, TaskSet
+from ..knapsack import SOLVERS, Selection, SolverCache
+from ..runtime.health import CircuitBreaker
+
+__all__ = ["RoutedDecision", "TopologyDecisionManager"]
+
+
+@dataclass(frozen=True)
+class RoutedDecision(MultiServerDecision):
+    """A :class:`MultiServerDecision` plus the degradation evidence:
+    which servers were pruned (breaker open) when it was made."""
+
+    pruned_servers: Tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.pruned_servers)
+
+
+def _effective_tasks(
+    tasks: TaskSet,
+    placements: Mapping[str, Tuple[Optional[str], float]],
+    server_bounds: Optional[Mapping[str, Mapping[str, float]]],
+) -> TaskSet:
+    """Tasks with each routed task's §3 bound set to its *chosen
+    server's* bound, so the generic Theorem 3 test budgets the same
+    second phase the routed MCKP did.  Identity when no per-server
+    bounds are in play."""
+    if not server_bounds:
+        return tasks
+    effective = TaskSet()
+    for task in tasks:
+        server_id, r = placements[task.task_id]
+        if isinstance(task, OffloadableTask) and server_id is not None:
+            bound = server_bounds.get(server_id, {}).get(task.task_id)
+            if bound is not None and bound != task.server_response_bound:
+                task = replace(task, server_response_bound=bound)
+        effective.add(task)
+    return effective
+
+
+def _routed_demand_rate(
+    task: OffloadableTask,
+    fn: BenefitFunction,
+    response_time: float,
+    bound: Optional[float],
+) -> float:
+    """Recompute one offloaded item's Theorem 3 demand rate from the
+    chosen server's own data (not from the MCKP item)."""
+    point = fn.point_at(response_time)
+    slack = task.deadline - response_time
+    setup = (
+        point.setup_time if point.setup_time is not None else task.setup_time
+    )
+    guaranteed = (
+        bound is not None and response_time >= bound - 1e-12
+    )
+    if guaranteed:
+        second = task.post_time
+    else:
+        second = (
+            point.compensation_time
+            if point.compensation_time is not None
+            else task.compensation_time
+        )
+    return (setup + second) / slack
+
+
+class TopologyDecisionManager:
+    """Routed ODM: solver + per-server breakers + optional cache.
+
+    Parameters mirror
+    :class:`~repro.core.odm.OffloadingDecisionManager`: ``cache=True``
+    creates a private :class:`SolverCache`, a cache instance is used
+    as-is (note an explicitly-constructed empty cache is *falsy* via
+    ``__len__``, hence the identity checks), anything falsy disables
+    caching.  ``breaker_factory`` builds one breaker per server on first
+    use (default: :class:`CircuitBreaker` with its defaults).
+    """
+
+    def __init__(
+        self,
+        solver: str = "dp",
+        cache=None,
+        breaker_factory: Optional[Callable[[], CircuitBreaker]] = None,
+        **solver_kwargs,
+    ) -> None:
+        if solver not in SOLVERS:
+            raise ValueError(
+                f"unknown solver {solver!r}; available: {sorted(SOLVERS)}"
+            )
+        self._solve: Callable = SOLVERS[solver]
+        self.solver_name = solver
+        self._solver_kwargs = solver_kwargs
+        if cache is True:
+            cache = SolverCache()
+        elif cache is False or cache is None:
+            cache = None
+        self.cache: Optional[SolverCache] = cache
+        self._breaker_factory = (
+            breaker_factory if breaker_factory is not None else CircuitBreaker
+        )
+        self.breakers: Dict[str, CircuitBreaker] = {}
+
+    # ------------------------------------------------------------------
+    # per-server health
+    # ------------------------------------------------------------------
+    def breaker(self, server_id: str) -> CircuitBreaker:
+        """The breaker for ``server_id``, created closed on first use."""
+        if server_id not in self.breakers:
+            self.breakers[server_id] = self._breaker_factory()
+        return self.breakers[server_id]
+
+    @property
+    def open_servers(self) -> Tuple[str, ...]:
+        """Servers currently pruned from routing (breaker ``open``)."""
+        return tuple(
+            sid
+            for sid, breaker in self.breakers.items()
+            if not breaker.allows_offloading
+        )
+
+    def record_window(
+        self,
+        window: int,
+        outcomes: Mapping[str, Tuple[int, int]],
+    ) -> Dict[str, str]:
+        """Feed one window of per-server ``(successes, failures)``
+        outcome counts; returns the new per-server breaker states.
+
+        Servers absent from ``outcomes`` saw no offloads this window —
+        their breakers still tick (an ``open`` breaker must count down
+        its cooldown even while pruned, or it could never probe again).
+        """
+        states: Dict[str, str] = {}
+        for sid, breaker in self.breakers.items():
+            successes, failures = outcomes.get(sid, (0, 0))
+            states[sid] = breaker.record_window(window, successes, failures)
+        for sid, (successes, failures) in outcomes.items():
+            if sid not in states:
+                states[sid] = self.breaker(sid).record_window(
+                    window, successes, failures
+                )
+        return states
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        tasks: TaskSet,
+        server_benefits: Mapping[str, Mapping[str, BenefitFunction]],
+        server_bounds: Optional[Mapping[str, Mapping[str, float]]] = None,
+    ) -> RoutedDecision:
+        """One routed decision over the surviving servers.
+
+        Open-breaker servers contribute no items (their choice groups
+        are pruned); the local item always survives, so the fully
+        degraded instance is exactly the local-only reduction.
+        """
+        tasks.validate()
+        pruned = tuple(
+            sid for sid in server_benefits if sid in self.open_servers
+        )
+        allowed = (
+            None if not pruned else set(server_benefits) - set(pruned)
+        )
+        instance = build_mckp(
+            tasks,
+            topology=server_benefits,
+            allowed_servers=allowed,
+            server_bounds=server_bounds,
+        )
+        if self.cache is not None:
+            selection: Optional[Selection] = self.cache.solve(
+                self.solver_name,
+                self._solve,
+                instance,
+                **self._solver_kwargs,
+            )
+        else:
+            selection = self._solve(instance, **self._solver_kwargs)
+        if selection is None:
+            raise ValueError(
+                "no feasible selection although the all-local "
+                "configuration is feasible; this indicates a solver bug"
+            )
+        placements: Dict[str, Tuple[Optional[str], float]] = {}
+        for cls in instance.classes:
+            server_id, r = selection.item_for(cls.class_id).tag
+            placements[cls.class_id] = (server_id, float(r))
+
+        self._verify(tasks, server_benefits, server_bounds, placements,
+                     selection)
+        assignments = [
+            OffloadAssignment(tid, r)
+            for tid, (server, r) in placements.items()
+            if r > 0
+        ]
+        check = theorem3_test(
+            _effective_tasks(tasks, placements, server_bounds), assignments
+        )
+        if not check.feasible:
+            raise AssertionError(
+                "routed ODM produced an infeasible decision; the MCKP "
+                "weights and the schedulability test have diverged"
+            )
+        return RoutedDecision(
+            placements=placements,
+            expected_benefit=selection.total_value,
+            total_demand_rate=selection.total_weight,
+            schedulability=check,
+            solver=self.solver_name,
+            pruned_servers=pruned,
+        )
+
+    def _verify(
+        self,
+        tasks: TaskSet,
+        server_benefits: Mapping[str, Mapping[str, BenefitFunction]],
+        server_bounds: Optional[Mapping[str, Mapping[str, float]]],
+        placements: Mapping[str, Tuple[Optional[str], float]],
+        selection: Selection,
+    ) -> None:
+        """Strict per-server re-verification of the Theorem 3 budget.
+
+        Recomputes every chosen item's demand rate from the chosen
+        server's own benefit function and §3 bound — independently of
+        the MCKP items — and checks the total against both the
+        selection's weight and the capacity.
+        """
+        total = 0.0
+        by_id = {task.task_id: task for task in tasks}
+        for tid, (server_id, r) in placements.items():
+            task = by_id[tid]
+            if server_id is None or r <= 0:
+                total += task.wcet / min(task.period, task.deadline)
+                continue
+            assert isinstance(task, OffloadableTask)
+            bound = task.server_response_bound
+            if server_bounds is not None:
+                bound = server_bounds.get(server_id, {}).get(tid, bound)
+            total += _routed_demand_rate(
+                task, server_benefits[server_id][tid], r, bound
+            )
+        if abs(total - selection.total_weight) > 1e-9:
+            raise AssertionError(
+                "per-server demand recomputation disagrees with the "
+                f"MCKP selection: {total} != {selection.total_weight}"
+            )
+        if total > 1.0 + 1e-9:
+            raise AssertionError(
+                f"routed decision exceeds the Theorem 3 budget: {total}"
+            )
+
+    def cache_stats(self) -> Optional[Dict[str, int]]:
+        """The unified 9-key cache stats, or ``None`` without a cache."""
+        return None if self.cache is None else dict(self.cache.stats)

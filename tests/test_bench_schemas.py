@@ -52,6 +52,12 @@ REQUIRED_KEYS = {
         "totals", "marginals", "audit", "ok",
         "serial_parallel_identical", "wall_seconds",
     },
+    "BENCH_topology.json": {
+        "schema", "seed", "cells", "replications", "instances",
+        "resolution", "num_samples", "workers", "mode", "axis_names",
+        "totals", "marginals", "audit", "stats", "ok",
+        "serial_parallel_identical", "wall_seconds",
+    },
 }
 
 
@@ -122,6 +128,9 @@ def test_unified_replica_cache_stats_schema():
         attribution = set(cell["cache_attribution"])
         assert {"hits_local", "hits_replicated", "misses"} <= attribution
 
+    topology = json.loads((ROOT / "BENCH_topology.json").read_text())
+    assert cache_keys <= set(topology["stats"]["cache"])
+
 
 def test_campaign_artifact_invariants():
     """The campaign ledger must record a clean, verified run."""
@@ -137,3 +146,28 @@ def test_campaign_artifact_invariants():
         assert sum(m["instances"] for m in per.values()) == (
             data["instances"]
         )
+
+
+def test_topology_artifact_invariants():
+    """The topology sweep ledger: clean, verified, and wide enough —
+    at least 3 server counts x at least 2 link qualities, with every
+    routed instance audited and zero anomalies."""
+    data = json.loads((ROOT / "BENCH_topology.json").read_text())
+    assert data["schema"] == 1
+    assert data["ok"] is True
+    assert data["audit"]["anomaly_count"] == 0
+    assert data["audit"]["anomalies"] == []
+    assert data["serial_parallel_identical"] is True
+    assert set(data["marginals"]) == set(data["axis_names"])
+    assert len(data["marginals"]["servers"]) >= 3
+    assert len(data["marginals"]["link"]) >= 2
+    for axis, per in data["marginals"].items():
+        assert sum(m["instances"] for m in per.values()) == (
+            data["instances"]
+        )
+    audit = data["audit"]
+    assert audit["reference_checks"] == data["instances"]
+    assert audit["single_server_checks"] > 0
+    assert audit["prune_checks"] > 0
+    assert audit["recovery_checks"] == audit["prune_checks"]
+    assert audit["federation_checks"] > 0

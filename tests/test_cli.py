@@ -85,3 +85,20 @@ class TestSubcommands:
         assert main(["energy", "--horizon", "6"]) == 0
         out = capsys.readouterr().out
         assert "saving" in out and "J" in out
+
+    def test_topology_sweep_smoke(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "topology.json"
+        assert main(
+            ["topology-sweep", "--smoke", "--samples", "16",
+             "--resolution", "400", "--verify-parallel", "2",
+             "--workers", "1", "--out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "topology sweep:" in out
+        assert "bit-for-bit identical" in out
+        assert "0 anomalies" in out
+        data = json.loads(out_path.read_text())
+        assert data["ok"] is True
+        assert data["serial_parallel_identical"] is True

@@ -1,0 +1,1 @@
+"""Tests for the multi-server topology layer (routed MCKP)."""

@@ -1,0 +1,151 @@
+"""Unit tests for per-server response-time estimation."""
+
+import pytest
+
+from repro.core.benefit import BenefitFunction, BenefitPoint
+from repro.core.task import OffloadableTask, Task, TaskSet
+from repro.estimator.response_time import EmpiricalResponseTimes
+from repro.sim.rng import RandomStreams
+from repro.topology import (
+    LinkProfile,
+    ServerNode,
+    Topology,
+    estimate_server_benefit,
+    estimate_topology_benefits,
+    sample_response_times,
+)
+
+
+def _task(task_id="t0", wcet=0.2, period=1.0):
+    return OffloadableTask(
+        task_id=task_id,
+        wcet=wcet,
+        period=period,
+        setup_time=0.02,
+        compensation_time=wcet,
+        post_time=0.005,
+        benefit=BenefitFunction(
+            [BenefitPoint(0.0, 1.0), BenefitPoint(0.5, 9.0)]
+        ),
+    )
+
+
+class TestSampling:
+    def test_sample_count_and_determinism(self):
+        task = _task()
+        server = ServerNode(server_id="s")
+        a = sample_response_times(
+            task, server, RandomStreams(7).get("x"), num_samples=32
+        )
+        b = sample_response_times(
+            task, server, RandomStreams(7).get("x"), num_samples=32
+        )
+        assert len(a) == 32
+        assert a.samples == b.samples
+
+    def test_num_samples_validated(self):
+        with pytest.raises(ValueError):
+            sample_response_times(
+                _task(),
+                ServerNode(server_id="s"),
+                RandomStreams(0).get("x"),
+                num_samples=0,
+            )
+
+    def test_faster_server_responds_sooner(self):
+        task = _task()
+        slow = sample_response_times(
+            task,
+            ServerNode(server_id="s", speed=1.0),
+            RandomStreams(3).get("x"),
+            num_samples=64,
+        )
+        fast = sample_response_times(
+            task,
+            ServerNode(server_id="s", speed=8.0),
+            RandomStreams(3).get("x"),
+            num_samples=64,
+        )
+        assert fast.percentile(50) < slow.percentile(50)
+
+    def test_lost_transfers_recorded_beyond_the_deadline(self):
+        task = _task()
+        # certain loss: every sample lands at deadline * 4
+        lossy = ServerNode(
+            server_id="s",
+            link=LinkProfile(
+                name="dead", bandwidth=1e6, loss_probability=1.0
+            ),
+        )
+        samples = sample_response_times(
+            task, lossy, RandomStreams(0).get("x"), num_samples=8
+        )
+        assert all(s == task.deadline * 4 for s in samples.samples)
+
+
+class TestBenefitBuilding:
+    def test_anchored_at_local_and_non_decreasing(self):
+        task = _task()
+        samples = EmpiricalResponseTimes([0.1, 0.2, 0.3, 0.4])
+        fn = estimate_server_benefit(task, samples)
+        assert fn.points[0].is_local
+        assert fn.local_benefit == task.benefit.local_benefit
+        values = [p.benefit for p in fn.points]
+        assert values == sorted(values)
+        # strictly increasing after the local point (dominated points
+        # are dropped)
+        assert len(set(values)) == len(values)
+        assert fn.max_benefit <= task.benefit.max_benefit + 1e-12
+
+    def test_hopeless_server_collapses_to_local_only(self):
+        task = _task()
+        samples = EmpiricalResponseTimes(
+            [task.deadline * 4] * 16
+        )
+        fn = estimate_server_benefit(task, samples)
+        # success probability at any feasible r is ~0: no offload point
+        # survives inside the deadline
+        feasible = [
+            p
+            for p in fn.points
+            if not p.is_local and p.response_time < task.deadline
+        ]
+        assert feasible == []
+
+
+class TestTopologyEstimation:
+    def test_shapes_order_and_bounds(self):
+        tasks = TaskSet(
+            [_task("a"), _task("b"), Task("plain", 0.1, 1.0)]
+        )
+        topo = Topology(
+            servers=(
+                ServerNode(server_id="edge"),
+                ServerNode(server_id="cloud", response_bound=0.4),
+            )
+        )
+        benefits, bounds = estimate_topology_benefits(
+            tasks, topo, RandomStreams(5), num_samples=16
+        )
+        assert list(benefits) == ["edge", "cloud"]
+        assert set(benefits["edge"]) == {"a", "b"}  # no plain tasks
+        assert set(bounds) == {"cloud"}
+        assert bounds["cloud"] == {"a": 0.4, "b": 0.4}
+
+    def test_streams_are_independent_per_server_and_task(self):
+        tasks = TaskSet([_task("a"), _task("b")])
+        solo = Topology(servers=(ServerNode(server_id="s0"),))
+        pair = Topology(
+            servers=(
+                ServerNode(server_id="s0"),
+                ServerNode(server_id="s1"),
+            )
+        )
+        only, _ = estimate_topology_benefits(
+            tasks, solo, RandomStreams(9), num_samples=16
+        )
+        both, _ = estimate_topology_benefits(
+            tasks, pair, RandomStreams(9), num_samples=16
+        )
+        # adding a server must not perturb s0's estimates
+        assert only["s0"] == both["s0"]

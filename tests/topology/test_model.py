@@ -1,0 +1,135 @@
+"""Unit tests for the declarative topology model."""
+
+import numpy as np
+import pytest
+
+from repro.server.network import NetworkChannel
+from repro.topology import (
+    LINK_PRESETS,
+    LINK_QUALITIES,
+    LinkProfile,
+    ServerNode,
+    Topology,
+    make_topology,
+)
+
+
+class TestLinkProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkProfile(name="x", bandwidth=0.0)
+        with pytest.raises(ValueError):
+            LinkProfile(name="x", bandwidth=1e6, base_latency=-0.1)
+        with pytest.raises(ValueError):
+            LinkProfile(name="x", bandwidth=1e6, loss_probability=1.5)
+
+    def test_channel_instantiates_network_channel(self):
+        channel = LINK_PRESETS["wifi"].channel(
+            np.random.default_rng(0)
+        )
+        assert isinstance(channel, NetworkChannel)
+        assert channel.transfer_time(1000.0) > 0
+
+    def test_mean_delay_orders_the_presets(self):
+        payload = 32_768.0
+        delays = [
+            LINK_PRESETS[name].mean_delay(payload)
+            for name in LINK_QUALITIES
+        ]
+        # best-to-worst order: fiber < wifi < lossy
+        assert delays == sorted(delays)
+        assert delays[0] < delays[-1]
+
+    def test_presets_cover_the_axis_values(self):
+        assert set(LINK_PRESETS) == set(LINK_QUALITIES)
+        # wifi reproduces the case study's ~20 Mbit/s wireless link
+        assert LINK_PRESETS["wifi"].bandwidth == pytest.approx(2.5e6)
+
+
+class TestServerNode:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerNode(server_id="")
+        with pytest.raises(ValueError):
+            ServerNode(server_id="s", speed=0.0)
+        with pytest.raises(ValueError):
+            ServerNode(server_id="s", response_bound=0.0)
+
+    def test_defaults(self):
+        node = ServerNode(server_id="s")
+        assert node.speed == 1.0
+        assert node.link is LINK_PRESETS["wifi"]
+        assert node.response_bound is None
+
+
+class TestTopology:
+    def test_needs_servers_and_unique_ids(self):
+        with pytest.raises(ValueError):
+            Topology(servers=())
+        with pytest.raises(ValueError, match="duplicate"):
+            Topology(
+                servers=(
+                    ServerNode(server_id="s"),
+                    ServerNode(server_id="s"),
+                )
+            )
+
+    def test_iteration_order_and_lookup(self):
+        topo = make_topology(3)
+        assert topo.server_ids == ("s0", "s1", "s2")
+        assert [s.server_id for s in topo] == ["s0", "s1", "s2"]
+        assert len(topo) == 3
+        assert topo.get("s1").server_id == "s1"
+        with pytest.raises(KeyError):
+            topo.get("mars")
+
+    def test_relabeled_preserves_order_and_unmapped_ids(self):
+        topo = make_topology(3)
+        renamed = topo.relabeled({"s0": "alpha", "s2": "gamma"})
+        assert renamed.server_ids == ("alpha", "s1", "gamma")
+        # everything but the id is untouched
+        for before, after in zip(topo, renamed):
+            assert after.speed == before.speed
+            assert after.link is before.link
+            assert after.kind == before.kind
+
+
+class TestMakeTopology:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_topology(0)
+        with pytest.raises(ValueError):
+            make_topology(2, spread=-1.0)
+        with pytest.raises(ValueError, match="link_quality"):
+            make_topology(2, link_quality="carrier-pigeon")
+
+    def test_spread_makes_the_last_server_fastest(self):
+        topo = make_topology(4, spread=1.0)
+        speeds = [s.speed for s in topo]
+        assert speeds == sorted(speeds)
+        assert speeds[0] == pytest.approx(1.0)
+        assert speeds[-1] == pytest.approx(2.0)
+
+    def test_zero_spread_and_single_server_are_homogeneous(self):
+        assert all(s.speed == 1.0 for s in make_topology(3))
+        assert make_topology(1, spread=5.0).servers[0].speed == 1.0
+
+    def test_kinds_cycle(self):
+        topo = make_topology(5)
+        assert [s.kind for s in topo] == [
+            "edge", "cloud", "peer", "edge", "cloud",
+        ]
+
+    def test_guaranteed_bound_lands_on_cloud_nodes_only(self):
+        topo = make_topology(6, guaranteed_bound=0.25)
+        for server in topo:
+            if server.kind == "cloud":
+                assert server.response_bound == 0.25
+            else:
+                assert server.response_bound is None
+
+    def test_link_quality_is_shared(self):
+        topo = make_topology(3, link_quality="lossy")
+        assert all(
+            s.link is LINK_PRESETS["lossy"] for s in topo
+        )
